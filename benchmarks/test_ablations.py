@@ -1,0 +1,150 @@
+"""Ablation benchmarks: isolate the mechanisms behind the headline results.
+
+Each ablation switches off one modeled mechanism and reports how the
+Table II outcomes move:
+
+* **closure noise off** — the purely mechanistic timing model (monotone
+  frequency degradation; the paper's 2D-8MiB "lucky run" disappears);
+* **F2F channel blockage off** — 3D channels shrink to the raw BEOL
+  supply ratio, overstating the 3D footprint advantage;
+* **shared-BEOL critical RC vs per-stack RC** — how much of the 3D
+  frequency gain survives if critical routes pay the thin-stack penalty;
+* **scoreboard vs blocking loads** — simulator-level CPI impact.
+"""
+
+import repro.physical.placement as placement
+from repro.core.config import Flow, MemPoolConfig
+from repro.core.metrics import normalize
+from repro.kernels.matmul import run_matmul
+from repro.physical.calibration import Calibration
+from repro.physical.flow2d import implement_group_2d
+from repro.physical.flow3d import implement_group_3d
+
+
+def run_pair(capacity, calibration=None):
+    kwargs = {}
+    if calibration is not None:
+        kwargs["calibration"] = calibration
+    g2 = implement_group_2d(MemPoolConfig(capacity, Flow.FLOW_2D), **kwargs)
+    g3 = implement_group_3d(MemPoolConfig(capacity, Flow.FLOW_3D), **kwargs)
+    return g2, g3
+
+
+def test_ablation_closure_noise(benchmark):
+    """Without P&R noise the 2D frequency column degrades monotonically."""
+
+    def run():
+        mechanistic = Calibration(closure_adjust_ps={})
+        freqs = {}
+        for cap in (1, 2, 4, 8):
+            g2, g3 = run_pair(cap, mechanistic)
+            freqs[cap] = (g2.timing.frequency_mhz, g3.timing.frequency_mhz)
+        return freqs
+
+    freqs = benchmark(run)
+    print()
+    f2 = [freqs[c][0] for c in (1, 2, 4, 8)]
+    f3 = [freqs[c][1] for c in (1, 2, 4, 8)]
+    print("mechanistic 2D MHz:", [round(f) for f in f2])
+    print("mechanistic 3D MHz:", [round(f) for f in f3])
+    assert f2 == sorted(f2, reverse=True), "2D degradation must be monotone"
+    assert f3 == sorted(f3, reverse=True), "3D degradation must be monotone"
+    for a, b in zip(f2, f3):
+        assert b > a, "3D stays faster at every capacity"
+
+
+def test_ablation_f2f_blockage(benchmark):
+    """Removing F2F landing-pad blockage over-shrinks the 3D channels."""
+
+    def run():
+        baseline = implement_group_3d(MemPoolConfig(1, Flow.FLOW_3D))
+        original = placement.F2F_CHANNEL_BLOCKAGE
+        placement.F2F_CHANNEL_BLOCKAGE = 0.0
+        try:
+            unblocked = implement_group_3d(MemPoolConfig(1, Flow.FLOW_3D))
+        finally:
+            placement.F2F_CHANNEL_BLOCKAGE = original
+        return baseline, unblocked
+
+    baseline, unblocked = benchmark(run)
+    w_base = baseline.placement.channels.total_width_um
+    w_free = unblocked.placement.channels.total_width_um
+    print(f"\n3D channel width: {w_base:.0f} um with blockage, {w_free:.0f} um without")
+    assert w_free < w_base
+    assert unblocked.footprint_um2 < baseline.footprint_um2
+    # Without blockage the channel ratio vs 2D drops well below the
+    # paper's ~0.82.
+    g2 = implement_group_2d(MemPoolConfig(1, Flow.FLOW_2D))
+    ratio = w_free / g2.placement.channels.total_width_um
+    print(f"channel ratio vs 2D without blockage: {ratio:.2f} (paper ~0.82)")
+    assert ratio < 0.75
+
+
+def test_ablation_sram_path_fraction(benchmark):
+    """The SRAM path share drives the capacity-frequency slope."""
+    from repro.physical.calibration import TimingCalibration
+
+    def run():
+        out = {}
+        for fraction in (0.45, 0.90):
+            cal = Calibration(
+                timing=TimingCalibration(sram_path_fraction=fraction),
+                closure_adjust_ps={},
+            )
+            g1 = implement_group_3d(MemPoolConfig(1, Flow.FLOW_3D), calibration=cal)
+            g8 = implement_group_3d(MemPoolConfig(8, Flow.FLOW_3D), calibration=cal)
+            out[fraction] = g1.timing.frequency_mhz / g8.timing.frequency_mhz
+        return out
+
+    slowdowns = benchmark(run)
+    print(f"\n3D 1->8 MiB frequency ratio: {slowdowns}")
+    assert slowdowns[0.90] > slowdowns[0.45], "steeper SRAM share, steeper slope"
+
+
+def test_ablation_scoreboard(benchmark):
+    """Non-blocking loads cut the simulated matmul CPI substantially."""
+    config = MemPoolConfig(1, Flow.FLOW_2D)
+
+    def run():
+        blocking = run_matmul(config, n=16, num_cores=8, scoreboard=False)
+        scoreboarded = run_matmul(config, n=16, num_cores=8, scoreboard=True)
+        return blocking, scoreboarded
+
+    blocking, scoreboarded = benchmark.pedantic(run, iterations=1, rounds=2)
+    print(
+        f"\nblocking CPI/MAC {blocking.cpi_mac:.2f} -> "
+        f"scoreboard {scoreboarded.cpi_mac:.2f} (paper kernel ~2.9)"
+    )
+    assert scoreboarded.correct and blocking.correct
+    assert scoreboarded.cpi_mac < 0.75 * blocking.cpi_mac
+
+
+def test_ablation_double_buffering(benchmark):
+    """Overlapping memory/compute phases vs the paper's serial schedule."""
+    from repro.core.config import PAPER_MATRIX_DIM
+    from repro.kernels.phases import (
+        double_buffered_cycles,
+        double_buffered_plan,
+        matmul_cycles,
+    )
+    from repro.kernels.tiling import paper_tiling
+    from repro.simulator.memsys import OffChipMemory, PAPER_BANDWIDTH_SWEEP
+
+    def run():
+        out = {}
+        for bw in PAPER_BANDWIDTH_SWEEP:
+            memory = OffChipMemory(bandwidth_bytes_per_cycle=bw)
+            serial = matmul_cycles(paper_tiling(1), memory).total
+            db = double_buffered_cycles(
+                double_buffered_plan(PAPER_MATRIX_DIM, 1 << 20), memory
+            ).total
+            out[bw] = serial / db
+        return out
+
+    gains = benchmark(run)
+    print()
+    for bw, gain in gains.items():
+        print(f"  double buffering @ {bw:>2} B/cyc: {gain:.3f}x over serial (1 MiB)")
+    # Big win when starved, shrinking with bandwidth.
+    assert gains[4] > 1.2
+    assert gains[4] > gains[64]

@@ -1,0 +1,39 @@
+"""Benchmark: implementation-cost analysis (Section V-A's cost remark).
+
+The paper notes the *combined* die area is the metric relevant for cost.
+This bench turns that into money: dies per wafer, Murphy yield, bonding
+yield, and cost per good unit, for every configuration.
+"""
+
+from repro.core.config import CAPACITIES_MIB, Flow, MemPoolConfig
+from repro.physical.cost import analyze_cost, cost_ratio_3d_over_2d
+from repro.physical.flow2d import implement_group_2d
+from repro.physical.flow3d import implement_group_3d
+
+
+def run_cost_table():
+    out = {}
+    for cap in CAPACITIES_MIB:
+        g2 = implement_group_2d(MemPoolConfig(cap, Flow.FLOW_2D))
+        g3 = implement_group_3d(MemPoolConfig(cap, Flow.FLOW_3D))
+        out[cap] = (g2, analyze_cost(g2), g3, analyze_cost(g3))
+    return out
+
+
+def test_cost_table(benchmark):
+    table = benchmark(run_cost_table)
+    print()
+    print(f"{'cap':>4} {'2D mm2':>7} {'2D yld':>7} {'2D $':>7} "
+          f"{'3D mm2x2':>8} {'3D yld':>7} {'3D $':>7} {'ratio':>6}")
+    for cap, (g2, c2, g3, c3) in table.items():
+        ratio = cost_ratio_3d_over_2d(g3, g2)
+        print(f"{cap:>3}M {c2.die_area_mm2:7.1f} {c2.unit_yield:7.3f} "
+              f"{c2.cost_per_good_unit_usd:7.2f} {c3.die_area_mm2:8.1f} "
+              f"{c3.unit_yield:7.3f} {c3.cost_per_good_unit_usd:7.2f} {ratio:6.2f}")
+        # 3D units cost more (two dies + bonding), but well under 2x:
+        # each die is smaller and yields better.
+        assert 1.0 < ratio < 2.0
+    # The cost overhead shrinks with capacity, tracking the combined-area
+    # overhead of Table II (+33 % at 1 MiB down to +9-16 % at 8 MiB).
+    ratios = [cost_ratio_3d_over_2d(t[2], t[0]) for t in table.values()]
+    assert ratios == sorted(ratios, reverse=True)

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 6 (matmul cycle-count speedup surface).
+
+Sweeps SPM capacity x off-chip bandwidth through the phase-level cycle
+model and prints the speedup surface with the paper's headline numbers.
+"""
+
+from repro.experiments import fig6, paper_data
+
+
+def test_fig6(benchmark):
+    points = benchmark(fig6.run)
+    print()
+    print(fig6.format_rows(points))
+    headline = fig6.speedup_8mib_over_1mib(points)
+    for bw, expected in paper_data.FIG6_SPEEDUP_8MIB_OVER_1MIB.items():
+        assert abs(headline[bw] - expected) < 0.02

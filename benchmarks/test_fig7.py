@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 7 (matmul performance gain @ 16 B/cycle).
+
+Combines the Figure 6 cycle model with every group's achieved frequency
+and prints the performance gains relative to MemPool-2D-1MiB, including
+the per-capacity 3D-over-2D annotations.
+"""
+
+from repro.experiments import fig789, paper_data
+
+
+def test_fig7(benchmark):
+    rows = benchmark(fig789.run)
+    print()
+    print(f"{'config':>18} {'perf gain':>10} {'3D vs 2D':>9} {'paper':>8}")
+    for row in rows:
+        annotation = paper = ""
+        if row.flow == "3D":
+            annotation = f"{row.gain_3d_over_2d * 100:+8.1f}%"
+            paper = f"{paper_data.FIG7_3D_VS_2D_GAIN[row.capacity_mib] * 100:+7.1f}%"
+        print(
+            f"MemPool-{row.flow}-{row.capacity_mib}MiB".rjust(18)
+            + f" {row.performance_gain * 100:+9.1f}% {annotation:>9} {paper:>8}"
+        )
+    for row in rows:
+        if row.flow == "3D":
+            expected = paper_data.FIG7_3D_VS_2D_GAIN[row.capacity_mib]
+            assert abs(row.gain_3d_over_2d - expected) < 0.01

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Figure 8 (energy-efficiency gain @ 16 B/cycle).
+
+Energy efficiency = kernel executions per joule; the paper reports gains
+relative to MemPool-2D-1MiB with 3D-over-2D annotations per capacity.
+"""
+
+from repro.core.metrics import gain
+from repro.experiments import fig789, paper_data
+
+
+def test_fig8(benchmark):
+    rows = benchmark(fig789.run)
+    by_key = {(r.flow, r.capacity_mib): r for r in rows}
+    print()
+    print(f"{'config':>18} {'eff gain':>9} {'3D vs 2D':>9} {'paper':>8}")
+    for row in rows:
+        annotation = paper = ""
+        if row.flow == "3D":
+            rel = gain(
+                row.metrics.energy_efficiency,
+                by_key[("2D", row.capacity_mib)].metrics.energy_efficiency,
+            )
+            annotation = f"{rel * 100:+8.1f}%"
+            paper = f"{paper_data.FIG8_3D_VS_2D_GAIN[row.capacity_mib] * 100:+7.1f}%"
+        print(
+            f"MemPool-{row.flow}-{row.capacity_mib}MiB".rjust(18)
+            + f" {row.efficiency_gain * 100:+8.1f}% {annotation:>9} {paper:>8}"
+        )
+    # Shape assertions: 3D beats 2D per capacity; 2D degrades with capacity.
+    for cap in (1, 2, 4, 8):
+        assert (
+            by_key[("3D", cap)].efficiency_gain > by_key[("2D", cap)].efficiency_gain
+        )
+    assert by_key[("2D", 8)].efficiency_gain < by_key[("2D", 1)].efficiency_gain

@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 9 (EDP variation @ 16 B/cycle).
+
+EDP = kernel energy x runtime; lower is better.  The paper's optimum is
+MemPool-3D-1MiB at -15.6 % below the baseline (our power fit puts
+MemPool-3D-2MiB in a statistical tie).
+"""
+
+from repro.core.metrics import gain
+from repro.experiments import fig789, paper_data
+
+
+def test_fig9(benchmark):
+    rows = benchmark(fig789.run)
+    by_key = {(r.flow, r.capacity_mib): r for r in rows}
+    print()
+    print(f"{'config':>18} {'EDP var':>9} {'3D vs 2D':>9} {'paper':>8}")
+    for row in rows:
+        annotation = paper = ""
+        if row.flow == "3D":
+            rel = gain(row.metrics.edp, by_key[("2D", row.capacity_mib)].metrics.edp)
+            annotation = f"{rel * 100:+8.1f}%"
+            paper = f"{paper_data.FIG9_3D_EDP_VARIATION[row.capacity_mib] * 100:+7.1f}%"
+        print(
+            f"MemPool-{row.flow}-{row.capacity_mib}MiB".rjust(18)
+            + f" {row.edp_variation * 100:+8.1f}% {annotation:>9} {paper:>8}"
+        )
+    best = fig789.best_edp_configuration(rows)
+    print(f"\nEDP optimum: {best} (paper: MemPool-3D-1MiB)")
+    assert best in ("MemPool-3D-1MiB", "MemPool-3D-2MiB")
+    for cap in (1, 2, 4, 8):
+        rel = gain(by_key[("3D", cap)].metrics.edp, by_key[("2D", cap)].metrics.edp)
+        expected = paper_data.FIG9_3D_EDP_VARIATION[cap]
+        assert abs(rel - expected) < 0.06

@@ -1,0 +1,34 @@
+"""Benchmark: Figures 4-5 mechanisms (channels, congestion, floorplans).
+
+Prints the channel widths of the 2D and 3D groups (the paper: 3D channels
+are ~18 % narrower), the congestion hot-spot figures of Figure 4, and the
+memory-die floorplan arrays of Figure 3.
+"""
+
+from repro.core.config import CAPACITIES_MIB, Flow, MemPoolConfig
+from repro.experiments import table2
+from repro.physical.flow2d import implement_group_2d
+from repro.physical.flow3d import implement_group_3d, memory_die_array
+
+
+def run_placements():
+    g2 = implement_group_2d(MemPoolConfig(8, Flow.FLOW_2D))
+    g3 = implement_group_3d(MemPoolConfig(8, Flow.FLOW_3D))
+    return g2, g3
+
+
+def test_channels_and_congestion(benchmark):
+    g2, g3 = benchmark(run_placements)
+    w2 = g2.placement.channels.total_width_um
+    w3 = g3.placement.channels.total_width_um
+    print()
+    print(f"2D channel total width: {w2:7.1f} um")
+    print(f"3D channel total width: {w3:7.1f} um  ({(1 - w3 / w2) * 100:.1f}% narrower; paper ~18%)")
+    print(f"2D center-channel demand: {g2.congestion.center_demand:.2f}")
+    print(f"3D center-channel demand: {g3.congestion.center_demand:.2f}")
+    for cap in CAPACITIES_MIB:
+        array = memory_die_array(MemPoolConfig(cap, Flow.FLOW_3D))
+        print(f"3D-{cap}MiB memory die: {array.rows}x{array.cols} array of {array.count} macros")
+    assert 0.13 < 1 - w3 / w2 < 0.23
+    array8 = memory_die_array(MemPoolConfig(8, Flow.FLOW_3D))
+    assert {array8.rows, array8.cols} == {5, 3}

@@ -1,0 +1,18 @@
+"""Benchmark: bandwidth-sensitivity extension (optimal capacity crossover).
+
+Repeats the Figures 7-9 ranking at every Figure 6 bandwidth, exposing how
+the optimal SPM capacity moves with off-chip bandwidth.
+"""
+
+from repro.experiments import sensitivity
+
+
+def test_sensitivity(benchmark):
+    rows = benchmark(sensitivity.run)
+    print()
+    print(sensitivity.format_rows(rows))
+    by_bw = {r.bandwidth: r for r in rows}
+    # Crossover: big SPM wins starved, small 3D wins at high bandwidth.
+    assert by_bw[4].best_performance.endswith(("4MiB", "8MiB"))
+    assert by_bw[64].best_performance.endswith(("1MiB", "2MiB"))
+    assert all("3D" in r.best_edp for r in rows)

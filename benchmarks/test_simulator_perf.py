@@ -1,0 +1,20 @@
+"""Benchmark: cycle-level simulator throughput.
+
+Not a paper artifact, but the substrate every kernel measurement rests on:
+benchmarks the instruction-level simulation rate of the blocked matmul and
+verifies the result against numpy inside the benchmarked body.
+"""
+
+from repro.core.config import Flow, MemPoolConfig
+from repro.kernels.matmul import run_matmul
+
+
+def test_blocked_matmul_simulation(benchmark):
+    config = MemPoolConfig(capacity_mib=1, flow=Flow.FLOW_2D)
+    run = benchmark.pedantic(
+        lambda: run_matmul(config, n=16, num_cores=16, blocked=True),
+        iterations=1,
+        rounds=3,
+    )
+    assert run.correct
+    print(f"\n16x16 matmul on 16 cores: {run.cycles} cycles, CPI/MAC {run.cpi_mac:.2f}")

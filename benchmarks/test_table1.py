@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table I (tile implementation results).
+
+Runs the tile implementation for all eight configurations and prints the
+reproduced table next to the paper's values.
+"""
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark):
+    rows = benchmark(table1.run)
+    print()
+    print(table1.format_rows(rows))
+    assert len(rows) == 8
+    for row in rows:
+        assert abs(row.footprint_error) < 0.10

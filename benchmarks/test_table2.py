@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table II (group implementation results).
+
+Implements all eight groups through the full physical pipeline (netlist,
+placement, wire length, congestion, buffering, timing, power) and prints
+every Table II row next to the paper's values.
+"""
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark):
+    rows = benchmark(table2.run)
+    print()
+    print(table2.format_rows(rows))
+    assert len(rows) == 8
+    for row in rows:
+        assert row.modeled.frequency == row.modeled.frequency  # not NaN
+        assert abs(row.modeled.footprint - row.paper_footprint) / row.paper_footprint < 0.05
+        assert abs(row.modeled.frequency - row.paper_frequency) < 0.01

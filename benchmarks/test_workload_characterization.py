@@ -1,0 +1,16 @@
+"""Benchmark: workload characterization table on the cycle simulator.
+
+Quantifies MemPool's architectural premise: a word-interleaved shared L1
+keeps streaming kernels nearly conflict-free while most accesses are
+remote-but-cheap (the 3/5-cycle classes).
+"""
+
+from repro.experiments.workloads_table import format_rows, run
+
+
+def test_workload_characterization(benchmark):
+    rows = benchmark.pedantic(lambda: run((4, 16)), iterations=1, rounds=2)
+    print()
+    print(format_rows(rows))
+    streaming = [r for r in rows if r.kernel != "matvec"]
+    assert all(r.conflict_rate < 0.08 for r in streaming)

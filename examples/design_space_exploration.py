@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Design-space co-exploration across SPM capacity and integration flow.
+
+Reproduces the paper's central workflow: sweep the architectural axis
+(1-8 MiB of shared L1) and the technology axis (2D vs Macro-3D) together,
+then rank the eight design points under different objectives
+and print the performance/efficiency Pareto front.
+
+Run:  python examples/design_space_exploration.py [bandwidth_B_per_cycle]
+"""
+
+import sys
+
+from repro.core.explorer import Explorer, OBJECTIVES
+
+
+def main() -> None:
+    bandwidth = float(sys.argv[1]) if len(sys.argv) > 1 else 16.0
+    explorer = Explorer(bandwidth=bandwidth)
+    points = explorer.explore()
+
+    print(f"Design points (matmul @ {bandwidth:g} B/cycle off-chip):\n")
+    header = (
+        f"{'config':>18} {'freq MHz':>9} {'power mW':>9} {'fp mm2':>8} "
+        f"{'runtime s':>10} {'kernels/J':>10}"
+    )
+    print(header)
+    for p in sorted(points, key=lambda p: (p.config.capacity_mib, p.config.flow.value)):
+        print(
+            f"{p.config.name:>18} {p.frequency_mhz:9.0f} {p.power_mw:9.0f} "
+            f"{p.footprint_um2 / 1e6:8.2f} {p.kernel.runtime_s:10.3e} "
+            f"{p.energy_efficiency:10.3e}"
+        )
+
+    for objective in OBJECTIVES:
+        best = explorer.rank(objective, points)[0]
+        print(f"\nBest {objective:>18}: {best.config.name}")
+
+    print("\nPerformance / energy-efficiency Pareto front:")
+    for p in explorer.pareto_front(points):
+        print(
+            f"  {p.config.name:>18}  perf {p.performance:9.3e} /s   "
+            f"eff {p.energy_efficiency:9.3e} /J"
+        )
+
+
+if __name__ == "__main__":
+    main()

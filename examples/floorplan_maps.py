@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Floorplan and congestion maps (Figures 3-5 of the paper).
+
+Renders ASCII versions of the paper's physical views: the memory-die
+macro arrays of Figure 3 (including the 8 MiB design's 5x3 arrangement),
+the cell-density and routing-demand maps of Figure 4, and the channel
+geometry comparison behind Figure 5.
+
+Run:  python examples/floorplan_maps.py [config-name]
+"""
+
+import sys
+
+from repro.core.config import CAPACITIES_MIB, Flow, MemPoolConfig, config_by_name
+from repro.physical.flow2d import implement_group_2d
+from repro.physical.flow3d import implement_group, memory_die_array
+from repro.physical.maps import cell_density_map, routing_demand_map
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "MemPool-3D-4MiB"
+    config = config_by_name(name)
+
+    print("Memory-die macro arrays (Figure 3):")
+    for cap in CAPACITIES_MIB:
+        array = memory_die_array(MemPoolConfig(cap, Flow.FLOW_3D))
+        print(
+            f"  {cap} MiB: {array.count} macros as {array.rows}x{array.cols}, "
+            f"{array.width_um:.0f} x {array.height_um:.0f} um"
+        )
+
+    impl = implement_group(config)
+    print(f"\n{config.name} group: {impl.placement.width_um:.0f} x "
+          f"{impl.placement.height_um:.0f} um, channels "
+          f"{impl.placement.channels.outer_width_um:.0f} / "
+          f"{impl.placement.channels.center_width_um:.0f} um (outer / center)")
+
+    print("\n" + cell_density_map(impl, bins=24).to_ascii())
+    print("\n" + routing_demand_map(impl, bins=24).to_ascii())
+
+    # Figure 5's headline: the 3D channels are ~18 % narrower.
+    if config.is_3d:
+        config_2d = MemPoolConfig(config.capacity_mib, Flow.FLOW_2D)
+        impl_2d = implement_group_2d(config_2d)
+        w2 = impl_2d.placement.channels.total_width_um
+        w3 = impl.placement.channels.total_width_um
+        print(
+            f"\nChannel width vs {config_2d.name}: {w3:.0f} vs {w2:.0f} um "
+            f"({(1 - w3 / w2) * 100:.0f}% narrower; paper ~18%)"
+        )
+
+
+if __name__ == "__main__":
+    main()

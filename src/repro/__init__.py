@@ -1,0 +1,34 @@
+"""MemPool-3D reproduction library.
+
+Reproduces "MemPool-3D: Boosting Performance and Efficiency of Shared-L1
+Memory Many-Core Clusters with 3D Integration" (DATE 2022): the MemPool
+architecture and cycle-level simulator, a 28 nm physical-implementation
+model with 2D and Macro-3D flows, the blocked-matmul kernel study, and the
+experiment harness regenerating every table and figure of the paper.
+"""
+
+from .core.config import (
+    CAPACITIES_MIB,
+    ArchParams,
+    Flow,
+    MemPoolConfig,
+    config_by_name,
+    paper_configurations,
+)
+from .core.metrics import GroupResult, KernelMetrics, NormalizedGroupResult, normalize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchParams",
+    "CAPACITIES_MIB",
+    "Flow",
+    "GroupResult",
+    "KernelMetrics",
+    "MemPoolConfig",
+    "NormalizedGroupResult",
+    "config_by_name",
+    "normalize",
+    "paper_configurations",
+    "__version__",
+]

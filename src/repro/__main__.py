@@ -1,0 +1,135 @@
+"""Command-line interface for the MemPool-3D reproduction.
+
+Usage::
+
+    python -m repro implement MemPool-3D-4MiB
+    python -m repro simulate --kernel matmul --n 16 --cores 16
+    python -m repro explore --bandwidth 16
+    python -m repro experiments [table1 table2 fig6 fig789]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+
+def _cmd_implement(args: argparse.Namespace) -> int:
+    from .core.config import config_by_name
+    from .physical.cluster_level import implement_cluster
+    from .physical.flow3d import implement_group
+
+    config = config_by_name(args.config)
+    impl = implement_group(config)
+    result = impl.to_group_result()
+    print(f"{config.name} group implementation ({impl.stack.name} BEOL):")
+    print(f"  footprint:       {result.footprint_um2 / 1e6:9.2f} mm^2")
+    print(f"  combined dies:   {result.combined_area_um2 / 1e6:9.2f} mm^2")
+    print(f"  frequency:       {result.frequency_mhz:9.0f} MHz")
+    print(f"  power:           {result.power_mw:9.0f} mW")
+    print(f"  PDP:             {result.power_delay_product / 1e3:9.1f} nW*s/cycle")
+    print(f"  wire length:     {result.wire_length_um / 1e6:9.2f} m")
+    print(f"  buffers:         {result.num_buffers:9d}")
+    print(f"  F2F bumps:       {result.num_f2f_bumps:9d}")
+    print(f"  TNS:             {result.total_negative_slack_ps / 1e3:9.2f} ns")
+    print(f"  failing paths:   {result.failing_paths:9d}")
+    if config.is_3d:
+        p = impl.tile.partition
+        print(f"  partition:       {p.spm_banks_on_memory_die} banks + "
+              f"{'I$' if p.icache_on_memory_die else 'no I$'} on memory die")
+    if args.cluster:
+        cluster = implement_cluster(impl)
+        print("cluster level (2x2 groups):")
+        print(f"  footprint:       {cluster.footprint_um2 / 1e6:9.2f} mm^2")
+        print(f"  power:           {cluster.power_mw:9.0f} mW")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .core.config import config_by_name
+    from .kernels.matmul import run_matmul
+    from .kernels.workloads import run_axpy, run_conv2d, run_dotp
+
+    config = config_by_name(args.config)
+    if args.kernel == "matmul":
+        run = run_matmul(config, n=args.n, num_cores=args.cores,
+                         scoreboard=args.scoreboard)
+        print(f"matmul {args.n}x{args.n} on {args.cores} cores: "
+              f"{run.cycles} cycles, CPI/MAC {run.cpi_mac:.2f}, "
+              f"verified: {run.correct}")
+        return 0 if run.correct else 1
+    runners = {
+        "dotp": lambda: run_dotp(config, args.n, args.cores),
+        "axpy": lambda: run_axpy(config, args.n, args.cores),
+        "conv2d": lambda: run_conv2d(config, args.n, args.n, args.cores),
+    }
+    run = runners[args.kernel]()
+    print(f"{run.name}: {run.cycles} cycles, {run.instructions} instructions, "
+          f"verified: {run.correct}")
+    return 0 if run.correct else 1
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from .core.explorer import Explorer, OBJECTIVES
+
+    explorer = Explorer(bandwidth=args.bandwidth)
+    points = explorer.explore()
+    print(f"{'config':>18} {'freq MHz':>9} {'power mW':>9} {'fp mm2':>8} {'EDP rel':>8}")
+    base_edp = next(
+        p.edp for p in points if p.config.name == "MemPool-2D-1MiB"
+    )
+    for p in sorted(points, key=lambda p: p.config.name):
+        print(f"{p.config.name:>18} {p.frequency_mhz:9.0f} {p.power_mw:9.0f} "
+              f"{p.footprint_um2 / 1e6:8.2f} {p.edp / base_edp:8.3f}")
+    for objective in OBJECTIVES:
+        print(f"best {objective}: {explorer.rank(objective, points)[0].config.name}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments.runner import main as run_experiments
+
+    return run_experiments(args.names)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MemPool-3D reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_impl = sub.add_parser("implement", help="implement a group (and cluster)")
+    p_impl.add_argument("config", help="instance name, e.g. MemPool-3D-4MiB")
+    p_impl.add_argument("--cluster", action="store_true", help="add cluster level")
+    p_impl.set_defaults(func=_cmd_implement)
+
+    p_sim = sub.add_parser("simulate", help="run a verified kernel simulation")
+    p_sim.add_argument("--config", default="MemPool-2D-1MiB")
+    p_sim.add_argument("--kernel", default="matmul",
+                       choices=("matmul", "dotp", "axpy", "conv2d"))
+    p_sim.add_argument("--n", type=int, default=16, help="problem size")
+    p_sim.add_argument("--cores", type=int, default=16)
+    p_sim.add_argument("--scoreboard", action="store_true",
+                       help="non-blocking-load core model")
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_exp = sub.add_parser("explore", help="sweep the design space")
+    p_exp.add_argument("--bandwidth", type=float, default=16.0,
+                       help="off-chip B/cycle")
+    p_exp.set_defaults(func=_cmd_explore)
+
+    p_x = sub.add_parser("experiments", help="regenerate tables/figures")
+    p_x.add_argument("names", nargs="*", help="subset of experiments")
+    p_x.set_defaults(func=_cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

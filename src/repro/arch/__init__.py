@@ -1,0 +1,18 @@
+"""MemPool architecture substrate: cores, tiles, groups, cluster."""
+
+from .cluster import Barrier, MemPoolCluster
+from .group import Group
+from .icache import InstructionCache
+from .isa import Instruction, Op, Program, ProgramBuilder
+from .memory_map import BankAddress, MemoryMap
+from .scoreboard import ScoreboardSnitchCore
+from .snitch import CoreState, CoreStats, SnitchCore
+from .spm import SPMBank, TileSPM
+from .tile import Tile, TileInventory
+
+__all__ = [
+    "BankAddress", "Barrier", "CoreState", "CoreStats", "Group",
+    "Instruction", "InstructionCache", "MemPoolCluster", "MemoryMap", "Op",
+    "Program", "ProgramBuilder", "SPMBank", "ScoreboardSnitchCore",
+    "SnitchCore", "Tile", "TileInventory", "TileSPM",
+]

@@ -1,0 +1,217 @@
+"""Miniature RV32IM + Xpulpimg instruction set.
+
+Snitch cores execute RV32IMA with the Xpulpimg extension; the paper calls
+out multiply-accumulate and post-incrementing load/store instructions as
+the extension features that matter for DSP kernels.  This module defines
+the instruction subset needed to express those kernels, plus a tiny
+assembler (:class:`ProgramBuilder`) with label resolution.
+
+Semantics are 32-bit two's complement; registers are x0..x31 with x0
+hard-wired to zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Op(Enum):
+    """Supported operations."""
+
+    LI = "li"  # rd <- imm
+    ADD = "add"  # rd <- rs1 + rs2
+    SUB = "sub"  # rd <- rs1 - rs2
+    ADDI = "addi"  # rd <- rs1 + imm
+    MUL = "mul"  # rd <- rs1 * rs2
+    MAC = "p.mac"  # rd <- rd + rs1 * rs2          (Xpulpimg)
+    LW = "lw"  # rd <- mem[rs1 + imm]
+    SW = "sw"  # mem[rs1 + imm] <- rs2
+    LW_POSTINC = "p.lw"  # rd <- mem[rs1]; rs1 += imm   (Xpulpimg)
+    SW_POSTINC = "p.sw"  # mem[rs1] <- rs2; rs1 += imm  (Xpulpimg)
+    BNE = "bne"  # if rs1 != rs2 goto label
+    BLT = "blt"  # if rs1 < rs2 (signed) goto label
+    J = "j"  # goto label
+    BARRIER = "barrier"  # synchronize all cores
+    CSRR_HARTID = "csrr.hartid"  # rd <- core id
+    NOP = "nop"
+    HALT = "halt"
+
+
+#: Operations that access data memory.
+MEMORY_OPS = frozenset({Op.LW, Op.SW, Op.LW_POSTINC, Op.SW_POSTINC})
+
+#: Operations that may redirect control flow.
+BRANCH_OPS = frozenset({Op.BNE, Op.BLT, Op.J})
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    ``target`` holds the resolved instruction index for branch/jump ops.
+    """
+
+    op: Op
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    target: int = -1
+
+    def __post_init__(self) -> None:
+        for reg in (self.rd, self.rs1, self.rs2):
+            if not 0 <= reg < 32:
+                raise ValueError(f"register x{reg} out of range")
+        if self.op in BRANCH_OPS and self.target < 0:
+            raise ValueError(f"{self.op.value} requires a resolved target")
+
+    @property
+    def is_memory(self) -> bool:
+        """True if the instruction accesses data memory."""
+        return self.op in MEMORY_OPS
+
+    @property
+    def is_store(self) -> bool:
+        """True for store instructions."""
+        return self.op in (Op.SW, Op.SW_POSTINC)
+
+
+@dataclass(frozen=True)
+class Program:
+    """An assembled instruction sequence with resolved labels."""
+
+    instructions: tuple[Instruction, ...]
+    labels: dict[str, int]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+
+class ProgramBuilder:
+    """A tiny assembler for :class:`Program` objects.
+
+    Usage::
+
+        b = ProgramBuilder()
+        b.li(1, 0)
+        b.label("loop")
+        b.addi(1, 1, 1)
+        b.blt(1, 2, "loop")
+        b.halt()
+        program = b.build()
+    """
+
+    def __init__(self) -> None:
+        self._items: list[tuple] = []
+        self._labels: dict[str, int] = {}
+
+    def label(self, name: str) -> "ProgramBuilder":
+        """Define a label at the current position."""
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._items)
+        return self
+
+    def _emit(self, op: Op, rd: int = 0, rs1: int = 0, rs2: int = 0, imm: int = 0,
+              label: str | None = None) -> "ProgramBuilder":
+        self._items.append((op, rd, rs1, rs2, imm, label))
+        return self
+
+    # -- arithmetic -------------------------------------------------------
+    def li(self, rd: int, imm: int) -> "ProgramBuilder":
+        """Load immediate."""
+        return self._emit(Op.LI, rd=rd, imm=imm)
+
+    def add(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        """Register add."""
+        return self._emit(Op.ADD, rd=rd, rs1=rs1, rs2=rs2)
+
+    def sub(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        """Register subtract."""
+        return self._emit(Op.SUB, rd=rd, rs1=rs1, rs2=rs2)
+
+    def addi(self, rd: int, rs1: int, imm: int) -> "ProgramBuilder":
+        """Add immediate."""
+        return self._emit(Op.ADDI, rd=rd, rs1=rs1, imm=imm)
+
+    def mul(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        """32-bit multiply (low word)."""
+        return self._emit(Op.MUL, rd=rd, rs1=rs1, rs2=rs2)
+
+    def mac(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        """Xpulpimg multiply-accumulate: rd += rs1 * rs2."""
+        return self._emit(Op.MAC, rd=rd, rs1=rs1, rs2=rs2)
+
+    # -- memory -----------------------------------------------------------
+    def lw(self, rd: int, rs1: int, imm: int = 0) -> "ProgramBuilder":
+        """Load word from rs1 + imm."""
+        return self._emit(Op.LW, rd=rd, rs1=rs1, imm=imm)
+
+    def sw(self, rs2: int, rs1: int, imm: int = 0) -> "ProgramBuilder":
+        """Store rs2 to rs1 + imm."""
+        return self._emit(Op.SW, rs1=rs1, rs2=rs2, imm=imm)
+
+    def lw_postinc(self, rd: int, rs1: int, imm: int) -> "ProgramBuilder":
+        """Xpulpimg load with pointer post-increment."""
+        return self._emit(Op.LW_POSTINC, rd=rd, rs1=rs1, imm=imm)
+
+    def sw_postinc(self, rs2: int, rs1: int, imm: int) -> "ProgramBuilder":
+        """Xpulpimg store with pointer post-increment."""
+        return self._emit(Op.SW_POSTINC, rs1=rs1, rs2=rs2, imm=imm)
+
+    # -- control ----------------------------------------------------------
+    def bne(self, rs1: int, rs2: int, label: str) -> "ProgramBuilder":
+        """Branch if not equal."""
+        return self._emit(Op.BNE, rs1=rs1, rs2=rs2, label=label)
+
+    def blt(self, rs1: int, rs2: int, label: str) -> "ProgramBuilder":
+        """Branch if less than (signed)."""
+        return self._emit(Op.BLT, rs1=rs1, rs2=rs2, label=label)
+
+    def j(self, label: str) -> "ProgramBuilder":
+        """Unconditional jump."""
+        return self._emit(Op.J, label=label)
+
+    def barrier(self) -> "ProgramBuilder":
+        """Cluster-wide synchronization barrier."""
+        return self._emit(Op.BARRIER)
+
+    def csrr_hartid(self, rd: int) -> "ProgramBuilder":
+        """Read the core's hart id into rd."""
+        return self._emit(Op.CSRR_HARTID, rd=rd)
+
+    def nop(self) -> "ProgramBuilder":
+        """No operation."""
+        return self._emit(Op.NOP)
+
+    def halt(self) -> "ProgramBuilder":
+        """Stop the core."""
+        return self._emit(Op.HALT)
+
+    def build(self) -> Program:
+        """Resolve labels and freeze the program.
+
+        Raises:
+            ValueError: On a reference to an undefined label.
+        """
+        instructions = []
+        for op, rd, rs1, rs2, imm, label in self._items:
+            target = -1
+            if label is not None:
+                if label not in self._labels:
+                    raise ValueError(f"undefined label {label!r}")
+                target = self._labels[label]
+            instructions.append(
+                Instruction(op=op, rd=rd, rs1=rs1, rs2=rs2, imm=imm, target=target)
+            )
+        return Program(instructions=tuple(instructions), labels=dict(self._labels))
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 32-bit word as a signed integer."""
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value & 0x80000000 else value

@@ -1,0 +1,133 @@
+"""Address mapping of the shared-L1 SPM.
+
+MemPool interleaves the SPM address space across banks at word granularity:
+consecutive 32-bit words map to consecutive banks, first across the 16 banks
+of a tile, then across tiles.  This spreads sequential accesses over many
+banks and keeps bank conflicts low.  The map also answers the locality
+question the latency contract depends on: is a given bank local to the
+requesting core's tile (1 cycle), in the same group (3 cycles), or in a
+remote group (5 cycles)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import ArchParams, DEFAULT_ARCH
+
+
+@dataclass(frozen=True)
+class BankAddress:
+    """Fully decoded SPM location.
+
+    Attributes:
+        group: Group index within the cluster.
+        tile: Tile index within the group.
+        bank: Bank index within the tile.
+        offset: Word offset within the bank.
+    """
+
+    group: int
+    tile: int
+    bank: int
+    offset: int
+
+    def flat_tile(self, arch: ArchParams = DEFAULT_ARCH) -> int:
+        """Tile index within the whole cluster."""
+        return self.group * arch.tiles_per_group + self.tile
+
+    def flat_bank(self, arch: ArchParams = DEFAULT_ARCH) -> int:
+        """Bank index within the whole cluster."""
+        return self.flat_tile(arch) * arch.banks_per_tile + self.bank
+
+
+class MemoryMap:
+    """Word-interleaved SPM address map.
+
+    Byte address layout (low to high bits): byte offset within word, bank
+    within tile, tile within cluster, word offset within bank.
+    """
+
+    def __init__(self, spm_bytes: int, arch: ArchParams = DEFAULT_ARCH) -> None:
+        if spm_bytes <= 0:
+            raise ValueError("SPM size must be positive")
+        if spm_bytes % (arch.num_banks * arch.word_bytes):
+            raise ValueError("SPM size must be a whole number of words per bank")
+        self._arch = arch
+        self._spm_bytes = spm_bytes
+        self._words_per_bank = spm_bytes // (arch.num_banks * arch.word_bytes)
+
+    @property
+    def arch(self) -> ArchParams:
+        """Architectural parameters this map was built for."""
+        return self._arch
+
+    @property
+    def spm_bytes(self) -> int:
+        """Total mapped SPM capacity in bytes."""
+        return self._spm_bytes
+
+    @property
+    def words_per_bank(self) -> int:
+        """Addressable words in each bank."""
+        return self._words_per_bank
+
+    @property
+    def total_words(self) -> int:
+        """Total addressable words in the SPM."""
+        return self._words_per_bank * self._arch.num_banks
+
+    def decode(self, byte_address: int) -> BankAddress:
+        """Decode a byte address into its bank location.
+
+        Raises:
+            ValueError: If the address is unaligned or out of range.
+        """
+        arch = self._arch
+        if byte_address < 0 or byte_address >= self._spm_bytes:
+            raise ValueError(f"address {byte_address:#x} outside SPM")
+        if byte_address % arch.word_bytes:
+            raise ValueError(f"address {byte_address:#x} is not word-aligned")
+        word = byte_address // arch.word_bytes
+        bank = word % arch.banks_per_tile
+        word //= arch.banks_per_tile
+        flat_tile = word % arch.num_tiles
+        offset = word // arch.num_tiles
+        group, tile = divmod(flat_tile, arch.tiles_per_group)
+        return BankAddress(group=group, tile=tile, bank=bank, offset=offset)
+
+    def encode(self, location: BankAddress) -> int:
+        """Inverse of :meth:`decode`.
+
+        Raises:
+            ValueError: If any component is out of range.
+        """
+        arch = self._arch
+        if not 0 <= location.group < arch.groups:
+            raise ValueError("group index out of range")
+        if not 0 <= location.tile < arch.tiles_per_group:
+            raise ValueError("tile index out of range")
+        if not 0 <= location.bank < arch.banks_per_tile:
+            raise ValueError("bank index out of range")
+        if not 0 <= location.offset < self._words_per_bank:
+            raise ValueError("bank offset out of range")
+        flat_tile = location.group * arch.tiles_per_group + location.tile
+        word = (location.offset * arch.num_tiles + flat_tile) * arch.banks_per_tile
+        word += location.bank
+        return word * arch.word_bytes
+
+    def latency_class(self, requester_flat_tile: int, byte_address: int) -> int:
+        """Access latency from a requesting tile to an address, in cycles.
+
+        Implements the paper's latency contract: 1 cycle to banks in the
+        local tile, 3 cycles within the group, 5 cycles across groups.
+        """
+        arch = self._arch
+        if not 0 <= requester_flat_tile < arch.num_tiles:
+            raise ValueError("tile index out of range")
+        target = self.decode(byte_address)
+        if target.flat_tile(arch) == requester_flat_tile:
+            return arch.local_latency
+        if target.group == requester_flat_tile // arch.tiles_per_group:
+            return arch.group_latency
+        return arch.cluster_latency

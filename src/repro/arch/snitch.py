@@ -1,0 +1,254 @@
+"""Snitch core pipeline model.
+
+Snitch is a tiny single-issue in-order RV32IMA core (~60 kGE including the
+Xpulpimg extension hardware in MemPool's configuration).  At the fidelity
+needed here, the pipeline executes one instruction per cycle when data is
+available, stalls on outstanding loads (scoreboard with a single
+outstanding load), and takes a one-cycle penalty on taken branches.
+
+The core is a state machine stepped once per cycle by the simulation
+engine; memory accesses are delegated to a memory-port callback so the same
+core model runs against the cycle-level tile/group/cluster fabric or a
+simple flat memory in unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Optional
+
+from .icache import InstructionCache
+from .isa import Instruction, Op, Program, to_signed
+
+#: A memory port: ``port(cycle, address, is_store, value) -> (accepted,
+#: latency, data)``.  ``accepted`` is False when the request must be
+#: retried (bank conflict or full queue); ``latency`` is the total cycles
+#: until the response (1 for a local bank hit).
+MemoryPort = Callable[[int, int, bool, int], tuple[bool, int, int]]
+
+
+class CoreState(Enum):
+    """Execution state of a core."""
+
+    RUNNING = "running"
+    WAIT_MEMORY = "wait-memory"
+    WAIT_BARRIER = "wait-barrier"
+    HALTED = "halted"
+
+
+@dataclass
+class CoreStats:
+    """Retired-instruction and stall accounting."""
+
+    instructions: int = 0
+    cycles: int = 0
+    load_stall_cycles: int = 0
+    store_stall_cycles: int = 0
+    barrier_stall_cycles: int = 0
+    icache_stall_cycles: int = 0
+    branch_stall_cycles: int = 0
+    conflict_retries: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Instructions retired per cycle."""
+        if not self.cycles:
+            return 0.0
+        return self.instructions / self.cycles
+
+
+class SnitchCore:
+    """One Snitch core executing a :class:`Program`.
+
+    Args:
+        core_id: Cluster-wide hart id.
+        program: The assembled program to run.
+        memory_port: Callback implementing data-memory accesses.
+        icache: Optional instruction cache; without one, fetches always hit.
+        store_latency: Cycles a store occupies the core. Snitch stores are
+            fire-and-forget into the fabric (posted), so the default is 1.
+    """
+
+    PC_BYTES = 4  # nominal instruction size, for i-cache addressing
+
+    def __init__(
+        self,
+        core_id: int,
+        program: Program,
+        memory_port: MemoryPort,
+        icache: Optional[InstructionCache] = None,
+        store_latency: int = 1,
+    ) -> None:
+        if store_latency < 1:
+            raise ValueError("store latency must be at least 1 cycle")
+        self.core_id = core_id
+        self.program = program
+        self.memory_port = memory_port
+        self.icache = icache
+        self.store_latency = store_latency
+        self.regs = [0] * 32
+        self.pc = 0
+        self.state = CoreState.RUNNING
+        self.stats = CoreStats()
+        self._stall_until = 0  # cycle at which a pending wait completes
+        self._pending_load_reg: int | None = None
+        self._pending_load_data = 0
+        self._barrier_release: Callable[[], bool] | None = None
+        #: Installed by the engine/cluster: called with the core id when a
+        #: BARRIER retires; returns the release predicate.
+        self.barrier_arrive: Callable[[int], Callable[[], bool]] | None = None
+
+    # ------------------------------------------------------------------
+    def _read(self, reg: int) -> int:
+        return 0 if reg == 0 else self.regs[reg]
+
+    def _write(self, reg: int, value: int) -> None:
+        if reg != 0:
+            self.regs[reg] = value & 0xFFFFFFFF
+
+    @property
+    def halted(self) -> bool:
+        """True once the core has executed HALT or run off the program."""
+        return self.state is CoreState.HALTED
+
+    def request_barrier(self, release: Callable[[], bool]) -> None:
+        """Install the barrier-release predicate (set by the cluster)."""
+        self._barrier_release = release
+
+    # ------------------------------------------------------------------
+    def step(self, cycle: int) -> None:
+        """Advance the core by one cycle.
+
+        The engine must call this exactly once per simulated cycle, with a
+        monotonically increasing ``cycle``.
+        """
+        if self.state is CoreState.HALTED:
+            return
+        self.stats.cycles += 1
+
+        if self.state is CoreState.WAIT_BARRIER:
+            if self._barrier_release is not None and self._barrier_release():
+                self.state = CoreState.RUNNING
+            else:
+                self.stats.barrier_stall_cycles += 1
+                return
+
+        if self.state is CoreState.WAIT_MEMORY:
+            if cycle < self._stall_until:
+                if self._pending_load_reg is not None:
+                    self.stats.load_stall_cycles += 1
+                else:
+                    self.stats.store_stall_cycles += 1
+                return
+            if self._pending_load_reg is not None:
+                self._write(self._pending_load_reg, self._pending_load_data)
+                self._pending_load_reg = None
+            self.state = CoreState.RUNNING
+
+        if self.pc >= len(self.program):
+            self.state = CoreState.HALTED
+            return
+
+        if self.icache is not None:
+            penalty = self.icache.fetch(self.pc * self.PC_BYTES)
+            if penalty:
+                self.stats.icache_stall_cycles += penalty - 1
+                self._stall_until = cycle + penalty
+                self._pending_load_reg = None
+                self.state = CoreState.WAIT_MEMORY
+                return
+
+        instr = self.program[self.pc]
+        self._execute(cycle, instr)
+
+    # ------------------------------------------------------------------
+    def _execute(self, cycle: int, instr: Instruction) -> None:
+        op = instr.op
+        next_pc = self.pc + 1
+
+        if op is Op.HALT:
+            self.state = CoreState.HALTED
+            self.stats.instructions += 1
+            return
+        if op is Op.NOP:
+            pass
+        elif op is Op.LI:
+            self._write(instr.rd, instr.imm)
+        elif op is Op.ADD:
+            self._write(instr.rd, self._read(instr.rs1) + self._read(instr.rs2))
+        elif op is Op.SUB:
+            self._write(instr.rd, self._read(instr.rs1) - self._read(instr.rs2))
+        elif op is Op.ADDI:
+            self._write(instr.rd, self._read(instr.rs1) + instr.imm)
+        elif op is Op.MUL:
+            self._write(
+                instr.rd,
+                to_signed(self._read(instr.rs1)) * to_signed(self._read(instr.rs2)),
+            )
+        elif op is Op.MAC:
+            product = to_signed(self._read(instr.rs1)) * to_signed(self._read(instr.rs2))
+            self._write(instr.rd, self._read(instr.rd) + product)
+        elif op is Op.CSRR_HARTID:
+            self._write(instr.rd, self.core_id)
+        elif op is Op.BARRIER:
+            self.stats.instructions += 1
+            self.pc = next_pc
+            if self.barrier_arrive is not None:
+                self._barrier_release = self.barrier_arrive(self.core_id)
+            else:
+                self._barrier_release = lambda: True  # uncoordinated core
+            self.state = CoreState.WAIT_BARRIER
+            return
+        elif op in (Op.BNE, Op.BLT):
+            a = to_signed(self._read(instr.rs1))
+            b = to_signed(self._read(instr.rs2))
+            taken = (a != b) if op is Op.BNE else (a < b)
+            if taken:
+                next_pc = instr.target
+                self.stats.branch_stall_cycles += 1
+                self._stall_until = cycle + 2
+                self._pending_load_reg = None
+                self.state = CoreState.WAIT_MEMORY
+        elif op is Op.J:
+            next_pc = instr.target
+        elif instr.is_memory:
+            if not self._issue_memory(cycle, instr):
+                # Conflict: retry the same instruction next cycle.
+                self.stats.conflict_retries += 1
+                return
+        else:  # pragma: no cover - all ops handled above
+            raise NotImplementedError(f"unhandled op {op}")
+
+        self.stats.instructions += 1
+        self.pc = next_pc
+
+    def _issue_memory(self, cycle: int, instr: Instruction) -> bool:
+        """Issue a load/store; returns False if the fabric refused it."""
+        if instr.op in (Op.LW, Op.SW):
+            address = (self._read(instr.rs1) + instr.imm) & 0xFFFFFFFF
+        else:  # post-increment: address is the pre-increment pointer
+            address = self._read(instr.rs1)
+
+        is_store = instr.is_store
+        value = self._read(instr.rs2) if is_store else 0
+        accepted, latency, data = self.memory_port(cycle, address, is_store, value)
+        if not accepted:
+            return False
+        if latency < 1:
+            raise ValueError("memory latency must be at least 1 cycle")
+
+        if instr.op in (Op.LW_POSTINC, Op.SW_POSTINC):
+            self._write(instr.rs1, self._read(instr.rs1) + instr.imm)
+
+        if is_store:
+            if self.store_latency > 1:
+                self._stall_until = cycle + self.store_latency
+                self._pending_load_reg = None
+                self.state = CoreState.WAIT_MEMORY
+        else:
+            self._pending_load_reg = instr.rd
+            self._pending_load_data = data
+            self._stall_until = cycle + latency
+            self.state = CoreState.WAIT_MEMORY
+        return True

@@ -1,0 +1,32 @@
+"""The paper's primary contribution: configurations, partitioning, metrics."""
+
+from .config import (
+    CAPACITIES_MIB,
+    ArchParams,
+    Flow,
+    MemPoolConfig,
+    config_by_name,
+    paper_configurations,
+)
+from .explorer import DesignPoint, Explorer, OBJECTIVES
+from .metrics import (
+    GroupResult,
+    KernelMetrics,
+    NormalizedGroupResult,
+    gain,
+    normalize,
+)
+from .partition import (
+    TilePartition,
+    adjusted_partition,
+    default_partition,
+    select_partition,
+)
+
+__all__ = [
+    "ArchParams", "CAPACITIES_MIB", "DesignPoint", "Explorer", "Flow",
+    "GroupResult", "KernelMetrics", "MemPoolConfig", "NormalizedGroupResult",
+    "OBJECTIVES", "TilePartition", "adjusted_partition", "config_by_name",
+    "default_partition", "gain", "normalize", "paper_configurations",
+    "select_partition",
+]

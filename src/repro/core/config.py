@@ -1,0 +1,188 @@
+"""MemPool instance configuration.
+
+The paper analyzes eight configurations named ``MemPool-<Flow>-<Capacity>``,
+where *Flow* is ``2D`` or ``3D`` and *Capacity* is the total shared-L1 SPM
+capacity at the cluster level: 1 MiB, 2 MiB, 4 MiB, or 8 MiB.  This module
+defines the architectural parameters shared by all of them (256 cores,
+64 tiles, 4 groups, 16 banks/tile) and the per-instance knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Flow(Enum):
+    """Physical implementation flow."""
+
+    FLOW_2D = "2D"
+    FLOW_3D = "3D"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: SPM capacities evaluated in the paper, in MiB.
+CAPACITIES_MIB = (1, 2, 4, 8)
+
+#: Matrix tile sizes that fully utilize each SPM capacity (Section VI-A).
+TILE_SIZE_BY_CAPACITY = {1: 256, 2: 384, 4: 544, 8: 800}
+
+#: Matrix dimension used in the paper: LCM-derived size divisible by all
+#: tile sizes above.
+PAPER_MATRIX_DIM = 326400
+
+
+@dataclass(frozen=True)
+class ArchParams:
+    """Architectural parameters of the MemPool cluster.
+
+    Defaults follow the paper (and the open-source MemPool design):
+    4 cores/tile, 16 tiles/group, 4 groups, 16 SPM banks/tile, 2 KiB of
+    instruction cache per tile, 32-bit data paths, and the latency contract
+    of 1 cycle to local banks, 3 cycles within the group, 5 cycles across
+    groups.
+    """
+
+    cores_per_tile: int = 4
+    tiles_per_group: int = 16
+    groups: int = 4
+    banks_per_tile: int = 16
+    icache_bytes_per_tile: int = 2048
+    icache_banks_per_tile: int = 4
+    word_bytes: int = 4
+    remote_ports_per_tile: int = 4
+    local_latency: int = 1
+    group_latency: int = 3
+    cluster_latency: int = 5
+    core_kge: float = 60.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "cores_per_tile",
+            "tiles_per_group",
+            "groups",
+            "banks_per_tile",
+            "icache_bytes_per_tile",
+            "icache_banks_per_tile",
+            "word_bytes",
+            "remote_ports_per_tile",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if not (0 < self.local_latency <= self.group_latency <= self.cluster_latency):
+            raise ValueError("latencies must satisfy 0 < local <= group <= cluster")
+
+    @property
+    def num_tiles(self) -> int:
+        """Total tiles in the cluster (64 for MemPool)."""
+        return self.tiles_per_group * self.groups
+
+    @property
+    def num_cores(self) -> int:
+        """Total cores in the cluster (256 for MemPool)."""
+        return self.cores_per_tile * self.num_tiles
+
+    @property
+    def num_banks(self) -> int:
+        """Total SPM banks in the cluster (1024 for MemPool)."""
+        return self.banks_per_tile * self.num_tiles
+
+
+DEFAULT_ARCH = ArchParams()
+
+
+@dataclass(frozen=True)
+class MemPoolConfig:
+    """One of the paper's MemPool instances.
+
+    Attributes:
+        capacity_mib: Total cluster L1 SPM capacity in MiB.
+        flow: Implementation flow (2D or 3D).
+        arch: Architectural parameters.
+        target_frequency_mhz: Implementation frequency target (uniform
+            1 GHz in the paper).
+    """
+
+    capacity_mib: int
+    flow: Flow
+    arch: ArchParams = field(default_factory=ArchParams)
+    target_frequency_mhz: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_mib <= 0:
+            raise ValueError("SPM capacity must be positive")
+        total_bytes = self.capacity_mib * (1 << 20)
+        if total_bytes % self.arch.num_banks:
+            raise ValueError("capacity must divide evenly across SPM banks")
+        if self.target_frequency_mhz <= 0:
+            raise ValueError("target frequency must be positive")
+
+    @property
+    def name(self) -> str:
+        """Paper-style instance name, e.g. ``"MemPool-3D-4MiB"``."""
+        return f"MemPool-{self.flow.value}-{self.capacity_mib}MiB"
+
+    @property
+    def spm_bytes(self) -> int:
+        """Total SPM capacity in bytes."""
+        return self.capacity_mib * (1 << 20)
+
+    @property
+    def bank_bytes(self) -> int:
+        """Capacity of a single SPM bank in bytes."""
+        return self.spm_bytes // self.arch.num_banks
+
+    @property
+    def spm_bytes_per_tile(self) -> int:
+        """SPM capacity local to one tile."""
+        return self.bank_bytes * self.arch.banks_per_tile
+
+    @property
+    def matmul_tile_size(self) -> int:
+        """Matrix tile edge that fully utilizes this SPM capacity."""
+        try:
+            return TILE_SIZE_BY_CAPACITY[self.capacity_mib]
+        except KeyError:
+            raise ValueError(
+                f"no paper tile size for {self.capacity_mib} MiB; "
+                "use repro.kernels.tiling.select_tile_size"
+            ) from None
+
+    @property
+    def is_3d(self) -> bool:
+        """True for Macro-3D instances."""
+        return self.flow is Flow.FLOW_3D
+
+
+def paper_configurations() -> tuple[MemPoolConfig, ...]:
+    """The eight configurations of the paper, in Table II column order."""
+    return tuple(
+        MemPoolConfig(capacity_mib=cap, flow=flow)
+        for cap in CAPACITIES_MIB
+        for flow in (Flow.FLOW_2D, Flow.FLOW_3D)
+    )
+
+
+def config_by_name(name: str) -> MemPoolConfig:
+    """Look up a configuration from its paper-style name.
+
+    Args:
+        name: e.g. ``"MemPool-2D-1MiB"`` (case-insensitive).
+
+    Raises:
+        ValueError: If the name does not parse or names an unknown instance.
+    """
+    parts = name.strip().split("-")
+    if len(parts) != 3 or parts[0].lower() != "mempool":
+        raise ValueError(f"malformed configuration name: {name!r}")
+    flow_part, cap_part = parts[1].upper(), parts[2].lower()
+    if not cap_part.endswith("mib"):
+        raise ValueError(f"malformed capacity in name: {name!r}")
+    try:
+        flow = Flow(flow_part)
+        capacity = int(cap_part[: -len("mib")])
+    except (ValueError, KeyError) as exc:
+        raise ValueError(f"malformed configuration name: {name!r}") from exc
+    return MemPoolConfig(capacity_mib=capacity, flow=flow)

@@ -1,0 +1,155 @@
+"""Architectural x technology co-exploration driver.
+
+The paper's thesis is that interconnect-dominated designs must be
+co-explored across architecture (SPM capacity) and technology (2D vs
+Macro-3D) simultaneously: the 2D-optimal capacity is not the 3D-optimal
+one.  This module sweeps both axes, attaches the kernel-level metrics, and
+ranks configurations under different objectives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from ..kernels.phases import DEFAULT_PHASE_PARAMS, PhaseModelParams, matmul_cycles
+from ..kernels.tiling import TilingPlan, paper_tiling
+from ..simulator.memsys import DDR_CHANNEL_BYTES_PER_CYCLE, OffChipMemory
+from .config import CAPACITIES_MIB, Flow, MemPoolConfig
+from .metrics import KernelMetrics
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One explored configuration with implementation and kernel metrics."""
+
+    config: MemPoolConfig
+    footprint_um2: float
+    combined_area_um2: float
+    frequency_mhz: float
+    power_mw: float
+    kernel: KernelMetrics
+
+    @property
+    def performance(self) -> float:
+        """Kernel executions per second."""
+        return self.kernel.performance
+
+    @property
+    def energy_efficiency(self) -> float:
+        """Kernel executions per joule."""
+        return self.kernel.energy_efficiency
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (lower is better)."""
+        return self.kernel.edp
+
+
+#: Ranking objectives: name -> (key function, higher_is_better).
+OBJECTIVES: dict[str, tuple[Callable[[DesignPoint], float], bool]] = {
+    "performance": (lambda p: p.performance, True),
+    "energy_efficiency": (lambda p: p.energy_efficiency, True),
+    "edp": (lambda p: p.edp, False),
+    "footprint": (lambda p: p.footprint_um2, False),
+    "silicon_cost": (lambda p: p.combined_area_um2, False),
+}
+
+
+class Explorer:
+    """Sweeps capacities and flows, producing ranked design points.
+
+    Args:
+        capacities_mib: SPM capacities to explore.
+        flows: Implementation flows to explore.
+        bandwidth: Off-chip bandwidth for the kernel model (B/cycle).
+        phase_params: Phase-model calibration.
+        tiling_for: Tiling plan per capacity (defaults to the paper's).
+    """
+
+    def __init__(
+        self,
+        capacities_mib: Iterable[int] = CAPACITIES_MIB,
+        flows: Iterable[Flow] = (Flow.FLOW_2D, Flow.FLOW_3D),
+        bandwidth: float = DDR_CHANNEL_BYTES_PER_CYCLE,
+        phase_params: PhaseModelParams = DEFAULT_PHASE_PARAMS,
+        tiling_for: Optional[Callable[[int], TilingPlan]] = None,
+    ) -> None:
+        self.capacities = tuple(capacities_mib)
+        self.flows = tuple(flows)
+        if not self.capacities or not self.flows:
+            raise ValueError("need at least one capacity and one flow")
+        self.memory = OffChipMemory(bandwidth_bytes_per_cycle=bandwidth)
+        self.phase_params = phase_params
+        self.tiling_for = tiling_for or paper_tiling
+
+    def explore(self) -> list[DesignPoint]:
+        """Implement every configuration and attach kernel metrics."""
+        from ..physical.flow3d import implement_group  # local: heavy import
+
+        points = []
+        for capacity in self.capacities:
+            cycles = matmul_cycles(
+                self.tiling_for(capacity), self.memory, self.phase_params
+            ).total
+            for flow in self.flows:
+                config = MemPoolConfig(capacity_mib=capacity, flow=flow)
+                impl = implement_group(config)
+                result = impl.to_group_result()
+                kernel = KernelMetrics(
+                    name=config.name,
+                    cycles=cycles,
+                    frequency_mhz=result.frequency_mhz,
+                    power_mw=result.power_mw,
+                )
+                points.append(
+                    DesignPoint(
+                        config=config,
+                        footprint_um2=result.footprint_um2,
+                        combined_area_um2=result.combined_area_um2,
+                        frequency_mhz=result.frequency_mhz,
+                        power_mw=result.power_mw,
+                        kernel=kernel,
+                    )
+                )
+        return points
+
+    def rank(
+        self, objective: str, points: Optional[list[DesignPoint]] = None
+    ) -> list[DesignPoint]:
+        """Order design points by an objective (best first).
+
+        Raises:
+            ValueError: On an unknown objective name.
+        """
+        if objective not in OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {objective!r}; pick from {sorted(OBJECTIVES)}"
+            )
+        key, higher_better = OBJECTIVES[objective]
+        points = points if points is not None else self.explore()
+        return sorted(points, key=key, reverse=higher_better)
+
+    def pareto_front(
+        self, points: Optional[list[DesignPoint]] = None
+    ) -> list[DesignPoint]:
+        """Performance-vs-efficiency Pareto-optimal points.
+
+        A point is dominated if another point is at least as good on both
+        axes and strictly better on one.
+        """
+        points = points if points is not None else self.explore()
+        front = []
+        for p in points:
+            dominated = any(
+                (q.performance >= p.performance)
+                and (q.energy_efficiency >= p.energy_efficiency)
+                and (
+                    q.performance > p.performance
+                    or q.energy_efficiency > p.energy_efficiency
+                )
+                for q in points
+            )
+            if not dominated:
+                front.append(p)
+        return sorted(front, key=lambda p: p.performance)

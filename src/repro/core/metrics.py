@@ -1,0 +1,188 @@
+"""PPA metric records and normalization helpers.
+
+Table II of the paper reports, for each group implementation: footprint,
+combined die area, wire length, placement density, buffer count, F2F bump
+count, effective frequency, total negative slack, failing-path count, total
+power, and power-delay product — all normalized against the baseline
+MemPool-2D-1MiB group.  This module defines the result record and the
+normalization/derivation helpers (PDP, EDP, energy efficiency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True)
+class GroupResult:
+    """Absolute implementation results of one MemPool group.
+
+    Units: um^2 for areas, um for wire length, MHz for frequency, ps for
+    slack, mW for power.
+    """
+
+    name: str
+    footprint_um2: float
+    combined_area_um2: float
+    wire_length_um: float
+    density: float
+    num_buffers: int
+    num_f2f_bumps: int
+    frequency_mhz: float
+    total_negative_slack_ps: float
+    failing_paths: int
+    power_mw: float
+
+    def __post_init__(self) -> None:
+        if self.footprint_um2 <= 0 or self.combined_area_um2 <= 0:
+            raise ValueError("areas must be positive")
+        if self.combined_area_um2 < self.footprint_um2 - 1e-6:
+            raise ValueError("combined die area cannot be below the footprint")
+        if not 0 <= self.density <= 1:
+            raise ValueError("density must be within [0, 1]")
+        if self.frequency_mhz <= 0 or self.power_mw <= 0:
+            raise ValueError("frequency and power must be positive")
+        if self.total_negative_slack_ps > 0:
+            raise ValueError("TNS is reported as a non-positive number")
+        if self.num_buffers < 0 or self.num_f2f_bumps < 0 or self.failing_paths < 0:
+            raise ValueError("counts must be non-negative")
+
+    @property
+    def period_ps(self) -> float:
+        """Achieved clock period."""
+        return 1e6 / self.frequency_mhz
+
+    @property
+    def power_delay_product(self) -> float:
+        """PDP in mW*ps (proportional to energy per cycle)."""
+        return self.power_mw * self.period_ps
+
+
+@dataclass(frozen=True)
+class NormalizedGroupResult:
+    """A :class:`GroupResult` expressed relative to a baseline instance.
+
+    Every field mirrors a row of Table II; values are ratios against the
+    baseline (typically MemPool-2D-1MiB), except ``density`` which stays
+    absolute (the paper reports it as an absolute percentage).
+    """
+
+    name: str
+    footprint: float
+    combined_area: float
+    wire_length: float
+    density: float
+    num_buffers: float
+    num_f2f_bumps: float
+    frequency: float
+    total_negative_slack: float
+    failing_paths: float
+    power: float
+    power_delay_product: float
+
+
+def normalize(result: GroupResult, baseline: GroupResult) -> NormalizedGroupResult:
+    """Normalize ``result`` against ``baseline`` as in Table II.
+
+    TNS is normalized by magnitude (the paper reports -1.000 for the
+    baseline); a baseline with zero TNS makes the TNS ratio 0 for a zero
+    result and infinity otherwise.
+    """
+    base_tns = abs(baseline.total_negative_slack_ps)
+    if base_tns:
+        tns = -abs(result.total_negative_slack_ps) / base_tns
+    else:
+        tns = 0.0 if not result.total_negative_slack_ps else float("-inf")
+    return NormalizedGroupResult(
+        name=result.name,
+        footprint=result.footprint_um2 / baseline.footprint_um2,
+        combined_area=result.combined_area_um2 / baseline.combined_area_um2,
+        wire_length=result.wire_length_um / baseline.wire_length_um,
+        density=result.density,
+        num_buffers=result.num_buffers / baseline.num_buffers,
+        num_f2f_bumps=(
+            result.num_f2f_bumps / baseline.num_f2f_bumps
+            if baseline.num_f2f_bumps
+            else float(result.num_f2f_bumps)
+        ),
+        frequency=result.frequency_mhz / baseline.frequency_mhz,
+        total_negative_slack=tns,
+        failing_paths=(
+            result.failing_paths / baseline.failing_paths
+            if baseline.failing_paths
+            else float(result.failing_paths)
+        ),
+        power=result.power_mw / baseline.power_mw,
+        power_delay_product=result.power_delay_product / baseline.power_delay_product,
+    )
+
+
+@dataclass(frozen=True)
+class KernelMetrics:
+    """Performance/energy of a kernel run on an implemented instance.
+
+    Combines the implementation's achieved frequency and power with the
+    kernel's simulated cycle count, yielding the quantities plotted in
+    Figures 7 (performance), 8 (energy efficiency), and 9 (EDP).
+    """
+
+    name: str
+    cycles: float
+    frequency_mhz: float
+    power_mw: float
+
+    def __post_init__(self) -> None:
+        if self.cycles <= 0 or self.frequency_mhz <= 0 or self.power_mw <= 0:
+            raise ValueError("cycles, frequency, and power must be positive")
+
+    @property
+    def runtime_s(self) -> float:
+        """Wall-clock runtime of the kernel."""
+        return self.cycles / (self.frequency_mhz * 1e6)
+
+    @property
+    def performance(self) -> float:
+        """Throughput proxy: kernel executions per second."""
+        return 1.0 / self.runtime_s
+
+    @property
+    def energy_j(self) -> float:
+        """Energy consumed by one kernel execution."""
+        return self.power_mw * 1e-3 * self.runtime_s
+
+    @property
+    def energy_efficiency(self) -> float:
+        """Kernel executions per joule (higher is better)."""
+        return 1.0 / self.energy_j
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product in joule-seconds (lower is better)."""
+        return self.energy_j * self.runtime_s
+
+
+def gain(value: float, baseline: float) -> float:
+    """Relative gain of ``value`` over ``baseline`` (0.10 == +10 %)."""
+    if baseline == 0:
+        raise ValueError("baseline must be non-zero")
+    return value / baseline - 1.0
+
+
+def variation(value: float, baseline: float) -> float:
+    """Signed relative variation; alias of :func:`gain` for EDP-style plots."""
+    return gain(value, baseline)
+
+
+def as_table(rows: list[NormalizedGroupResult]) -> str:
+    """Format normalized group results as an aligned text table."""
+    if not rows:
+        return "(no results)"
+    metric_fields = [f.name for f in fields(NormalizedGroupResult) if f.name != "name"]
+    header = ["metric"] + [r.name for r in rows]
+    lines = ["  ".join(f"{h:>22}" for h in header)]
+    for metric in metric_fields:
+        cells = [f"{metric:>22}"]
+        for row in rows:
+            cells.append(f"{getattr(row, metric):>22.3f}")
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Logic/memory die partitioning — the paper's core contribution.
+
+Section IV: in the Macro-3D implementations the tile is split across a
+logic die and a memory die bonded face to face.  The *default* partition
+(Figure 1) assigns all memory — the 16 SPM bank macros and the I$ banks —
+to the memory die, leaving cores and interconnect logic on the logic die.
+With 1 MiB of SPM this uses only 51 % of the memory die; growing the SPM
+re-balances the dies, reaching 89 % at 4 MiB.
+
+At 8 MiB the macros outgrow the memory die, so the paper uses an
+*adjusted* partition: 15 of the 16 SPM macros form a 5x3 array on the
+memory die (near-100 % utilization) while the remaining SPM bank and all
+I$ banks move to the logic die, keeping the area ratio balanced.
+
+:func:`select_partition` reproduces this scheme selection automatically:
+it keeps moving SPM banks to the logic die until the memory die fits
+within the logic die's footprint envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import MemPoolConfig
+
+
+@dataclass(frozen=True)
+class TilePartition:
+    """Assignment of a tile's macros to the two dies of a 3D stack.
+
+    Attributes:
+        spm_banks_on_memory_die: SPM macros placed on the memory die.
+        spm_banks_on_logic_die: SPM macros placed next to the logic.
+        icache_on_memory_die: Whether the I$ banks sit on the memory die.
+    """
+
+    spm_banks_on_memory_die: int
+    spm_banks_on_logic_die: int
+    icache_on_memory_die: bool
+
+    def __post_init__(self) -> None:
+        if self.spm_banks_on_memory_die < 0 or self.spm_banks_on_logic_die < 0:
+            raise ValueError("bank counts must be non-negative")
+        if self.spm_banks_on_memory_die + self.spm_banks_on_logic_die <= 0:
+            raise ValueError("a tile must have at least one SPM bank")
+
+    @property
+    def total_banks(self) -> int:
+        """All SPM banks of the tile."""
+        return self.spm_banks_on_memory_die + self.spm_banks_on_logic_die
+
+    @property
+    def is_default(self) -> bool:
+        """True for the Figure 1 scheme (all memory on the memory die)."""
+        return self.spm_banks_on_logic_die == 0 and self.icache_on_memory_die
+
+
+def default_partition(config: MemPoolConfig) -> TilePartition:
+    """The Figure 1 partition: every macro on the memory die."""
+    return TilePartition(
+        spm_banks_on_memory_die=config.arch.banks_per_tile,
+        spm_banks_on_logic_die=0,
+        icache_on_memory_die=True,
+    )
+
+
+def adjusted_partition(config: MemPoolConfig, banks_moved: int = 1) -> TilePartition:
+    """The 8 MiB scheme: ``banks_moved`` SPM banks and the I$ join the logic die."""
+    banks = config.arch.banks_per_tile
+    if not 0 < banks_moved < banks:
+        raise ValueError("must move at least one bank and keep one on the memory die")
+    return TilePartition(
+        spm_banks_on_memory_die=banks - banks_moved,
+        spm_banks_on_logic_die=banks_moved,
+        icache_on_memory_die=False,
+    )
+
+
+#: Maximum memory-die / logic-die area ratio accepted before the partition
+#: is re-balanced.  The paper's 4 MiB design keeps the default partition
+#: with a memory die ~5 % larger than the logic die needs; the 8 MiB
+#: macros would make it ~55 % larger, which triggers the adjusted scheme.
+BALANCE_LIMIT = 1.25
+
+
+def select_partition(
+    config: MemPoolConfig,
+    bank_area_um2: float,
+    icache_area_um2: float,
+    logic_die_area_um2: float,
+    balance_limit: float = BALANCE_LIMIT,
+) -> TilePartition:
+    """Choose the partition that keeps the stacked dies balanced.
+
+    Mirrors the paper's flexible scheme: keep the default partition (all
+    memory on the memory die) while the memory die's macro area stays
+    within ``balance_limit`` of the logic die's footprint; otherwise move
+    the I$ banks and then SPM banks, one at a time, to the logic die.
+    For 1-4 MiB this returns the default partition; for 8 MiB it returns
+    the adjusted 15-bank arrangement of Figure 3c.
+
+    Args:
+        config: The MemPool instance.
+        bank_area_um2: Area of one SPM bank macro.
+        icache_area_um2: Combined area of the tile's I$ macros.
+        logic_die_area_um2: Footprint the logic die needs for its cells
+            (at the target density), before any macros are moved onto it.
+        balance_limit: Acceptable memory-die overhang over the logic die.
+
+    Raises:
+        ValueError: If no feasible partition exists (memory die would
+            overflow even with all but one bank moved).
+    """
+    if bank_area_um2 <= 0 or icache_area_um2 < 0 or logic_die_area_um2 <= 0:
+        raise ValueError("areas must be positive")
+    if balance_limit < 1:
+        raise ValueError("balance limit must be at least 1")
+
+    banks = config.arch.banks_per_tile
+
+    # Default partition first: all banks + I$ on the memory die.
+    if banks * bank_area_um2 + icache_area_um2 <= balance_limit * logic_die_area_um2:
+        return default_partition(config)
+
+    # Otherwise move the I$ and then banks, one at a time, to the logic die.
+    for moved in range(1, banks):
+        logic_die = logic_die_area_um2 + moved * bank_area_um2 + icache_area_um2
+        if (banks - moved) * bank_area_um2 <= balance_limit * logic_die:
+            return adjusted_partition(config, banks_moved=moved)
+    raise ValueError("no feasible partition: SPM macros overwhelm the logic die")

@@ -1,0 +1,17 @@
+"""Experiment harness: one module per paper table/figure.
+
+Modules: :mod:`~repro.experiments.table1`, :mod:`~repro.experiments.table2`,
+:mod:`~repro.experiments.fig6`, :mod:`~repro.experiments.fig789`,
+:mod:`~repro.experiments.sensitivity` (extension),
+:mod:`~repro.experiments.report` (markdown generator), and
+:mod:`~repro.experiments.runner` (CLI).  Paper reference values live in
+:mod:`~repro.experiments.paper_data`.
+"""
+
+from . import fig6, fig789, paper_data, sensitivity, table1, table2, workloads_table
+from .report import build_report, write_report
+
+__all__ = [
+    "build_report", "fig6", "fig789", "paper_data",
+    "sensitivity", "table1", "table2", "workloads_table", "write_report",
+]

@@ -1,0 +1,93 @@
+"""Experiment: reproduce Figure 6 (matmul cycle-count speedup).
+
+Sweeps the SPM capacity (1-8 MiB) and the off-chip bandwidth
+(4-64 B/cycle) through the phase-level cycle model and reports the
+speedup relative to the 1 MiB configuration at 4 B/cycle, plus the
+per-capacity-doubling step speedups annotated in the figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import CAPACITIES_MIB
+from ..kernels.phases import DEFAULT_PHASE_PARAMS, PhaseModelParams, matmul_cycles
+from ..kernels.tiling import paper_tiling
+from ..simulator.memsys import OffChipMemory, PAPER_BANDWIDTH_SWEEP
+from . import paper_data
+
+
+@dataclass(frozen=True)
+class Fig6Point:
+    """One (capacity, bandwidth) point of the speedup surface."""
+
+    capacity_mib: int
+    bandwidth: int
+    cycles: float
+    speedup_vs_baseline: float
+    step_speedup: float | None  # vs half the capacity at the same bandwidth
+    memory_fraction: float
+
+
+def run(params: PhaseModelParams = DEFAULT_PHASE_PARAMS) -> list[Fig6Point]:
+    """Compute the full Figure 6 surface."""
+    cycles: dict[tuple[int, int], float] = {}
+    memfrac: dict[tuple[int, int], float] = {}
+    for bw in PAPER_BANDWIDTH_SWEEP:
+        memory = OffChipMemory(bandwidth_bytes_per_cycle=bw)
+        for cap in CAPACITIES_MIB:
+            breakdown = matmul_cycles(paper_tiling(cap), memory, params)
+            cycles[(cap, bw)] = breakdown.total
+            memfrac[(cap, bw)] = breakdown.memory_fraction
+
+    baseline = cycles[(1, min(PAPER_BANDWIDTH_SWEEP))]
+    points = []
+    for bw in PAPER_BANDWIDTH_SWEEP:
+        for cap in CAPACITIES_MIB:
+            step = None
+            if cap > 1:
+                step = cycles[(cap // 2, bw)] / cycles[(cap, bw)] - 1.0
+            points.append(
+                Fig6Point(
+                    capacity_mib=cap,
+                    bandwidth=bw,
+                    cycles=cycles[(cap, bw)],
+                    speedup_vs_baseline=baseline / cycles[(cap, bw)] - 1.0,
+                    step_speedup=step,
+                    memory_fraction=memfrac[(cap, bw)],
+                )
+            )
+    return points
+
+
+def speedup_8mib_over_1mib(
+    points: list[Fig6Point] | None = None,
+) -> dict[int, float]:
+    """The paper's headline speedups: 8 MiB over 1 MiB per bandwidth."""
+    points = points if points is not None else run()
+    cycles = {(p.capacity_mib, p.bandwidth): p.cycles for p in points}
+    return {
+        bw: cycles[(1, bw)] / cycles[(8, bw)] - 1.0
+        for bw in sorted({p.bandwidth for p in points})
+    }
+
+
+def format_rows(points: list[Fig6Point]) -> str:
+    """Render the Figure 6 surface and headline comparisons."""
+    lines = [f"{'BW B/cyc':>9} " + "".join(f"{c}MiB".rjust(9) for c in CAPACITIES_MIB)]
+    bandwidths = sorted({p.bandwidth for p in points})
+    table = {(p.capacity_mib, p.bandwidth): p for p in points}
+    for bw in bandwidths:
+        cells = [
+            f"{table[(c, bw)].speedup_vs_baseline * 100:8.1f}%"
+            for c in CAPACITIES_MIB
+        ]
+        lines.append(f"{bw:>9} " + "".join(cells))
+    headline = speedup_8mib_over_1mib(points)
+    lines.append("")
+    for bw, paper_value in paper_data.FIG6_SPEEDUP_8MIB_OVER_1MIB.items():
+        lines.append(
+            f"8MiB over 1MiB @ {bw:>2} B/cyc: modeled "
+            f"{headline[bw] * 100:5.1f}%  paper {paper_value * 100:5.1f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Experiments: Figures 7, 8, and 9 (performance, efficiency, EDP).
+
+Section VI-B combines the matmul cycle counts (Figure 6's model at the
+16 B/cycle representative bandwidth) with each group implementation's
+achieved frequency and power:
+
+* Figure 7 — performance gain relative to MemPool-2D-1MiB;
+* Figure 8 — energy-efficiency gain (kernels per joule);
+* Figure 9 — energy-delay-product variation (lower is better).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import CAPACITIES_MIB
+from ..core.metrics import KernelMetrics, gain
+from ..kernels.phases import DEFAULT_PHASE_PARAMS, PhaseModelParams, matmul_cycles
+from ..kernels.tiling import paper_tiling
+from ..simulator.memsys import DDR_CHANNEL_BYTES_PER_CYCLE, OffChipMemory
+from . import paper_data, table2
+
+
+@dataclass(frozen=True)
+class KernelStudyRow:
+    """One configuration's kernel-level metrics and paper references."""
+
+    flow: str
+    capacity_mib: int
+    metrics: KernelMetrics
+    performance_gain: float
+    efficiency_gain: float
+    edp_variation: float
+    gain_3d_over_2d: float | None  # only set for 3D rows
+
+
+def run(
+    bandwidth: int = DDR_CHANNEL_BYTES_PER_CYCLE,
+    params: PhaseModelParams = DEFAULT_PHASE_PARAMS,
+) -> list[KernelStudyRow]:
+    """Build the full Figures 7-9 dataset at one off-chip bandwidth."""
+    freq_power = table2.frequency_and_power()
+    memory = OffChipMemory(bandwidth_bytes_per_cycle=bandwidth)
+    cycles = {
+        cap: matmul_cycles(paper_tiling(cap), memory, params).total
+        for cap in CAPACITIES_MIB
+    }
+
+    metrics: dict[tuple[str, int], KernelMetrics] = {}
+    for (flow, cap), (freq, power) in freq_power.items():
+        metrics[(flow, cap)] = KernelMetrics(
+            name=f"MemPool-{flow}-{cap}MiB",
+            cycles=cycles[cap],
+            frequency_mhz=freq,
+            power_mw=power,
+        )
+
+    baseline = metrics[("2D", 1)]
+    rows = []
+    for (flow, cap), m in metrics.items():
+        gain_3d = None
+        if flow == "3D":
+            gain_3d = gain(m.performance, metrics[("2D", cap)].performance)
+        rows.append(
+            KernelStudyRow(
+                flow=flow,
+                capacity_mib=cap,
+                metrics=m,
+                performance_gain=gain(m.performance, baseline.performance),
+                efficiency_gain=gain(m.energy_efficiency, baseline.energy_efficiency),
+                edp_variation=gain(m.edp, baseline.edp),
+                gain_3d_over_2d=gain_3d,
+            )
+        )
+    return rows
+
+
+def format_rows(rows: list[KernelStudyRow]) -> str:
+    """Render Figures 7-9 next to the paper's annotations."""
+    lines = [
+        f"{'config':>18} {'perf':>8} {'eff':>8} {'edp':>8} "
+        f"{'3Dvs2D':>8} {'(paper)':>8}"
+    ]
+    for row in rows:
+        ref = ""
+        g3 = ""
+        if row.flow == "3D":
+            g3 = f"{row.gain_3d_over_2d * 100:+7.1f}%"
+            ref = f"{paper_data.FIG7_3D_VS_2D_GAIN[row.capacity_mib] * 100:+7.1f}%"
+        lines.append(
+            f"MemPool-{row.flow}-{row.capacity_mib}MiB".rjust(18)
+            + f" {row.performance_gain * 100:+7.1f}%"
+            + f" {row.efficiency_gain * 100:+7.1f}%"
+            + f" {row.edp_variation * 100:+7.1f}%"
+            + f" {g3:>8} {ref:>8}"
+        )
+    return "\n".join(lines)
+
+
+def best_edp_configuration(rows: list[KernelStudyRow] | None = None) -> str:
+    """The EDP-optimal instance (the paper: MemPool-3D-1MiB)."""
+    rows = rows if rows is not None else run()
+    best = min(rows, key=lambda r: r.metrics.edp)
+    return f"MemPool-{best.flow}-{best.capacity_mib}MiB"
+
+
+def energy_3d4_comparisons(
+    rows: list[KernelStudyRow] | None = None,
+) -> tuple[float, float]:
+    """The abstract's headline energy claims.
+
+    Returns:
+        ``(vs_2d4, vs_2d1)``: relative kernel-energy variation of
+        MemPool-3D-4MiB against MemPool-2D-4MiB and MemPool-2D-1MiB.
+    """
+    rows = rows if rows is not None else run()
+    by_key = {(r.flow, r.capacity_mib): r.metrics for r in rows}
+    e_3d4 = by_key[("3D", 4)].energy_j
+    return (
+        gain(e_3d4, by_key[("2D", 4)].energy_j),
+        gain(e_3d4, by_key[("2D", 1)].energy_j),
+    )

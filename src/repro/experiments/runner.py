@@ -1,0 +1,72 @@
+"""Run every experiment and print the paper-vs-modeled report.
+
+Usage::
+
+    python -m repro.experiments.runner            # everything
+    python -m repro.experiments.runner table2 fig6
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import fig6, fig789, table1, table2
+
+
+def run_table1() -> str:
+    """Table I: tile implementation results."""
+    return "== Table I: tile implementation ==\n" + table1.format_rows(table1.run())
+
+
+def run_table2() -> str:
+    """Table II: group implementation results."""
+    return "== Table II: group implementation ==\n" + table2.format_rows(table2.run())
+
+
+def run_fig6() -> str:
+    """Figure 6: cycle-count speedup surface."""
+    return "== Figure 6: matmul cycle-count speedup ==\n" + fig6.format_rows(fig6.run())
+
+
+def run_fig789() -> str:
+    """Figures 7-9: performance / efficiency / EDP."""
+    rows = fig789.run()
+    lines = [
+        "== Figures 7-9: kernel study @ 16 B/cycle ==",
+        fig789.format_rows(rows),
+        "",
+        f"EDP-optimal configuration: {fig789.best_edp_configuration(rows)} "
+        "(paper: MemPool-3D-1MiB)",
+    ]
+    vs_2d4, vs_2d1 = fig789.energy_3d4_comparisons(rows)
+    lines.append(
+        f"3D-4MiB kernel energy vs 2D-4MiB: {vs_2d4 * 100:+.1f}% (paper ~-15%), "
+        f"vs 2D-1MiB: {vs_2d1 * 100:+.1f}% (paper ~-3.7%)"
+    )
+    return "\n".join(lines)
+
+
+EXPERIMENTS = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "fig6": run_fig6,
+    "fig789": run_fig789,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    names = (argv if argv is not None else sys.argv[1:]) or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in names:
+        print(EXPERIMENTS[name]())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

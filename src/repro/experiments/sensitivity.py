@@ -1,0 +1,85 @@
+"""Bandwidth-sensitivity analysis: where the optimal capacity moves.
+
+An extension of the paper's study: Section VI fixes the representative
+off-chip bandwidth at 16 B/cycle before ranking configurations.  This
+experiment repeats the Figures 7-9 analysis at *every* bandwidth of the
+Figure 6 sweep, exposing how the optimal SPM capacity shifts:
+
+* performance: scarce bandwidth rewards large SPM (data reuse), so the
+  performance-optimal capacity grows as bandwidth shrinks;
+* EDP: abundant bandwidth removes the big-SPM advantage while its
+  power cost remains, pushing the EDP optimum towards small 3D designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import CAPACITIES_MIB
+from ..core.metrics import KernelMetrics
+from ..kernels.phases import DEFAULT_PHASE_PARAMS, PhaseModelParams, matmul_cycles
+from ..kernels.tiling import paper_tiling
+from ..simulator.memsys import OffChipMemory, PAPER_BANDWIDTH_SWEEP
+from . import table2
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """Best configurations at one off-chip bandwidth."""
+
+    bandwidth: int
+    best_performance: str
+    best_efficiency: str
+    best_edp: str
+    speedup_8_over_1_3d: float
+
+
+def run(params: PhaseModelParams = DEFAULT_PHASE_PARAMS) -> list[SensitivityRow]:
+    """Sweep the bandwidth axis and rank configurations at each point."""
+    freq_power = table2.frequency_and_power()
+    rows = []
+    for bw in PAPER_BANDWIDTH_SWEEP:
+        memory = OffChipMemory(bandwidth_bytes_per_cycle=bw)
+        cycles = {
+            cap: matmul_cycles(paper_tiling(cap), memory, params).total
+            for cap in CAPACITIES_MIB
+        }
+        metrics = {
+            (flow, cap): KernelMetrics(
+                name=f"MemPool-{flow}-{cap}MiB",
+                cycles=cycles[cap],
+                frequency_mhz=freq,
+                power_mw=power,
+            )
+            for (flow, cap), (freq, power) in freq_power.items()
+        }
+        best_perf = max(metrics.values(), key=lambda m: m.performance)
+        best_eff = max(metrics.values(), key=lambda m: m.energy_efficiency)
+        best_edp = min(metrics.values(), key=lambda m: m.edp)
+        speedup = (
+            metrics[("3D", 1)].runtime_s / metrics[("3D", 8)].runtime_s - 1.0
+        )
+        rows.append(
+            SensitivityRow(
+                bandwidth=bw,
+                best_performance=best_perf.name,
+                best_efficiency=best_eff.name,
+                best_edp=best_edp.name,
+                speedup_8_over_1_3d=speedup,
+            )
+        )
+    return rows
+
+
+def format_rows(rows: list[SensitivityRow]) -> str:
+    """Render the sensitivity table."""
+    lines = [
+        f"{'BW B/cyc':>9} {'best performance':>18} {'best efficiency':>18} "
+        f"{'best EDP':>18}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.bandwidth:>9} {row.best_performance:>18} "
+            f"{row.best_efficiency:>18} {row.best_edp:>18}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Experiment: reproduce Table I (tile implementation results).
+
+Implements the tile of all eight configurations with the matching flow and
+reports footprint (normalized to MemPool-2D-1MiB), logic-die core
+utilization, and memory-die utilization, next to the paper's values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import CAPACITIES_MIB, Flow, MemPoolConfig
+from ..physical.flow2d import implement_tile_2d
+from ..physical.flow3d import implement_tile_3d
+from ..physical.flowbase import TileImplementation
+from . import paper_data
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the reproduced Table I."""
+
+    flow: str
+    capacity_mib: int
+    footprint: float
+    logic_utilization: float
+    memory_utilization: float | None
+    paper_footprint: float
+    paper_logic_utilization: float
+    paper_memory_utilization: float | None
+    banks_on_memory_die: int | None
+
+    @property
+    def footprint_error(self) -> float:
+        """Relative error of the modeled footprint against the paper."""
+        return self.footprint / self.paper_footprint - 1.0
+
+
+def implement_tile(config: MemPoolConfig) -> TileImplementation:
+    """Implement a tile with the flow matching its configuration."""
+    if config.flow is Flow.FLOW_3D:
+        return implement_tile_3d(config)
+    return implement_tile_2d(config)
+
+
+def run() -> list[Table1Row]:
+    """Implement all eight tiles and assemble the comparison rows."""
+    impls: dict[tuple[str, int], TileImplementation] = {}
+    for flow in (Flow.FLOW_2D, Flow.FLOW_3D):
+        for cap in CAPACITIES_MIB:
+            impls[(flow.value, cap)] = implement_tile(MemPoolConfig(cap, flow))
+
+    baseline = impls[("2D", 1)].footprint_um2
+    rows = []
+    for (flow, cap), impl in impls.items():
+        paper_fp, paper_lu, paper_mu = paper_data.TABLE1[(flow, cap)]
+        banks = None
+        if flow == "3D":
+            banks = impl.partition.spm_banks_on_memory_die
+        rows.append(
+            Table1Row(
+                flow=flow,
+                capacity_mib=cap,
+                footprint=impl.footprint_um2 / baseline,
+                logic_utilization=impl.logic_utilization,
+                memory_utilization=impl.memory_utilization,
+                paper_footprint=paper_fp,
+                paper_logic_utilization=paper_lu,
+                paper_memory_utilization=paper_mu,
+                banks_on_memory_die=banks,
+            )
+        )
+    return rows
+
+
+def format_rows(rows: list[Table1Row]) -> str:
+    """Render the reproduced Table I next to the paper's values."""
+    lines = [
+        f"{'config':>18} {'fp':>7} {'fp(paper)':>10} {'logic-u':>8} "
+        f"{'(paper)':>8} {'mem-u':>6} {'(paper)':>8}"
+    ]
+    for row in rows:
+        mu = f"{row.memory_utilization:.2f}" if row.memory_utilization else "   -"
+        pmu = (
+            f"{row.paper_memory_utilization:.2f}"
+            if row.paper_memory_utilization
+            else "   -"
+        )
+        lines.append(
+            f"MemPool-{row.flow}-{row.capacity_mib}MiB".rjust(18)
+            + f" {row.footprint:7.3f} {row.paper_footprint:10.3f}"
+            + f" {row.logic_utilization:8.2f} {row.paper_logic_utilization:8.2f}"
+            + f" {mu:>6} {pmu:>8}"
+        )
+    return "\n".join(lines)

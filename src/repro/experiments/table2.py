@@ -1,0 +1,102 @@
+"""Experiment: reproduce Table II (group implementation results).
+
+Implements the group of all eight configurations and reports every Table II
+metric normalized to the MemPool-2D-1MiB group, next to the paper's values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import paper_configurations
+from ..core.metrics import NormalizedGroupResult, normalize
+from ..physical.flow3d import implement_group
+from ..physical.flowbase import GroupImplementation
+from . import paper_data
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One configuration's modeled-vs-paper Table II metrics."""
+
+    flow: str
+    capacity_mib: int
+    modeled: NormalizedGroupResult
+    paper_footprint: float
+    paper_wire_length: float
+    paper_frequency: float
+    paper_power: float
+    paper_pdp: float
+    absolute_frequency_mhz: float
+    absolute_power_mw: float
+    num_buffers: int
+    num_f2f_bumps: int
+    failing_paths: int
+
+
+def run() -> list[Table2Row]:
+    """Implement all eight groups and assemble the comparison rows."""
+    impls: dict[tuple[str, int], GroupImplementation] = {}
+    for config in paper_configurations():
+        impls[(config.flow.value, config.capacity_mib)] = implement_group(config)
+
+    baseline = impls[("2D", 1)].to_group_result()
+    rows = []
+    for (flow, cap), impl in impls.items():
+        result = impl.to_group_result()
+        key = (flow, cap)
+        rows.append(
+            Table2Row(
+                flow=flow,
+                capacity_mib=cap,
+                modeled=normalize(result, baseline),
+                paper_footprint=paper_data.TABLE2_FOOTPRINT[key],
+                paper_wire_length=paper_data.TABLE2_WIRE_LENGTH[key],
+                paper_frequency=paper_data.TABLE2_FREQUENCY[key],
+                paper_power=paper_data.TABLE2_POWER[key],
+                paper_pdp=paper_data.TABLE2_PDP[key],
+                absolute_frequency_mhz=result.frequency_mhz,
+                absolute_power_mw=result.power_mw,
+                num_buffers=result.num_buffers,
+                num_f2f_bumps=result.num_f2f_bumps,
+                failing_paths=result.failing_paths,
+            )
+        )
+    return rows
+
+
+def format_rows(rows: list[Table2Row]) -> str:
+    """Render modeled vs paper Table II."""
+    lines = [
+        f"{'config':>18} {'fp':>6} {'(p)':>6} {'wl':>6} {'(p)':>6} "
+        f"{'freq':>6} {'(p)':>6} {'power':>6} {'(p)':>6} {'pdp':>6} {'(p)':>6}"
+    ]
+    for row in rows:
+        m = row.modeled
+        lines.append(
+            f"MemPool-{row.flow}-{row.capacity_mib}MiB".rjust(18)
+            + f" {m.footprint:6.3f} {row.paper_footprint:6.3f}"
+            + f" {m.wire_length:6.3f} {row.paper_wire_length:6.3f}"
+            + f" {m.frequency:6.3f} {row.paper_frequency:6.3f}"
+            + f" {m.power:6.3f} {row.paper_power:6.3f}"
+            + f" {m.power_delay_product:6.3f} {row.paper_pdp:6.3f}"
+        )
+    return "\n".join(lines)
+
+
+def results_by_config() -> dict[str, NormalizedGroupResult]:
+    """Convenience: normalized Table II results keyed by instance name."""
+    return {
+        f"MemPool-{r.flow}-{r.capacity_mib}MiB": r.modeled for r in run()
+    }
+
+
+def frequency_and_power() -> dict[tuple[str, int], tuple[float, float]]:
+    """Absolute (frequency MHz, power mW) per configuration, for Figs 7-9."""
+    out = {}
+    for row in run():
+        out[(row.flow, row.capacity_mib)] = (
+            row.absolute_frequency_mhz,
+            row.absolute_power_mw,
+        )
+    return out

@@ -1,0 +1,11 @@
+"""Interconnect substrate: crossbar, butterfly networks, topology, routing."""
+
+from .butterfly import ButterflyNetwork
+from .crossbar import LogarithmicCrossbar
+from .routing import FabricRouter
+from .topology import ClusterTopology, LatencyTable
+
+__all__ = [
+    "ButterflyNetwork", "ClusterTopology", "FabricRouter",
+    "LatencyTable", "LogarithmicCrossbar",
+]

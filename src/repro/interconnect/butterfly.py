@@ -1,0 +1,133 @@
+"""Radix-4 butterfly network model.
+
+Each MemPool group uses four 16x16 radix-4 butterfly networks.  A radix-r
+butterfly with P ports has ``log_r(P)`` stages of ``P / r`` switches each;
+for P=16, r=4 that is 2 stages of 4 switches.  The network is non-blocking
+for permutation-free traffic but output-port contention serializes requests
+to the same destination in the same cycle.
+
+The model provides:
+
+* structural counts (switches, internal links, wire bits) for the physical
+  netlist;
+* per-cycle routing with output contention and round-robin arbitration for
+  the cycle-level simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass
+class ButterflyStats:
+    """Routing statistics."""
+
+    routed: int = 0
+    contended: int = 0
+
+
+class ButterflyNetwork:
+    """A P-port radix-r butterfly.
+
+    Args:
+        ports: Number of input (= output) ports; must be a power of the radix.
+        radix: Switch radix (4 in MemPool).
+        request_bits: Payload width of a request (address + data + byte
+            enables + metadata); used for wire counting.
+        response_bits: Payload width of a response.
+    """
+
+    def __init__(
+        self,
+        ports: int = 16,
+        radix: int = 4,
+        request_bits: int = 69,
+        response_bits: int = 35,
+    ) -> None:
+        if radix < 2:
+            raise ValueError("radix must be at least 2")
+        if ports < radix:
+            raise ValueError("port count must be at least the radix")
+        stages = round(math.log(ports, radix))
+        if radix**stages != ports:
+            raise ValueError(f"{ports} ports is not a power of radix {radix}")
+        self.ports = ports
+        self.radix = radix
+        self.request_bits = request_bits
+        self.response_bits = response_bits
+        self.stats = ButterflyStats()
+        self._grant_cycle: dict[int, int] = {}
+        self._rr_offset = 0
+
+    # -- structure ---------------------------------------------------------
+    @property
+    def stages(self) -> int:
+        """Number of switch stages (log_radix(ports))."""
+        return round(math.log(self.ports, self.radix))
+
+    @property
+    def switches_per_stage(self) -> int:
+        """Switches in each stage."""
+        return self.ports // self.radix
+
+    @property
+    def num_switches(self) -> int:
+        """Total radix x radix switches."""
+        return self.stages * self.switches_per_stage
+
+    @property
+    def internal_links(self) -> int:
+        """Point-to-point links between consecutive stages."""
+        return (self.stages - 1) * self.ports
+
+    @property
+    def external_links(self) -> int:
+        """Links at the network boundary (inputs plus outputs)."""
+        return 2 * self.ports
+
+    def wire_bits(self) -> int:
+        """Total signal bits crossing the network boundary.
+
+        Each port carries a request channel and a response channel plus
+        two handshake bits per channel.
+        """
+        per_port = (self.request_bits + 2) + (self.response_bits + 2)
+        return self.ports * per_port
+
+    # -- behaviour -----------------------------------------------------------
+    def route(self, cycle: int, requests: dict[int, int]) -> dict[int, bool]:
+        """Route one cycle of requests.
+
+        Args:
+            cycle: Current cycle (used to rotate arbitration priority).
+            requests: Mapping of input port -> destination output port.
+
+        Returns:
+            Mapping of input port -> granted.  At most one request per
+            output port is granted per cycle; ties are broken round-robin
+            by ``(input + cycle) % ports``.
+
+        Raises:
+            ValueError: On out-of-range port indices.
+        """
+        for src, dst in requests.items():
+            if not 0 <= src < self.ports or not 0 <= dst < self.ports:
+                raise ValueError("port index out of range")
+        granted: dict[int, bool] = {}
+        winners: dict[int, int] = {}
+        for src in sorted(requests, key=lambda s: (s + cycle) % self.ports):
+            dst = requests[src]
+            if dst in winners:
+                granted[src] = False
+                self.stats.contended += 1
+            else:
+                winners[dst] = src
+                granted[src] = True
+                self.stats.routed += 1
+        return granted
+
+    def hop_latency(self) -> int:
+        """Pipeline latency through the network in cycles (one per stage)."""
+        return self.stages

@@ -1,0 +1,105 @@
+"""Fully connected logarithmic crossbar model.
+
+Inside a tile, a fully connected crossbar joins the request masters (four
+core data ports plus four remote ports) to the sixteen SPM banks with
+single-cycle latency.  "Logarithmic" refers to the tree-multiplexer
+construction: each slave port is driven by a log2(masters)-deep mux tree
+and each master's request fans out to all slaves.
+
+The model provides structural estimates (gate count, wire bits) for the
+physical netlist and single-cycle arbitration for the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass
+class CrossbarStats:
+    """Arbitration statistics."""
+
+    granted: int = 0
+    conflicted: int = 0
+
+
+class LogarithmicCrossbar:
+    """An M-master, S-slave single-cycle crossbar.
+
+    Args:
+        masters: Request ports (8 in a MemPool tile).
+        slaves: Bank ports (16 in a MemPool tile).
+        request_bits: Request payload width per port.
+        response_bits: Response payload width per port.
+    """
+
+    def __init__(
+        self,
+        masters: int,
+        slaves: int,
+        request_bits: int = 69,
+        response_bits: int = 35,
+    ) -> None:
+        if masters <= 0 or slaves <= 0:
+            raise ValueError("port counts must be positive")
+        self.masters = masters
+        self.slaves = slaves
+        self.request_bits = request_bits
+        self.response_bits = response_bits
+        self.stats = CrossbarStats()
+
+    # -- structure -------------------------------------------------------
+    def mux_depth(self) -> int:
+        """Depth of each slave's input multiplexer tree."""
+        return max(1, math.ceil(math.log2(self.masters)))
+
+    def gate_estimate_kge(self) -> float:
+        """Synthesized-area estimate in kGE.
+
+        Each slave port needs a masters-to-1 mux over the request payload
+        (~0.8 GE per 2:1 mux bit) plus an arbiter; each master needs a
+        slaves-to-1 response mux.  This matches the logarithmic-
+        interconnect area reported for PULP-family clusters to first
+        order.
+        """
+        mux2_ge = 0.8
+        request_muxes = self.slaves * (self.masters - 1) * self.request_bits * mux2_ge
+        response_muxes = self.masters * (self.slaves - 1) * self.response_bits * mux2_ge
+        arbiters = self.slaves * self.masters * 2.5
+        return (request_muxes + response_muxes + arbiters) / 1000.0
+
+    def wire_bits(self) -> int:
+        """Total signal bits through the crossbar."""
+        request = self.masters * (self.request_bits + 2)
+        response = self.slaves * (self.response_bits + 2)
+        return request + response
+
+    # -- behaviour -------------------------------------------------------
+    def arbitrate(self, cycle: int, requests: dict[int, int]) -> dict[int, bool]:
+        """Grant at most one master per slave for this cycle.
+
+        Args:
+            cycle: Current cycle, rotates round-robin priority.
+            requests: Mapping master -> requested slave.
+
+        Returns:
+            Mapping master -> granted.
+        """
+        for master, slave in requests.items():
+            if not 0 <= master < self.masters:
+                raise ValueError("master index out of range")
+            if not 0 <= slave < self.slaves:
+                raise ValueError("slave index out of range")
+        granted: dict[int, bool] = {}
+        winners: dict[int, int] = {}
+        for master in sorted(requests, key=lambda m: (m + cycle) % self.masters):
+            slave = requests[master]
+            if slave in winners:
+                granted[master] = False
+                self.stats.conflicted += 1
+            else:
+                winners[slave] = master
+                granted[master] = True
+                self.stats.granted += 1
+        return granted

@@ -1,0 +1,121 @@
+"""Request routing through the MemPool fabric.
+
+Glues the memory map, topology, and per-tile bank arbitration into the
+single :class:`FabricRouter` used as the cores' memory port in the
+cycle-level simulator.  A request is resolved in one shot at issue time:
+the router decodes the target bank, checks bank-port availability for the
+cycle at which the request would arrive, and returns the total load-use
+latency on success.
+
+This collapses the butterfly's internal pipeline into the latency contract
+(1/3/5 cycles) while still modelling the two contention effects that
+dominate: single-ported banks and per-tile remote-port limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.memory_map import MemoryMap
+from ..core.config import ArchParams
+from .topology import ClusterTopology
+
+
+@dataclass
+class RouterStats:
+    """Aggregate fabric statistics."""
+
+    local_accesses: int = 0
+    group_accesses: int = 0
+    cluster_accesses: int = 0
+    bank_conflicts: int = 0
+    port_conflicts: int = 0
+
+    @property
+    def total_accesses(self) -> int:
+        """All granted accesses."""
+        return self.local_accesses + self.group_accesses + self.cluster_accesses
+
+
+class FabricRouter:
+    """Routes core memory requests to SPM banks with contention.
+
+    Args:
+        tiles: The cluster's tiles, indexed by flat tile id (objects with
+            an ``access(cycle, bank, offset, write, value, remote)`` method,
+            i.e. :class:`repro.arch.tile.Tile`).
+        memory_map: The SPM address map.
+        arch: Architectural parameters.
+    """
+
+    def __init__(self, tiles: list, memory_map: MemoryMap, arch: ArchParams) -> None:
+        if len(tiles) != arch.num_tiles:
+            raise ValueError("tile list does not match the architecture")
+        self._tiles = tiles
+        self._map = memory_map
+        self._arch = arch
+        self._topology = ClusterTopology(arch)
+        self.stats = RouterStats()
+        # Remote-port occupancy: per (tile, cycle % window) counters.
+        self._remote_port_use: dict[tuple[int, int], int] = {}
+        self._current_cycle = -1
+
+    @property
+    def topology(self) -> ClusterTopology:
+        """The topology used for latency classification."""
+        return self._topology
+
+    def _remote_port_available(self, cycle: int, tile: int) -> bool:
+        """Check and claim one of the tile's remote request ports."""
+        if cycle != self._current_cycle:
+            self._remote_port_use.clear()
+            self._current_cycle = cycle
+        key = (tile, cycle)
+        used = self._remote_port_use.get(key, 0)
+        if used >= self._arch.remote_ports_per_tile:
+            return False
+        self._remote_port_use[key] = used + 1
+        return True
+
+    def access(
+        self, cycle: int, core_id: int, address: int, is_store: bool, value: int = 0
+    ) -> tuple[bool, int, int]:
+        """Route one request.
+
+        Returns:
+            ``(accepted, latency, data)``; a refused request (bank or
+            remote-port conflict) must be retried by the core next cycle.
+        """
+        location = self._map.decode(address)
+        target_tile = location.flat_tile(self._arch)
+        src_tile = self._topology.core_tile(core_id)
+        locality = self._topology.locality(core_id, target_tile)
+        remote = target_tile != src_tile
+
+        if remote and not self._remote_port_available(cycle, target_tile):
+            self.stats.port_conflicts += 1
+            return False, 0, 0
+
+        granted, data = self._tiles[target_tile].access(
+            cycle, location.bank, location.offset, is_store, value, remote=remote
+        )
+        if not granted:
+            self.stats.bank_conflicts += 1
+            return False, 0, 0
+
+        if locality == "local":
+            self.stats.local_accesses += 1
+        elif locality == "intra_group":
+            self.stats.group_accesses += 1
+        else:
+            self.stats.cluster_accesses += 1
+        latency = self._topology.access_latency(core_id, target_tile)
+        return True, latency, data
+
+    def port_for_core(self, core_id: int):
+        """Bind a :data:`repro.arch.snitch.MemoryPort` for one core."""
+
+        def port(cycle: int, address: int, is_store: bool, value: int):
+            return self.access(cycle, core_id, address, is_store, value)
+
+        return port

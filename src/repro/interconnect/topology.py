@@ -1,0 +1,101 @@
+"""Cluster topology and latency table.
+
+Encodes MemPool's hierarchical interconnect as a latency function between
+(core, bank) pairs and as structural wire-count queries used by the
+physical channel-width model:
+
+* core -> local tile bank: 1 cycle through the tile crossbar;
+* core -> bank in another tile of the same group: 3 cycles through the
+  group's local butterfly;
+* core -> bank in another group: 5 cycles through one of the directional
+  butterflies (north / northeast / east) and the target group's fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import ArchParams, DEFAULT_ARCH
+
+
+@dataclass(frozen=True)
+class LatencyTable:
+    """Round-trip load-use latencies by locality class."""
+
+    local: int = 1
+    intra_group: int = 3
+    inter_group: int = 5
+
+    def __post_init__(self) -> None:
+        if not 0 < self.local <= self.intra_group <= self.inter_group:
+            raise ValueError("latencies must be positive and monotone")
+
+
+class ClusterTopology:
+    """Locality and wiring queries over the MemPool hierarchy."""
+
+    def __init__(self, arch: ArchParams = DEFAULT_ARCH) -> None:
+        self.arch = arch
+        self.latency = LatencyTable(
+            local=arch.local_latency,
+            intra_group=arch.group_latency,
+            inter_group=arch.cluster_latency,
+        )
+
+    def core_tile(self, core_id: int) -> int:
+        """Flat tile index hosting a core."""
+        if not 0 <= core_id < self.arch.num_cores:
+            raise ValueError("core id out of range")
+        return core_id // self.arch.cores_per_tile
+
+    def locality(self, core_id: int, flat_bank_tile: int) -> str:
+        """Locality class between a core and a bank's tile.
+
+        Returns one of ``"local"``, ``"intra_group"``, ``"inter_group"``.
+        """
+        if not 0 <= flat_bank_tile < self.arch.num_tiles:
+            raise ValueError("tile id out of range")
+        src_tile = self.core_tile(core_id)
+        if src_tile == flat_bank_tile:
+            return "local"
+        same_group = (
+            src_tile // self.arch.tiles_per_group
+            == flat_bank_tile // self.arch.tiles_per_group
+        )
+        return "intra_group" if same_group else "inter_group"
+
+    def access_latency(self, core_id: int, flat_bank_tile: int) -> int:
+        """Load-use latency in cycles between a core and a bank's tile."""
+        return getattr(self.latency, self.locality(core_id, flat_bank_tile))
+
+    # -- wiring queries for the physical model --------------------------
+    def group_channel_bits(
+        self, request_bits: int = 69, response_bits: int = 35
+    ) -> int:
+        """Signal bits crossing between tiles at the group level.
+
+        Each tile exposes, towards the group fabric: its four remote
+        request ports (and their responses) plus its outbound request port
+        per interconnect direction.  Four 16-port butterflies x (request +
+        response + handshake) per port give the aggregate bit count that
+        must be routed through the inter-tile channels.
+        """
+        per_port = (request_bits + 2) + (response_bits + 2)
+        butterflies = 4
+        return butterflies * self.arch.tiles_per_group * per_port
+
+    def address_bits(self, spm_bytes: int) -> int:
+        """Byte-address width needed for a given SPM capacity."""
+        if spm_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        return max(1, (spm_bytes - 1).bit_length())
+
+    def request_bits_for_capacity(self, spm_bytes: int, data_bits: int = 32) -> int:
+        """Request payload width as a function of SPM capacity.
+
+        Address bits grow with capacity — the paper notes the group
+        interconnects' size is "largely independent of the SPM capacity,
+        except for the additional address bits".
+        """
+        metadata = 6  # id, write-enable, byte strobes
+        return self.address_bits(spm_bytes) + data_bits + metadata

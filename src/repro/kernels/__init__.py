@@ -1,0 +1,43 @@
+"""Kernel library: tiled matmul, phase model, and DSP workloads."""
+
+from .blocked import BlockedMatmulResult, run_blocked_matmul
+from .matmul import (
+    MatmulLayout,
+    MatmulRun,
+    calibrate_from_simulation,
+    matmul_program_blocked,
+    matmul_program_simple,
+    run_matmul,
+)
+from .phases import (
+    DEFAULT_PHASE_PARAMS,
+    PhaseBreakdown,
+    PhaseModelParams,
+    double_buffered_cycles,
+    double_buffered_plan,
+    matmul_cycles,
+    speedup,
+)
+from .roofline import arithmetic_intensity, ridge_bandwidth, roofline_point
+from .transforms import run_reduction, run_transpose
+from .tiling import TilingPlan, lcm_matrix_dim, paper_tiling, select_tile_size
+from .workloads import (
+    WorkloadRun,
+    run_axpy,
+    run_conv2d,
+    run_dotp,
+    run_matvec,
+    run_stencil5,
+)
+
+__all__ = [
+    "BlockedMatmulResult", "DEFAULT_PHASE_PARAMS", "MatmulLayout",
+    "MatmulRun", "PhaseBreakdown", "PhaseModelParams", "TilingPlan",
+    "WorkloadRun", "calibrate_from_simulation", "lcm_matrix_dim",
+    "matmul_cycles", "matmul_program_blocked", "matmul_program_simple",
+    "paper_tiling", "run_axpy", "run_blocked_matmul", "run_conv2d",
+    "run_dotp", "run_matmul", "run_matvec", "run_stencil5",
+    "select_tile_size", "speedup", "arithmetic_intensity",
+    "double_buffered_cycles", "double_buffered_plan", "ridge_bandwidth",
+    "roofline_point", "run_reduction", "run_transpose",
+]

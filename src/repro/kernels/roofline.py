@@ -1,0 +1,83 @@
+"""Roofline analysis of the blocked matmul.
+
+A classic sanity frame for Section VI: the tiled matmul's arithmetic
+intensity (MACs per off-chip byte) grows linearly with the tile size, so
+the capacity sweep walks the kernel along the roofline from the
+bandwidth-bound region towards the compute bound.  The analysis exposes:
+
+* machine balance: peak MACs/cycle vs off-chip bytes/cycle;
+* per-configuration attainable performance under the roofline;
+* the bandwidth at which each tile size crosses from memory- to
+  compute-bound — matching Figure 6's diminishing returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simulator.memsys import OffChipMemory
+from .phases import DEFAULT_PHASE_PARAMS, PhaseModelParams
+from .tiling import TilingPlan
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel/machine operating point.
+
+    Attributes:
+        arithmetic_intensity: MACs per off-chip byte.
+        peak_macs_per_cycle: Compute roof.
+        bandwidth_bound_macs_per_cycle: Memory roof at this intensity.
+        attainable_macs_per_cycle: min(compute roof, memory roof).
+    """
+
+    arithmetic_intensity: float
+    peak_macs_per_cycle: float
+    bandwidth_bound_macs_per_cycle: float
+    attainable_macs_per_cycle: float
+
+    @property
+    def memory_bound(self) -> bool:
+        """True when the memory roof limits the kernel."""
+        return self.bandwidth_bound_macs_per_cycle < self.peak_macs_per_cycle
+
+
+def arithmetic_intensity(plan: TilingPlan) -> float:
+    """MACs per off-chip byte of the blocked matmul.
+
+    Total MACs = M^3; total traffic = loads (2 M^2 * M/t elements) plus
+    the M^2 store — dominated by the loads, giving ~t/8 MACs per byte.
+    """
+    traffic = plan.total_load_bytes + plan.total_store_bytes
+    return plan.total_macs / traffic
+
+
+def roofline_point(
+    plan: TilingPlan,
+    memory: OffChipMemory,
+    params: PhaseModelParams = DEFAULT_PHASE_PARAMS,
+) -> RooflinePoint:
+    """Place one configuration on the roofline."""
+    intensity = arithmetic_intensity(plan)
+    peak = params.num_cores / params.cpi_mac
+    memory_roof = intensity * memory.bandwidth_bytes_per_cycle
+    return RooflinePoint(
+        arithmetic_intensity=intensity,
+        peak_macs_per_cycle=peak,
+        bandwidth_bound_macs_per_cycle=memory_roof,
+        attainable_macs_per_cycle=min(peak, memory_roof),
+    )
+
+
+def ridge_bandwidth(
+    plan: TilingPlan, params: PhaseModelParams = DEFAULT_PHASE_PARAMS
+) -> float:
+    """Off-chip bytes/cycle at which this tiling becomes compute-bound.
+
+    Below this bandwidth the kernel sits on the slanted (memory) roof;
+    above it, extra bandwidth is wasted — the diminishing returns visible
+    in Figure 6's flattening curves.
+    """
+    intensity = arithmetic_intensity(plan)
+    peak = params.num_cores / params.cpi_mac
+    return peak / intensity

@@ -1,0 +1,156 @@
+"""Matrix tiling for the shared-L1 SPM.
+
+Section VI-A: the matmul of two M x M matrices residing in global memory
+is blocked into t x t tiles such that the working set — one tile of A, one
+of B, and the output tile of C — fully utilizes the available SPM.  The
+paper uses t in {256, 384, 544, 800} for {1, 2, 4, 8} MiB and
+M = 326400, the least common multiple of the tile sizes.
+
+Working-set accounting (32-bit words): ``3 * t^2 * 4`` bytes must fit in
+the SPM capacity.  Check: 3 * 256^2 * 4 = 768 KiB <= 1 MiB;
+3 * 800^2 * 4 = 7.32 MiB <= 8 MiB.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.config import PAPER_MATRIX_DIM, TILE_SIZE_BY_CAPACITY
+
+#: Matrices held in the SPM at once: A tile, B tile, C tile.
+TILES_IN_FLIGHT = 3
+
+
+@dataclass(frozen=True)
+class TilingPlan:
+    """A blocked matmul schedule.
+
+    Attributes:
+        matrix_dim: Full matrix dimension M.
+        tile_size: Block edge t (must divide M).
+        word_bytes: Element size in bytes.
+    """
+
+    matrix_dim: int
+    tile_size: int
+    word_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.matrix_dim <= 0 or self.tile_size <= 0:
+            raise ValueError("dimensions must be positive")
+        if self.tile_size > self.matrix_dim:
+            raise ValueError("tile cannot exceed the matrix")
+        if self.matrix_dim % self.tile_size:
+            raise ValueError("tile size must divide the matrix dimension")
+
+    @property
+    def tiles_per_edge(self) -> int:
+        """Blocks along one matrix edge (M / t)."""
+        return self.matrix_dim // self.tile_size
+
+    @property
+    def output_tiles(self) -> int:
+        """Number of C blocks: (M / t)^2."""
+        return self.tiles_per_edge**2
+
+    @property
+    def phases_per_output_tile(self) -> int:
+        """Memory+compute phase pairs per C block (one per k-step)."""
+        return self.tiles_per_edge
+
+    @property
+    def total_phases(self) -> int:
+        """Total phase pairs over the whole matmul: (M / t)^3."""
+        return self.tiles_per_edge**3
+
+    @property
+    def tile_bytes(self) -> int:
+        """Bytes of one t x t tile."""
+        return self.tile_size * self.tile_size * self.word_bytes
+
+    @property
+    def working_set_bytes(self) -> int:
+        """SPM bytes needed: A, B, and C tiles simultaneously."""
+        return TILES_IN_FLIGHT * self.tile_bytes
+
+    @property
+    def input_reuse_factor(self) -> int:
+        """Times each input element is loaded from global memory: M / t."""
+        return self.tiles_per_edge
+
+    def fits(self, spm_bytes: int) -> bool:
+        """Whether the working set fits in ``spm_bytes`` of SPM."""
+        return self.working_set_bytes <= spm_bytes
+
+    # -- traffic accounting ------------------------------------------------
+    @property
+    def load_bytes_per_phase(self) -> int:
+        """Global-memory bytes loaded per phase (one A tile + one B tile)."""
+        return 2 * self.tile_bytes
+
+    @property
+    def store_bytes_per_output_tile(self) -> int:
+        """Bytes written back per completed C block."""
+        return self.tile_bytes
+
+    @property
+    def total_load_bytes(self) -> int:
+        """Total input traffic: 2 * M^2 * (M / t) elements."""
+        return self.total_phases * self.load_bytes_per_phase
+
+    @property
+    def total_store_bytes(self) -> int:
+        """Total output traffic: M^2 elements."""
+        return self.output_tiles * self.store_bytes_per_output_tile
+
+    @property
+    def total_macs(self) -> int:
+        """Multiply-accumulates in the whole matmul: M^3."""
+        return self.matrix_dim**3
+
+    @property
+    def macs_per_phase(self) -> int:
+        """MACs in one compute phase: t^3."""
+        return self.tile_size**3
+
+
+def select_tile_size(
+    spm_bytes: int, word_bytes: int = 4, granularity: int = 8
+) -> int:
+    """Largest tile edge whose 3-tile working set fits in ``spm_bytes``.
+
+    Args:
+        spm_bytes: Available SPM capacity.
+        word_bytes: Element size.
+        granularity: Tile edges are rounded down to a multiple of this
+            (MemPool kernels block in multiples of the core grid).
+    """
+    if spm_bytes <= 0 or granularity <= 0:
+        raise ValueError("capacity and granularity must be positive")
+    limit = math.isqrt(spm_bytes // (TILES_IN_FLIGHT * word_bytes))
+    tile = (limit // granularity) * granularity
+    if tile <= 0:
+        raise ValueError(f"SPM of {spm_bytes} B cannot hold any {granularity}-aligned tile")
+    return tile
+
+
+def paper_tiling(capacity_mib: int) -> TilingPlan:
+    """The paper's tiling plan for one of the four SPM capacities."""
+    if capacity_mib not in TILE_SIZE_BY_CAPACITY:
+        raise ValueError(f"paper has no {capacity_mib} MiB configuration")
+    return TilingPlan(
+        matrix_dim=PAPER_MATRIX_DIM, tile_size=TILE_SIZE_BY_CAPACITY[capacity_mib]
+    )
+
+
+def lcm_matrix_dim(tile_sizes: tuple[int, ...] = (256, 384, 544, 800)) -> int:
+    """Least common multiple of the tile edges (the paper's M = 326400)."""
+    if not tile_sizes:
+        raise ValueError("need at least one tile size")
+    value = 1
+    for t in tile_sizes:
+        if t <= 0:
+            raise ValueError("tile sizes must be positive")
+        value = value * t // math.gcd(value, t)
+    return value

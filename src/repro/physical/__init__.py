@@ -1,0 +1,30 @@
+"""Physical-implementation models: technology, floorplan, timing, power, flows."""
+
+from .calibration import Calibration, DEFAULT_CALIBRATION
+from .cluster_level import ClusterImplementation, implement_cluster
+from .clocktree import clock_tree_for_group, synthesize_clock_tree
+from .cost import CostModelParams, analyze_cost, cost_ratio_3d_over_2d
+from .maps import cell_density_map, routing_demand_map
+from .thermal import ThermalParams, analyze_thermal
+from .flow2d import implement_group_2d, implement_tile_2d
+from .flow3d import (
+    implement_group,
+    implement_group_3d,
+    implement_tile_3d,
+    memory_die_array,
+)
+from .flowbase import GroupImplementation, TileImplementation
+from .sram import SRAMCompiler, SRAMMacro, icache_bank_macro, spm_bank_macro
+from .technology import DEFAULT_TECHNOLOGY, MetalStack, Technology, make_stack
+
+__all__ = [
+    "Calibration", "ClusterImplementation", "CostModelParams",
+    "DEFAULT_CALIBRATION", "DEFAULT_TECHNOLOGY", "GroupImplementation",
+    "MetalStack", "SRAMCompiler", "SRAMMacro", "Technology", "analyze_cost",
+    "cost_ratio_3d_over_2d", "icache_bank_macro", "implement_cluster",
+    "implement_group", "implement_group_2d", "implement_group_3d",
+    "implement_tile_2d", "implement_tile_3d", "make_stack",
+    "memory_die_array", "spm_bank_macro", "TileImplementation",
+    "ThermalParams", "analyze_thermal", "cell_density_map",
+    "clock_tree_for_group", "routing_demand_map", "synthesize_clock_tree",
+]

@@ -1,0 +1,112 @@
+"""Buffer-insertion model.
+
+The paper reports 151 k-218 k buffers per group and notes that ~75 % of
+the 2D group's cells are buffers or inverter pairs.  Two mechanisms drive
+the count:
+
+* **repeater insertion** on long interconnect wires — one buffer per
+  optimal repeater span, so the count scales with routed wire length;
+* **endpoint buffering** — drive/slew fixing at net endpoints, clock-tree
+  buffers, and hold fixing, roughly proportional to the net count and
+  register population, independent of wire length.
+
+The 3D groups' shorter wires cut the repeater population, reproducing the
+~0.8x buffer counts of Table II.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .cells import CellInventory
+from .technology import MetalStack, Technology
+
+
+@dataclass(frozen=True)
+class BufferingReport:
+    """Inserted-buffer decomposition for one group."""
+
+    repeaters: int
+    endpoint_buffers: int
+    clock_buffers: int
+
+    @property
+    def total(self) -> int:
+        """All inserted buffers."""
+        return self.repeaters + self.endpoint_buffers + self.clock_buffers
+
+
+#: Routers insert repeaters sparser than the delay-optimal spacing to save
+#: area and power on non-critical nets.
+ECONOMIC_SPACING_DERATE = 1.45
+
+
+def optimal_repeater_spacing_um(tech: Technology, stack: MetalStack) -> float:
+    """Practical repeater span on this stack.
+
+    Classic result: ``L_opt = sqrt(2 * R_buf * C_buf / (r * c))`` with the
+    wire RC per micrometre, relaxed by :data:`ECONOMIC_SPACING_DERATE`.
+    """
+    r_per_um, c_per_um = stack.critical_route_rc()
+    return ECONOMIC_SPACING_DERATE * math.sqrt(
+        2.0 * tech.drive_res_ohm * tech.gate_cap_ff / (r_per_um * c_per_um)
+    )
+
+
+#: Endpoint buffers per group-interconnect signal bit (drive + slew + hold
+#: fixing at both ends of each tile-to-hub net).
+ENDPOINT_BUFFERS_PER_NET = 2.1
+
+#: Clock buffers per clocked cell (tree + mesh drivers).
+CLOCK_BUFFERS_PER_REGISTER = 0.35
+
+#: Drive/slew-fixing buffers per group-level logic cell (fanout trees on
+#: local nets).
+LOCAL_BUFFERS_PER_CELL = 0.45
+
+#: Extra repeaters forced by congestion detours, per unit of overflow.
+CONGESTION_REPEATER_FACTOR = 0.25
+
+
+def insert_buffers(
+    wirelength_um: float,
+    boundary_bits: int,
+    grid: int,
+    cells: CellInventory,
+    tech: Technology,
+    stack: MetalStack,
+    congestion_overflow: float = 0.0,
+) -> BufferingReport:
+    """Estimate the buffers a router/optimizer inserts into a group.
+
+    Args:
+        wirelength_um: Total routed wire length.
+        boundary_bits: Per-group interconnect boundary bits (net count
+            scale: each bit is one net per tile).
+        grid: Tiles per group edge.
+        cells: Group-level cell inventory before buffering.
+        tech: Technology node.
+        stack: Routing stack (sets the repeater span).
+        congestion_overflow: Overflow figure from the congestion model.
+    """
+    if wirelength_um < 0 or boundary_bits <= 0 or grid <= 0:
+        raise ValueError("inputs must be positive")
+    if congestion_overflow < 0:
+        raise ValueError("overflow must be non-negative")
+
+    spacing = optimal_repeater_spacing_um(tech, stack)
+    repeaters = wirelength_um / spacing
+    repeaters *= 1.0 + CONGESTION_REPEATER_FACTOR * congestion_overflow
+
+    nets = boundary_bits  # one tile-to-hub net per boundary bit
+    endpoint = ENDPOINT_BUFFERS_PER_NET * nets + LOCAL_BUFFERS_PER_CELL * (
+        cells.combinational + cells.registers
+    )
+    clock = CLOCK_BUFFERS_PER_REGISTER * cells.registers
+
+    return BufferingReport(
+        repeaters=int(round(repeaters)),
+        endpoint_buffers=int(round(endpoint)),
+        clock_buffers=int(round(clock)),
+    )

@@ -1,0 +1,166 @@
+"""Standard-cell library model.
+
+The paper reports cell-level facts that drive the implementation results:
+75 % of the 2D group's cells are buffers or inverter pairs, and roughly
+37 % of the critical-path timing is wire propagation delay.  This module
+provides the small set of cell archetypes (register, combinational gate,
+buffer, SRAM periphery glue) needed by the netlist, timing, and power
+models, with area in gate equivalents and delay/energy coefficients tied to
+:class:`repro.physical.technology.Technology`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .technology import Technology
+
+
+class CellKind(Enum):
+    """Archetype of a standard cell instance."""
+
+    COMBINATIONAL = "comb"
+    REGISTER = "reg"
+    BUFFER = "buf"
+    CLOCK = "clk"
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Per-kind area/timing/energy characteristics.
+
+    Attributes:
+        kind: Cell archetype.
+        area_ge: Area in gate equivalents.
+        delay_fo4: Intrinsic delay in FO4 units.
+        input_cap_ff: Input pin capacitance.
+        switch_energy_fj: Internal + output switching energy per transition
+            at nominal VDD (fJ).
+    """
+
+    kind: CellKind
+    area_ge: float
+    delay_fo4: float
+    input_cap_ff: float
+    switch_energy_fj: float
+
+
+#: Representative cells for a 28 nm high-k library.
+CELL_LIBRARY: dict[CellKind, CellSpec] = {
+    CellKind.COMBINATIONAL: CellSpec(CellKind.COMBINATIONAL, 1.4, 1.0, 1.2, 1.6),
+    CellKind.REGISTER: CellSpec(CellKind.REGISTER, 4.5, 2.0, 1.6, 4.0),
+    CellKind.BUFFER: CellSpec(CellKind.BUFFER, 1.8, 0.8, 1.5, 2.2),
+    CellKind.CLOCK: CellSpec(CellKind.CLOCK, 2.2, 0.8, 2.0, 3.0),
+}
+
+
+@dataclass(frozen=True)
+class CellInventory:
+    """Counts of cell instances of each archetype in a partition.
+
+    These counts feed the area model (through GE), the power model
+    (switching energy x activity), and the congestion model (pin density).
+    """
+
+    combinational: int = 0
+    registers: int = 0
+    buffers: int = 0
+    clock: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("combinational", "registers", "buffers", "clock"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} count must be non-negative")
+
+    @property
+    def total(self) -> int:
+        """Total number of cell instances."""
+        return self.combinational + self.registers + self.buffers + self.clock
+
+    def area_ge(self) -> float:
+        """Total standard-cell area in gate equivalents."""
+        lib = CELL_LIBRARY
+        return (
+            self.combinational * lib[CellKind.COMBINATIONAL].area_ge
+            + self.registers * lib[CellKind.REGISTER].area_ge
+            + self.buffers * lib[CellKind.BUFFER].area_ge
+            + self.clock * lib[CellKind.CLOCK].area_ge
+        )
+
+    def area_um2(self, tech: Technology) -> float:
+        """Total standard-cell area in um^2."""
+        return self.area_ge() * tech.gate_area_um2
+
+    def buffer_fraction(self) -> float:
+        """Fraction of instances that are buffers (paper: ~75 % in 2D groups)."""
+        if self.total == 0:
+            return 0.0
+        return self.buffers / self.total
+
+    def with_buffers(self, buffers: int) -> "CellInventory":
+        """Return a copy with the buffer count replaced."""
+        return CellInventory(
+            combinational=self.combinational,
+            registers=self.registers,
+            buffers=buffers,
+            clock=self.clock,
+        )
+
+    def scaled(self, factor: float) -> "CellInventory":
+        """Return a copy with every count scaled by ``factor`` (rounded)."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return CellInventory(
+            combinational=round(self.combinational * factor),
+            registers=round(self.registers * factor),
+            buffers=round(self.buffers * factor),
+            clock=round(self.clock * factor),
+        )
+
+    def merged(self, other: "CellInventory") -> "CellInventory":
+        """Element-wise sum of two inventories."""
+        return CellInventory(
+            combinational=self.combinational + other.combinational,
+            registers=self.registers + other.registers,
+            buffers=self.buffers + other.buffers,
+            clock=self.clock + other.clock,
+        )
+
+
+def inventory_from_kge(
+    kge: float,
+    register_fraction: float = 0.18,
+    buffer_fraction: float = 0.20,
+    clock_fraction: float = 0.03,
+) -> CellInventory:
+    """Derive a cell inventory from a synthesis gate-equivalent figure.
+
+    Synthesis reports (like the 60 kGE Snitch core figure) give area in GE;
+    this helper splits that area into archetypes using typical post-synthesis
+    composition ratios, then converts area shares into instance counts.
+
+    Args:
+        kge: Synthesized area in kilo gate equivalents.
+        register_fraction: Fraction of *area* in registers.
+        buffer_fraction: Fraction of area in buffers/inverter pairs.
+        clock_fraction: Fraction of area in clock-tree cells.
+
+    Returns:
+        A :class:`CellInventory` whose :meth:`CellInventory.area_ge` is close
+        to ``kge * 1000``.
+    """
+    if kge < 0:
+        raise ValueError("kGE must be non-negative")
+    fractions = (register_fraction, buffer_fraction, clock_fraction)
+    if any(f < 0 for f in fractions) or sum(fractions) > 1.0:
+        raise ValueError("archetype fractions must be non-negative and sum to <= 1")
+    area = kge * 1000.0
+    lib = CELL_LIBRARY
+    comb_fraction = 1.0 - sum(fractions)
+    return CellInventory(
+        combinational=round(area * comb_fraction / lib[CellKind.COMBINATIONAL].area_ge),
+        registers=round(area * register_fraction / lib[CellKind.REGISTER].area_ge),
+        buffers=round(area * buffer_fraction / lib[CellKind.BUFFER].area_ge),
+        clock=round(area * clock_fraction / lib[CellKind.CLOCK].area_ge),
+    )

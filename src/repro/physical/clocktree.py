@@ -1,0 +1,131 @@
+"""Clock-distribution model: H-tree over the group.
+
+The group's clock reaches sixteen tile clock pins plus the group-level
+registers.  An H-tree halves the die recursively, placing a buffer at
+every branch point; useful skew is what remains after process variation
+across the tree depth.  The model feeds three consumers:
+
+* buffer counts (clock buffers are part of the Table II buffer column);
+* clock power (tree wiring toggles every cycle at full swing);
+* a skew margin for the timing model (deeper trees on larger dies eat
+  more of the cycle).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .technology import MetalStack, Technology
+
+
+@dataclass(frozen=True)
+class ClockTreeReport:
+    """Synthesized clock tree characteristics.
+
+    Attributes:
+        levels: H-tree recursion depth.
+        buffers: Clock buffers in the tree (branch points + leaf drivers).
+        wirelength_um: Total tree wiring.
+        insertion_delay_ps: Source-to-leaf latency.
+        skew_ps: Expected worst leaf-to-leaf skew.
+    """
+
+    levels: int
+    buffers: int
+    wirelength_um: float
+    insertion_delay_ps: float
+    skew_ps: float
+
+    def __post_init__(self) -> None:
+        if self.levels <= 0 or self.buffers <= 0:
+            raise ValueError("tree must have at least one level and buffer")
+        if min(self.wirelength_um, self.insertion_delay_ps, self.skew_ps) < 0:
+            raise ValueError("tree metrics must be non-negative")
+
+
+#: Per-level skew contribution as a fraction of the level's buffer delay
+#: (process variation between sibling branches).
+SKEW_PER_LEVEL_FRACTION = 0.04
+
+#: Buffer delay per H-tree level (a strong clock buffer).
+CLOCK_BUFFER_DELAY_PS = 35.0
+
+
+def clock_tree_for_group(impl) -> "ClockTreeReport":
+    """Synthesize the clock tree of an implemented group.
+
+    Sinks are the group-level registers plus one clock pin per tile; the
+    tree spans the placed group outline.
+
+    Args:
+        impl: A :class:`repro.physical.flowbase.GroupImplementation`.
+    """
+    from .technology import DEFAULT_TECHNOLOGY
+
+    sinks = (
+        impl.netlist.interconnect_cells.registers
+        + impl.placement.grid**2
+    )
+    return synthesize_clock_tree(
+        impl.placement.width_um,
+        impl.placement.height_um,
+        sinks,
+        DEFAULT_TECHNOLOGY,
+        impl.stack,
+    )
+
+
+def synthesize_clock_tree(
+    width_um: float,
+    height_um: float,
+    sinks: int,
+    tech: Technology,
+    stack: MetalStack,
+) -> ClockTreeReport:
+    """Build an H-tree covering a ``width x height`` die with ``sinks`` leaves.
+
+    Args:
+        width_um: Die width.
+        height_um: Die height.
+        sinks: Clocked endpoints (registers + tile clock pins).
+        tech: Technology node.
+        stack: Routing stack for the tree wiring.
+
+    Returns:
+        Tree depth, buffers, wiring, insertion delay, and skew.
+    """
+    if width_um <= 0 or height_um <= 0:
+        raise ValueError("die dimensions must be positive")
+    if sinks <= 0:
+        raise ValueError("need at least one clock sink")
+
+    # Depth: halve until each leaf region holds a handful of sinks.
+    sinks_per_leaf = 16.0
+    levels = max(1, math.ceil(math.log2(max(sinks / sinks_per_leaf, 2.0)) / 2) * 2)
+
+    # H-tree wirelength: level k routes 2^k segments of length ~extent/2^(k/2+1),
+    # alternating horizontal/vertical.  Summed over levels this approaches
+    # ~1.5x the half-perimeter per doubling of depth.
+    wirelength = 0.0
+    extent = (width_um + height_um) / 2.0
+    for level in range(levels):
+        segments = 2**level
+        seg_len = extent / (2 ** (level // 2 + 1))
+        wirelength += segments * seg_len
+
+    branch_buffers = 2 ** (levels + 1) - 1
+    leaf_buffers = math.ceil(sinks / sinks_per_leaf)
+    buffers = branch_buffers + leaf_buffers
+
+    wire_delay = tech.wire_delay_ps(extent, stack)
+    insertion = levels * CLOCK_BUFFER_DELAY_PS + wire_delay
+    skew = levels * CLOCK_BUFFER_DELAY_PS * SKEW_PER_LEVEL_FRACTION
+
+    return ClockTreeReport(
+        levels=levels,
+        buffers=buffers,
+        wirelength_um=wirelength,
+        insertion_delay_ps=insertion,
+        skew_ps=skew,
+    )

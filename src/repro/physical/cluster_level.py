@@ -1,0 +1,125 @@
+"""Cluster-level physical model: four groups plus glue logic.
+
+The paper implements the *group* level and argues (Section V-A) that the
+cluster level follows directly: the cluster has four identical groups in a
+2x2 arrangement with only point-to-point connections and about five
+thousand cells of glue logic between them, and the twelve-layer mirrored
+BEOL of the 3D designs lets the inter-group channels be narrower than the
+2D ones — so "we can expect an even more favorable area ratio at the
+cluster level".
+
+This module extends the group implementation to the full 256-core cluster:
+inter-group channel sizing from the directional-butterfly wire counts,
+cluster footprint/area, and aggregated power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import MemPoolConfig
+from ..interconnect.topology import ClusterTopology
+from .flowbase import GroupImplementation
+from .placement import channel_supply_tracks_per_um
+
+#: Cells of cluster-level glue logic (the paper: "only a few cells,
+#: about five thousand, need to be placed between them").
+CLUSTER_GLUE_CELLS = 5000
+
+#: Detour/spread factor of the point-to-point inter-group routes.
+INTER_GROUP_DETOUR = 1.3
+
+#: In the 2D cluster, the top-level clock and power trunks must share the
+#: inter-group channels' M7/M8 with the point-to-point signals (groups are
+#: blocked up to M8, so there is nowhere else to run them); the Macro-3D
+#: cluster spreads the trunks over the second tier.  This supply derate on
+#: the 2D channels is the mechanism behind the paper's expectation of "an
+#: even more favorable area ratio at the cluster level".
+TRUNK_BLOCKAGE_2D = 0.15
+
+
+@dataclass(frozen=True)
+class ClusterImplementation:
+    """A 2x2-of-groups cluster built from one group implementation.
+
+    Attributes:
+        group: The implemented group (all four are identical).
+        channel_width_um: Width of the inter-group routing channel.
+    """
+
+    group: GroupImplementation
+    channel_width_um: float
+
+    @property
+    def config(self) -> MemPoolConfig:
+        """The underlying MemPool instance."""
+        return self.group.config
+
+    @property
+    def width_um(self) -> float:
+        """Cluster die width: two groups plus the inter-group channel."""
+        return 2 * self.group.placement.width_um + self.channel_width_um
+
+    @property
+    def height_um(self) -> float:
+        """Cluster die height."""
+        return 2 * self.group.placement.height_um + self.channel_width_um
+
+    @property
+    def footprint_um2(self) -> float:
+        """Cluster outline area."""
+        return self.width_um * self.height_um
+
+    @property
+    def combined_area_um2(self) -> float:
+        """Total silicon across dies."""
+        dies = 2 if self.group.tile.is_3d else 1
+        return dies * self.footprint_um2
+
+    @property
+    def channel_area_fraction(self) -> float:
+        """Share of the cluster footprint spent on inter-group channels."""
+        groups_area = 4 * self.group.placement.footprint_um2
+        return 1.0 - groups_area / self.footprint_um2
+
+    @property
+    def power_mw(self) -> float:
+        """Cluster power: four groups plus glue (negligible)."""
+        glue_mw = CLUSTER_GLUE_CELLS * 2.0e-3  # ~2 uW per glue cell at 1 GHz
+        return 4 * self.group.power.total_mw + glue_mw
+
+    @property
+    def frequency_mhz(self) -> float:
+        """Cluster frequency equals the group frequency (registered
+        point-to-point links between groups)."""
+        return self.group.timing.frequency_mhz
+
+
+def inter_group_channel_width_um(group: GroupImplementation) -> float:
+    """Size the channel between groups from point-to-point wire demand.
+
+    Each group drives three directional interconnects (north, northeast,
+    east), each a 16-port butterfly's worth of request/response links to a
+    neighbouring group.  Those wires cross the inter-group channel; the
+    channel width follows from the stack's track supply, exactly like the
+    intra-group channels — so the 3D channels shrink by the same BEOL
+    ratio, which is the mechanism behind the paper's "even more favorable
+    area ratio at the cluster level".
+    """
+    topology = ClusterTopology(group.config.arch)
+    request_bits = topology.request_bits_for_capacity(group.config.spm_bytes)
+    per_port = (request_bits + 2) + (37 + 2)
+    directions = 3
+    wires = directions * group.config.arch.tiles_per_group * per_port
+    supply = channel_supply_tracks_per_um(group.stack, group.tile.is_3d)
+    if not group.tile.is_3d:
+        supply *= 1.0 - TRUNK_BLOCKAGE_2D
+    return wires * INTER_GROUP_DETOUR / supply
+
+
+def implement_cluster(group: GroupImplementation) -> ClusterImplementation:
+    """Assemble the cluster-level implementation from a group."""
+    return ClusterImplementation(
+        group=group,
+        channel_width_um=inter_group_channel_width_um(group),
+    )

@@ -1,0 +1,100 @@
+"""Routing-congestion model.
+
+Figure 4 of the paper shows the routing and cell-density maps of a
+MemPool-3D group: the four group interconnects form pockets of very high
+cell density at the center, and congestion there creates design-rule
+violations (DRVs) and degrades timing when tiles are not spaced apart.
+
+The model divides the channel area into regions, computes per-region
+track demand from the wire-length estimate, and reports overflow — the
+demand beyond the ~80 %-utilization supply.  Overflow feeds the timing
+model (detours and weaker drive on congested nets) and a DRV-count proxy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .placement import GroupPlacement, channel_supply_tracks_per_um
+from .technology import MetalStack
+
+
+@dataclass(frozen=True)
+class CongestionReport:
+    """Channel congestion summary for one group.
+
+    Attributes:
+        center_demand: Track demand over supply in the central channels
+            (1.0 = fully used).
+        average_demand: Demand over supply averaged over all channels.
+        overflow: Positive part of (demand - supply), normalized —
+            the congestion-detour driver.
+        drv_estimate: Predicted design-rule-violation count.
+    """
+
+    center_demand: float
+    average_demand: float
+    overflow: float
+    drv_estimate: int
+
+    @property
+    def congested(self) -> bool:
+        """True when some region exceeds the usable supply."""
+        return self.overflow > 0
+
+
+#: Share of the group's interconnect wires that crowd the central channels
+#: (the "pockets of very high cell density" of Figure 4b).
+CENTER_TRAFFIC_SHARE = 0.55
+
+#: DRVs produced per kilo-track of overflow (fitted scale).
+DRV_PER_KILOTRACK = 900.0
+
+
+def analyze_congestion(
+    placement: GroupPlacement,
+    interconnect_wirelength_um: float,
+    stack: MetalStack,
+    is_3d: bool,
+) -> CongestionReport:
+    """Compare channel routing demand against BEOL supply.
+
+    Demand per channel is the interconnect wire volume (length x tracks)
+    crossing it; the central channel carries a disproportionate share.
+
+    Args:
+        placement: The placed group.
+        interconnect_wirelength_um: Routed length of group-interconnect
+            nets (from :mod:`repro.physical.wirelength`).
+        stack: BEOL stack of the group.
+        is_3d: Whether the group is a Macro-3D implementation.
+    """
+    if interconnect_wirelength_um < 0:
+        raise ValueError("wire length must be non-negative")
+    supply_per_um = channel_supply_tracks_per_um(stack, is_3d)
+
+    # Track-volume supply of a channel: width x length x tracks/um.
+    channel_len = placement.height_um
+    center_supply = placement.channels.center_width_um * channel_len * supply_per_um
+    outer_supply = placement.channels.outer_width_um * channel_len * supply_per_um
+
+    # Wire volume is split across the two directions and their channels.
+    per_direction = interconnect_wirelength_um / 2.0
+    center_demand_volume = per_direction * CENTER_TRAFFIC_SHARE
+    outer_demand_volume = per_direction * (1.0 - CENTER_TRAFFIC_SHARE) / 2.0
+
+    # Demand ratio: wire volume / (channel length) = occupied tracks;
+    # against tracks supplied by the channel width.
+    center_ratio = center_demand_volume / center_supply
+    outer_ratio = outer_demand_volume / outer_supply
+    average = (center_ratio + 2 * outer_ratio) / 3.0
+
+    overflow = max(0.0, center_ratio - 1.0) + 2 * max(0.0, outer_ratio - 1.0)
+    overflow_tracks = overflow * placement.channels.total_width_um * supply_per_um
+    drvs = int(round(DRV_PER_KILOTRACK * overflow_tracks / 1000.0))
+    return CongestionReport(
+        center_demand=center_ratio,
+        average_demand=average,
+        overflow=overflow,
+        drv_estimate=drvs,
+    )

@@ -1,0 +1,139 @@
+"""Implementation-cost model: 2D vs face-to-face-stacked 3D.
+
+Section V-A: "Although the footprint is the most important metric for
+analyzing PPA gains [...], the combined area is more relevant for an
+implementation cost analysis of the 3D designs."  This module carries
+that analysis out: wafer cost, dies per wafer, defect-driven die yield
+(Murphy model), and — for 3D — the wafer-to-wafer bonding yield, give the
+cost per *good* unit.
+
+The interesting structural result the model exposes: 3D pays for two dies
+plus a bonding-yield hit, but each die is smaller, and smaller dies yield
+better.  For defect-prone processes the yield advantage of the two small
+dies can offset much of the area overhead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .flowbase import GroupImplementation
+
+
+@dataclass(frozen=True)
+class CostModelParams:
+    """Manufacturing assumptions.
+
+    Attributes:
+        wafer_diameter_mm: Wafer size (300 mm standard).
+        wafer_cost_usd: Processed-wafer cost for the 28 nm node.
+        defect_density_per_cm2: Random defect density D0.
+        bonding_yield: Wafer-to-wafer hybrid-bonding yield (3D only).
+        saw_street_um: Dicing street added to each die edge.
+    """
+
+    wafer_diameter_mm: float = 300.0
+    wafer_cost_usd: float = 3000.0
+    defect_density_per_cm2: float = 0.25
+    bonding_yield: float = 0.98
+    saw_street_um: float = 80.0
+
+    def __post_init__(self) -> None:
+        if self.wafer_diameter_mm <= 0 or self.wafer_cost_usd <= 0:
+            raise ValueError("wafer parameters must be positive")
+        if self.defect_density_per_cm2 < 0:
+            raise ValueError("defect density must be non-negative")
+        if not 0 < self.bonding_yield <= 1:
+            raise ValueError("bonding yield must be within (0, 1]")
+
+
+DEFAULT_COST_PARAMS = CostModelParams()
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Cost figures for one group implementation."""
+
+    die_area_mm2: float
+    dies: int
+    dies_per_wafer: int
+    die_yield: float
+    unit_yield: float
+    cost_per_good_unit_usd: float
+
+
+def murphy_yield(area_mm2: float, defect_density_per_cm2: float) -> float:
+    """Murphy's die-yield model: ``((1 - e^(-AD)) / (AD))^2``."""
+    if area_mm2 <= 0:
+        raise ValueError("die area must be positive")
+    if defect_density_per_cm2 < 0:
+        raise ValueError("defect density must be non-negative")
+    ad = area_mm2 / 100.0 * defect_density_per_cm2
+    if ad < 1e-12:
+        return 1.0
+    return ((1.0 - math.exp(-ad)) / ad) ** 2
+
+
+def dies_per_wafer(die_area_mm2: float, wafer_diameter_mm: float) -> int:
+    """Gross dies per wafer: ``pi*(d/2)^2/A - pi*d/sqrt(2A)`` (edge loss)."""
+    if die_area_mm2 <= 0 or wafer_diameter_mm <= 0:
+        raise ValueError("areas must be positive")
+    radius = wafer_diameter_mm / 2.0
+    wafer_area = math.pi * radius * radius
+    count = wafer_area / die_area_mm2 - math.pi * wafer_diameter_mm / math.sqrt(
+        2.0 * die_area_mm2
+    )
+    return max(0, int(count))
+
+
+def analyze_cost(
+    impl: GroupImplementation, params: CostModelParams = DEFAULT_COST_PARAMS
+) -> CostReport:
+    """Cost per good unit for one group implementation.
+
+    A 3D unit needs one logic die and one memory die, both the footprint
+    size, bonded wafer-to-wafer: its yield is the *product* of two die
+    yields and the bonding yield.  A 2D unit is one larger die.
+    """
+    street = params.saw_street_um
+    width = impl.placement.width_um + street
+    height = impl.placement.height_um + street
+    die_area_mm2 = width * height / 1e6
+
+    n_dies = 2 if impl.tile.is_3d else 1
+    per_wafer = dies_per_wafer(die_area_mm2, params.wafer_diameter_mm)
+    if per_wafer == 0:
+        raise ValueError("die does not fit the wafer")
+    die_yield = murphy_yield(die_area_mm2, params.defect_density_per_cm2)
+
+    if impl.tile.is_3d:
+        # Wafer-to-wafer bonding: dies cannot be tested before bonding,
+        # so both dies must be good and the bond must succeed.
+        unit_yield = die_yield * die_yield * params.bonding_yield
+    else:
+        unit_yield = die_yield
+
+    cost_per_die = params.wafer_cost_usd / per_wafer
+    cost_per_unit = n_dies * cost_per_die / unit_yield
+    return CostReport(
+        die_area_mm2=die_area_mm2,
+        dies=n_dies,
+        dies_per_wafer=per_wafer,
+        die_yield=die_yield,
+        unit_yield=unit_yield,
+        cost_per_good_unit_usd=cost_per_unit,
+    )
+
+
+def cost_ratio_3d_over_2d(
+    impl_3d: GroupImplementation,
+    impl_2d: GroupImplementation,
+    params: CostModelParams = DEFAULT_COST_PARAMS,
+) -> float:
+    """Cost-per-good-unit ratio of a 3D implementation over its 2D peer."""
+    if not impl_3d.tile.is_3d or impl_2d.tile.is_3d:
+        raise ValueError("pass (3D, 2D) implementations in that order")
+    c3 = analyze_cost(impl_3d, params)
+    c2 = analyze_cost(impl_2d, params)
+    return c3.cost_per_good_unit_usd / c2.cost_per_good_unit_usd

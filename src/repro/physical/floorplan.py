@@ -1,0 +1,238 @@
+"""Tile floorplanning: macro placement and die sizing.
+
+Implements the memory-die floorplans of Figure 3 and the die-sizing rules
+of Section IV:
+
+* tiles target a 90 % standard-cell density in the logic die;
+* the memory die of a 3D tile must match the logic die's footprint
+  (face-to-face bonding), so its utilization is ``macro area / die area``
+  — 51 % at 1 MiB, rising to ~100 % at 8 MiB (where the macros, not the
+  logic, set the footprint);
+* 2D tiles place macros and logic on a single die, with a halo around
+  each macro for power straps and pin access.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .sram import SRAMMacro
+
+
+@dataclass(frozen=True)
+class MacroArray:
+    """A rows x cols arrangement of identical macros.
+
+    Attributes:
+        rows: Array rows.
+        cols: Array columns.
+        macro: The placed macro.
+        spacing_um: Clearance between adjacent macros (power straps).
+    """
+
+    rows: int
+    cols: int
+    macro: SRAMMacro
+    spacing_um: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("array dimensions must be positive")
+        if self.spacing_um < 0:
+            raise ValueError("spacing must be non-negative")
+
+    @property
+    def count(self) -> int:
+        """Macros in the array."""
+        return self.rows * self.cols
+
+    @property
+    def width_um(self) -> float:
+        """Bounding-box width."""
+        return self.cols * self.macro.width_um + (self.cols - 1) * self.spacing_um
+
+    @property
+    def height_um(self) -> float:
+        """Bounding-box height."""
+        return self.rows * self.macro.height_um + (self.rows - 1) * self.spacing_um
+
+    @property
+    def area_um2(self) -> float:
+        """Bounding-box area."""
+        return self.width_um * self.height_um
+
+    @property
+    def macro_area_um2(self) -> float:
+        """Summed macro area (no spacing)."""
+        return self.count * self.macro.area_um2
+
+
+def best_macro_array(
+    count: int, macro: SRAMMacro, target_aspect: float = 1.0, spacing_um: float = 2.0
+) -> MacroArray:
+    """Arrange ``count`` identical macros into the most square-ish array.
+
+    Scans all (rows, cols) factorizations with ``rows * cols >= count``
+    and minimal waste, picking the bounding box closest to the target
+    aspect ratio.  This is how the 8 MiB memory die ends up as a 5x3
+    array for its 15 macros.
+    """
+    if count <= 0:
+        raise ValueError("macro count must be positive")
+    if target_aspect <= 0:
+        raise ValueError("aspect ratio must be positive")
+    best: MacroArray | None = None
+    best_key: tuple[float, float] | None = None
+    for rows in range(1, count + 1):
+        cols = math.ceil(count / rows)
+        waste = rows * cols - count
+        candidate = MacroArray(rows=rows, cols=cols, macro=macro, spacing_um=spacing_um)
+        aspect_error = abs(
+            math.log((candidate.width_um / candidate.height_um) / target_aspect)
+        )
+        key = (waste, aspect_error)
+        if best_key is None or key < best_key:
+            best, best_key = candidate, key
+    assert best is not None
+    return best
+
+
+@dataclass(frozen=True)
+class DiePlan:
+    """A sized die with its contents.
+
+    Attributes:
+        width_um: Die width.
+        height_um: Die height.
+        cell_area_um2: Placed standard-cell area.
+        macro_area_um2: Placed macro area.
+    """
+
+    width_um: float
+    height_um: float
+    cell_area_um2: float
+    macro_area_um2: float
+
+    def __post_init__(self) -> None:
+        if self.width_um <= 0 or self.height_um <= 0:
+            raise ValueError("die dimensions must be positive")
+        if self.cell_area_um2 < 0 or self.macro_area_um2 < 0:
+            raise ValueError("content areas must be non-negative")
+
+    @property
+    def area_um2(self) -> float:
+        """Die area."""
+        return self.width_um * self.height_um
+
+    @property
+    def core_utilization(self) -> float:
+        """Standard-cell density over the macro-free area (the paper's
+        "core utilization" column)."""
+        free = self.area_um2 - self.macro_area_um2
+        if free <= 0:
+            return 1.0
+        return min(1.0, self.cell_area_um2 / free)
+
+    @property
+    def macro_utilization(self) -> float:
+        """Macro area over die area (the memory-die utilization column)."""
+        return min(1.0, self.macro_area_um2 / self.area_um2)
+
+
+#: Halo around macros embedded in a logic die, as an area multiplier.
+MACRO_HALO_FACTOR_2D = 1.0
+
+#: Packing slack of a macro-only memory die (routing feed-throughs,
+#: straps).  Larger macros pack better: their aspect fills the die with
+#: fewer fragmented slivers, which is how the 8 MiB memory die reaches
+#: near-100 % utilization (Figure 3c) while the 4 MiB die stops at ~89 %.
+MEMORY_DIE_PACKING_SMALL = 0.90
+MEMORY_DIE_PACKING_LARGE = 0.97
+
+#: Macro capacity (bits) above which the better packing applies.
+LARGE_MACRO_BITS = 65536
+
+
+def memory_die_packing(macro_bits: int) -> float:
+    """Achievable macro packing efficiency of a memory-only die."""
+    if macro_bits <= 0:
+        raise ValueError("macro bits must be positive")
+    if macro_bits >= LARGE_MACRO_BITS:
+        return MEMORY_DIE_PACKING_LARGE
+    return MEMORY_DIE_PACKING_SMALL
+
+
+def plan_2d_tile(
+    logic_area_um2: float,
+    macro_area_um2: float,
+    target_density: float = 0.90,
+    aspect: float = 1.0,
+) -> DiePlan:
+    """Size a 2D tile die holding logic and macros together.
+
+    Die area = logic at target density + macro area inflated by the halo
+    factor (pin access, placement blockages around each macro).
+    """
+    if logic_area_um2 <= 0 or macro_area_um2 < 0:
+        raise ValueError("areas must be positive")
+    if not 0 < target_density <= 1:
+        raise ValueError("density must be within (0, 1]")
+    area = logic_area_um2 / target_density + macro_area_um2 * MACRO_HALO_FACTOR_2D
+    height = math.sqrt(area / aspect)
+    return DiePlan(
+        width_um=area / height,
+        height_um=height,
+        cell_area_um2=logic_area_um2,
+        macro_area_um2=macro_area_um2,
+    )
+
+
+def plan_3d_tile(
+    logic_area_um2: float,
+    logic_die_macro_area_um2: float,
+    memory_die_macro_area_um2: float,
+    target_density: float = 0.90,
+    aspect: float = 1.0,
+    memory_packing: float = MEMORY_DIE_PACKING_SMALL,
+) -> tuple[DiePlan, DiePlan]:
+    """Size the two bonded dies of a 3D tile.
+
+    Both dies share one footprint: the larger requirement wins, and the
+    other die inherits the size (showing up as low utilization — the
+    51 % memory-die figure of the 1 MiB design).
+
+    Returns:
+        ``(logic_die, memory_die)`` plans with identical dimensions.
+    """
+    if logic_area_um2 <= 0:
+        raise ValueError("logic area must be positive")
+    if logic_die_macro_area_um2 < 0 or memory_die_macro_area_um2 < 0:
+        raise ValueError("macro areas must be non-negative")
+    if not 0 < target_density <= 1:
+        raise ValueError("density must be within (0, 1]")
+    if not 0 < memory_packing <= 1:
+        raise ValueError("memory packing must be within (0, 1]")
+
+    logic_need = (
+        logic_area_um2 / target_density
+        + logic_die_macro_area_um2 * MACRO_HALO_FACTOR_2D
+    )
+    memory_need = memory_die_macro_area_um2 / memory_packing
+    area = max(logic_need, memory_need)
+    height = math.sqrt(area / aspect)
+    width = area / height
+
+    logic_die = DiePlan(
+        width_um=width,
+        height_um=height,
+        cell_area_um2=logic_area_um2,
+        macro_area_um2=logic_die_macro_area_um2,
+    )
+    memory_die = DiePlan(
+        width_um=width,
+        height_um=height,
+        cell_area_um2=0.0,
+        macro_area_um2=memory_die_macro_area_um2,
+    )
+    return logic_die, memory_die

@@ -1,0 +1,197 @@
+"""Structural netlists of the MemPool tile and group.
+
+Converts the architecture description into the quantities the physical
+models consume: standard-cell inventories (from synthesis-style kGE
+figures), SRAM macro lists, and inter-block net counts.
+
+Anchor figures from the paper and the MemPool design:
+
+* a Snitch core is ~60 kGE;
+* a tile holds four cores, a fully connected 8x16 logarithmic crossbar,
+  an I$ controller, and remote-port glue;
+* a group holds 16 tiles and four 16x16 radix-4 butterflies; at the
+  cluster level only ~5 k cells of glue remain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import MemPoolConfig
+from ..interconnect.butterfly import ButterflyNetwork
+from ..interconnect.crossbar import LogarithmicCrossbar
+from ..interconnect.topology import ClusterTopology
+from .cells import CellInventory, inventory_from_kge
+from .sram import SRAMCompiler, SRAMMacro, icache_bank_macro, spm_bank_macro
+
+#: kGE of per-tile control logic outside cores and crossbar: I$ controller,
+#: remote-port adapters, address decode, DMA frontend.
+TILE_CONTROL_KGE = 22.0
+
+#: kGE of group-level glue outside the four butterflies (address scramblers,
+#: pipeline registers on the inter-group boundaries).
+GROUP_GLUE_KGE = 30.0
+
+
+@dataclass(frozen=True)
+class TileNetlist:
+    """Physical-facing contents of one tile.
+
+    Attributes:
+        config: The MemPool instance this tile belongs to.
+        cells: Standard-cell inventory of the tile logic.
+        spm_macros: The tile's SPM bank macros (16 identical instances).
+        icache_macros: The tile's I$ bank macros.
+        crossbar: The local interconnect (for wire counting).
+    """
+
+    config: MemPoolConfig
+    cells: CellInventory
+    spm_macros: tuple[SRAMMacro, ...]
+    icache_macros: tuple[SRAMMacro, ...]
+    crossbar: LogarithmicCrossbar
+
+    @property
+    def logic_area_um2(self) -> float:
+        """Standard-cell area (excludes macros)."""
+        return self.cells.area_um2(_tech_of(self.config))
+
+    @property
+    def macro_area_um2(self) -> float:
+        """Total SRAM macro area of the tile."""
+        return sum(m.area_um2 for m in self.spm_macros) + sum(
+            m.area_um2 for m in self.icache_macros
+        )
+
+    @property
+    def sram_access_time_ps(self) -> float:
+        """Access time of the (uniform) SPM bank macros."""
+        return self.spm_macros[0].access_time_ps
+
+
+@dataclass(frozen=True)
+class GroupNetlist:
+    """Physical-facing contents of one group.
+
+    Attributes:
+        config: The MemPool instance.
+        tile: The (replicated) tile netlist.
+        interconnect_cells: Standard-cell inventory of the four butterflies
+            plus glue, before buffer insertion.
+        butterflies: The four directional networks.
+        boundary_bits: Signal bits each tile exchanges with the group
+            fabric (sets channel routing demand).
+    """
+
+    config: MemPoolConfig
+    tile: TileNetlist
+    interconnect_cells: CellInventory
+    butterflies: tuple[ButterflyNetwork, ...]
+    boundary_bits: int
+
+    @property
+    def num_tiles(self) -> int:
+        """Tiles per group."""
+        return self.config.arch.tiles_per_group
+
+    @property
+    def total_group_level_cells(self) -> int:
+        """Group-level cell instances (tiles are abstracted blackboxes)."""
+        return self.interconnect_cells.total
+
+
+# ---------------------------------------------------------------------------
+_DEFAULT_COMPILER = SRAMCompiler()
+
+
+def _tech_of(config: MemPoolConfig):
+    """Technology accessor (single node in this reproduction)."""
+    return _DEFAULT_COMPILER.technology
+
+
+def butterfly_kge(network: ButterflyNetwork) -> float:
+    """Synthesized-area estimate of one butterfly in kGE.
+
+    Each radix-r switch is an r x r mini-crossbar over the request and
+    response payloads, plus a pipeline register stage per switch output.
+    """
+    switch = LogarithmicCrossbar(
+        masters=network.radix,
+        slaves=network.radix,
+        request_bits=network.request_bits,
+        response_bits=network.response_bits,
+    )
+    register_bits = network.radix * (network.request_bits + network.response_bits)
+    register_kge = register_bits * 4.5 / 1000.0  # one register cell per bit
+    return network.num_switches * (switch.gate_estimate_kge() + register_kge)
+
+
+def build_tile_netlist(
+    config: MemPoolConfig, compiler: SRAMCompiler | None = None
+) -> TileNetlist:
+    """Assemble the tile netlist for a configuration."""
+    compiler = compiler or _DEFAULT_COMPILER
+    arch = config.arch
+    topology = ClusterTopology(arch)
+    request_bits = topology.request_bits_for_capacity(config.spm_bytes)
+
+    crossbar = LogarithmicCrossbar(
+        masters=arch.cores_per_tile + arch.remote_ports_per_tile,
+        slaves=arch.banks_per_tile,
+        request_bits=request_bits,
+    )
+    logic_kge = (
+        arch.cores_per_tile * arch.core_kge
+        + crossbar.gate_estimate_kge()
+        + TILE_CONTROL_KGE
+    )
+    cells = inventory_from_kge(logic_kge)
+
+    spm = tuple(
+        spm_bank_macro(
+            config.capacity_mib,
+            compiler,
+            banks_per_tile=arch.banks_per_tile,
+            num_tiles=arch.num_tiles,
+        )
+        for _ in range(arch.banks_per_tile)
+    )
+    icache = tuple(icache_bank_macro(compiler) for _ in range(arch.icache_banks_per_tile))
+    return TileNetlist(
+        config=config,
+        cells=cells,
+        spm_macros=spm,
+        icache_macros=icache,
+        crossbar=crossbar,
+    )
+
+
+def build_group_netlist(
+    config: MemPoolConfig, tile: TileNetlist | None = None
+) -> GroupNetlist:
+    """Assemble the group netlist for a configuration."""
+    tile = tile or build_tile_netlist(config)
+    arch = config.arch
+    topology = ClusterTopology(arch)
+    request_bits = topology.request_bits_for_capacity(config.spm_bytes)
+
+    butterflies = tuple(
+        ButterflyNetwork(
+            ports=arch.tiles_per_group, radix=4, request_bits=request_bits
+        )
+        for _ in range(4)
+    )
+    interconnect_kge = sum(butterfly_kge(b) for b in butterflies) + GROUP_GLUE_KGE
+    # Interconnect logic is mux/register dominated; registers on every
+    # pipeline stage push the register fraction up.
+    cells = inventory_from_kge(
+        interconnect_kge, register_fraction=0.30, buffer_fraction=0.10
+    )
+    boundary_bits = topology.group_channel_bits(request_bits=request_bits)
+    return GroupNetlist(
+        config=config,
+        tile=tile,
+        interconnect_cells=cells,
+        butterflies=butterflies,
+        boundary_bits=boundary_bits,
+    )

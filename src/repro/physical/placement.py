@@ -1,0 +1,213 @@
+"""Group-level placement: the 4x4 tile grid and its routing channels.
+
+Section V-A: the group places its sixteen tile blackboxes in a 4x4 grid
+with routing channels between them.  The group interconnect logic
+concentrates at the design's center, so tiles must be spaced apart there
+or congestion causes DRVs and timing degradation.  Channel widths are
+kept constant per flow across SPM capacities (the interconnect is
+"largely independent of the SPM capacity, except for the additional
+address bits"); the 3D channels are ~18 % narrower because twelve layers
+of the mirrored M6M6 BEOL route the group interconnect versus eight
+layers of the 2D M8 BEOL, partially offset by F2F-via landing pads
+blocking 3D channel tracks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .technology import MetalStack
+
+#: Fraction of channel routing capacity a router can actually use before
+#: congestion-driven detours explode (classic ~80 % rule).
+CHANNEL_TRACK_UTILIZATION = 0.80
+
+#: Fraction of 3D channel tracks blocked by F2F-via landing pads and
+#: keep-outs.  Calibrated so M6M6 channels land ~18 % narrower than the
+#: M8 channels, as reported in Section V-A.
+F2F_CHANNEL_BLOCKAGE = 0.31
+
+#: The dense central channels (hosting the interconnect logic pockets of
+#: Figure 4b) are wider than the outer ones by this factor.
+CENTER_CHANNEL_WIDENING = 1.8
+
+
+@dataclass(frozen=True)
+class ChannelPlan:
+    """Widths of the inter-tile routing channels in one direction.
+
+    A 4x4 grid has three internal channels per direction; index 1 is the
+    central channel.
+    """
+
+    outer_width_um: float
+    center_width_um: float
+
+    def __post_init__(self) -> None:
+        if self.outer_width_um <= 0 or self.center_width_um <= 0:
+            raise ValueError("channel widths must be positive")
+
+    @property
+    def total_width_um(self) -> float:
+        """Summed channel width across the die (2 outer + 1 center)."""
+        return 2 * self.outer_width_um + self.center_width_um
+
+
+@dataclass(frozen=True)
+class GroupPlacement:
+    """A placed group: tiles, channels, and the resulting outline.
+
+    Attributes:
+        grid: Tiles per edge (4 for MemPool).
+        tile_width_um: Width of the (square-ish) tile blackbox.
+        tile_height_um: Height of the tile blackbox.
+        channels: Channel widths (same plan used in x and y).
+        halo_um: Clearance between the outermost tiles and the die edge.
+    """
+
+    grid: int
+    tile_width_um: float
+    tile_height_um: float
+    channels: ChannelPlan
+    halo_um: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.grid <= 0:
+            raise ValueError("grid must be positive")
+        if self.tile_width_um <= 0 or self.tile_height_um <= 0:
+            raise ValueError("tile dimensions must be positive")
+        if self.halo_um < 0:
+            raise ValueError("halo must be non-negative")
+
+    @property
+    def width_um(self) -> float:
+        """Group die width."""
+        return (
+            self.grid * self.tile_width_um
+            + self.channels.total_width_um
+            + 2 * self.halo_um
+        )
+
+    @property
+    def height_um(self) -> float:
+        """Group die height."""
+        return (
+            self.grid * self.tile_height_um
+            + self.channels.total_width_um
+            + 2 * self.halo_um
+        )
+
+    @property
+    def footprint_um2(self) -> float:
+        """Group footprint area."""
+        return self.width_um * self.height_um
+
+    @property
+    def half_perimeter_um(self) -> float:
+        """Half perimeter, the scale of cross-group wires."""
+        return self.width_um + self.height_um
+
+    @property
+    def diagonal_um(self) -> float:
+        """Corner-to-corner distance: the critical tile-to-tile path runs
+        between diagonally opposed tiles (Section II-B)."""
+        return math.hypot(self.width_um, self.height_um)
+
+    def tile_center(self, row: int, col: int) -> tuple[float, float]:
+        """Center coordinates of the tile at grid position (row, col).
+
+        Channel widths vary (the central channel is wider), so positions
+        account for each crossed channel individually.
+        """
+        if not (0 <= row < self.grid and 0 <= col < self.grid):
+            raise ValueError("grid position out of range")
+
+        def axis_offset(index: int, tile_extent: float) -> float:
+            offset = self.halo_um
+            for k in range(index):
+                offset += tile_extent
+                offset += self._channel_width(k)
+            return offset + tile_extent / 2
+
+        return (
+            axis_offset(col, self.tile_width_um),
+            axis_offset(row, self.tile_height_um),
+        )
+
+    def _channel_width(self, index: int) -> float:
+        """Width of the channel after tile ``index`` along one axis."""
+        channels = self.grid - 1
+        if index >= channels:
+            return 0.0
+        center = (channels - 1) // 2
+        if channels % 2 and index == center:
+            return self.channels.center_width_um
+        return self.channels.outer_width_um
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """Geometric center of the group (where the interconnect sits)."""
+        return self.width_um / 2, self.height_um / 2
+
+
+def channel_supply_tracks_per_um(stack: MetalStack, is_3d: bool) -> float:
+    """Usable routing tracks per micrometre of channel cross-section.
+
+    2D groups route channels on the full M8 stack; 3D groups use both
+    tiers of the M6M6 stack but lose tracks to F2F-via landing pads.
+    """
+    supply = stack.supply_tracks_per_um() * CHANNEL_TRACK_UTILIZATION
+    if is_3d:
+        supply *= 1.0 - F2F_CHANNEL_BLOCKAGE
+    return supply
+
+
+def plan_channels(
+    boundary_bits: int,
+    stack: MetalStack,
+    is_3d: bool,
+    grid: int = 4,
+    detour_factor: float = 2.1,
+) -> ChannelPlan:
+    """Derive channel widths from routing demand and BEOL supply.
+
+    Demand: every boundary bit of every tile column crosses the channels
+    towards the group center, plus response paths back — approximated as
+    ``boundary_bits * grid / 2`` wires through the worst channel cut,
+    inflated by a detour factor for non-straight routes and via ladders.
+
+    The resulting widths are independent of the SPM capacity except
+    through the address bits inside ``boundary_bits``, matching the
+    paper's constant-channel-width methodology.
+    """
+    if boundary_bits <= 0:
+        raise ValueError("boundary bits must be positive")
+    if grid <= 1:
+        raise ValueError("grid must have at least two tiles per edge")
+    supply = channel_supply_tracks_per_um(stack, is_3d)
+    worst_cut_wires = boundary_bits * grid / 2 * detour_factor
+    total_width = worst_cut_wires / supply
+    # Split: the center channel is CENTER_CHANNEL_WIDENING x the outer ones.
+    outer = total_width / (2 + CENTER_CHANNEL_WIDENING)
+    return ChannelPlan(
+        outer_width_um=outer, center_width_um=CENTER_CHANNEL_WIDENING * outer
+    )
+
+
+def place_group(
+    tile_width_um: float,
+    tile_height_um: float,
+    boundary_bits: int,
+    stack: MetalStack,
+    is_3d: bool,
+    grid: int = 4,
+) -> GroupPlacement:
+    """Place a group: grid the tiles and size the channels."""
+    channels = plan_channels(boundary_bits, stack, is_3d, grid=grid)
+    return GroupPlacement(
+        grid=grid,
+        tile_width_um=tile_width_um,
+        tile_height_um=tile_height_um,
+        channels=channels,
+    )

@@ -1,0 +1,149 @@
+"""Group power model.
+
+Integrates dynamic power (cores, interconnect cells, inserted buffers,
+SRAM accesses, routed wires, clock) and leakage (cell area + macros) at
+the achieved clock frequency.  The power-delay product row of Table II
+follows as ``power x period``.
+
+The 3D groups save power through shorter wires and fewer repeaters; the
+capacity scaling costs show up through larger SRAM access energy, more
+leakage area, and longer wires — reproducing the 1.00 -> 1.30 power climb
+of the 2D column and the ~0.91x 3D baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .buffering import BufferingReport
+from .calibration import Calibration, DEFAULT_CALIBRATION
+from .cells import CELL_LIBRARY, CellInventory, CellKind
+from .netlist import GroupNetlist
+from .technology import Technology
+from .wirelength import WirelengthReport
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Power decomposition of one group, in milliwatts."""
+
+    cores_mw: float
+    interconnect_cells_mw: float
+    buffers_mw: float
+    sram_mw: float
+    wires_mw: float
+    clock_mw: float
+    leakage_mw: float
+
+    @property
+    def total_mw(self) -> float:
+        """Total group power."""
+        return (
+            self.cores_mw
+            + self.interconnect_cells_mw
+            + self.buffers_mw
+            + self.sram_mw
+            + self.wires_mw
+            + self.clock_mw
+            + self.leakage_mw
+        )
+
+    @property
+    def wire_related_mw(self) -> float:
+        """Power attributable to group routing (wires + repeaters)."""
+        return self.wires_mw + self.buffers_mw
+
+
+def _cell_dynamic_mw(
+    cells: CellInventory, freq_ghz: float, comb_activity: float, reg_activity: float
+) -> tuple[float, float]:
+    """(data, clock) dynamic power of a cell inventory in mW."""
+    lib = CELL_LIBRARY
+    data_fj_per_cycle = (
+        cells.combinational * lib[CellKind.COMBINATIONAL].switch_energy_fj * comb_activity
+        + cells.registers * lib[CellKind.REGISTER].switch_energy_fj * reg_activity
+        + cells.buffers * lib[CellKind.BUFFER].switch_energy_fj * comb_activity
+    )
+    # Register clock pins and clock cells toggle every cycle.
+    clock_fj_per_cycle = (
+        cells.registers * lib[CellKind.REGISTER].switch_energy_fj * 0.5
+        + cells.clock * lib[CellKind.CLOCK].switch_energy_fj
+    )
+    # fJ/cycle * Gcycle/s = uW; convert to mW.
+    return data_fj_per_cycle * freq_ghz * 1e-3, clock_fj_per_cycle * freq_ghz * 1e-3
+
+
+def analyze_power(
+    netlist: GroupNetlist,
+    wirelength: WirelengthReport,
+    buffering: BufferingReport,
+    frequency_mhz: float,
+    tech: Technology,
+    total_cell_area_um2: float,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> PowerReport:
+    """Compute the group's power at its achieved frequency.
+
+    Args:
+        netlist: The group's structural contents.
+        wirelength: Routed wire length report.
+        buffering: Inserted buffers.
+        frequency_mhz: Achieved (or signoff) clock frequency.
+        tech: Technology node.
+        total_cell_area_um2: All placed cell area, for leakage.
+    """
+    if frequency_mhz <= 0:
+        raise ValueError("frequency must be positive")
+    cal = calibration.power
+    f_ghz = frequency_mhz / 1000.0
+    arch = netlist.config.arch
+    tiles = netlist.num_tiles
+
+    # Cores: per-core dynamic figure covers the tile-internal switching.
+    cores = tiles * arch.cores_per_tile * cal.core_dynamic_mw_per_ghz * f_ghz
+
+    # Group-level interconnect cells.
+    ic_data, ic_clock = _cell_dynamic_mw(
+        netlist.interconnect_cells, f_ghz, cal.comb_activity, cal.register_activity
+    )
+
+    # Inserted buffers drive data nets.
+    buf_fj = (
+        buffering.total
+        * CELL_LIBRARY[CellKind.BUFFER].switch_energy_fj
+        * cal.buffer_activity
+    )
+    buffers = buf_fj * f_ghz * 1e-3
+
+    # SRAM: accesses per cycle per tile times per-access energy.
+    macro = netlist.tile.spm_macros[0]
+    sram_pj_per_cycle = (
+        tiles * cal.sram_accesses_per_tile_cycle * macro.read_energy_pj
+    )
+    sram = sram_pj_per_cycle * f_ghz  # pJ/cycle * Gcycle/s = mW
+
+    # Routed wires: C V^2 alpha f over the group wiring.
+    wire_cap_ff = wirelength.total_um * 0.22
+    wires = wire_cap_ff * tech.vdd**2 * cal.wire_activity * f_ghz * 1e-3
+
+    # Clock distribution wiring toggles at full rate.
+    clock_wire_cap_ff = wirelength.clock_um * 0.22
+    clock = ic_clock + clock_wire_cap_ff * tech.vdd**2 * 1.0 * f_ghz * 1e-3
+
+    # Leakage: standard cells by area, macros from the compiler model.
+    macro_leak = (
+        sum(m.leakage_uw for m in netlist.tile.spm_macros)
+        + sum(m.leakage_uw for m in netlist.tile.icache_macros)
+    ) * tiles
+    cell_leak = total_cell_area_um2 * tech.leakage_uw_per_mm2 / 1e6
+    leakage = (macro_leak + cell_leak) / 1000.0
+
+    return PowerReport(
+        cores_mw=cores,
+        interconnect_cells_mw=ic_data,
+        buffers_mw=buffers,
+        sram_mw=sram,
+        wires_mw=wires,
+        clock_mw=clock,
+        leakage_mw=leakage,
+    )

@@ -1,0 +1,211 @@
+"""SRAM macro compiler model.
+
+MemPool's shared L1 SPM is built from single-port SRAM macros: each tile has
+16 banks, and the per-bank capacity scales with the cluster's total SPM
+capacity (1 MiB cluster => 1 KiB banks ... 8 MiB cluster => 8 KiB banks,
+with 64 tiles x 16 banks = 1024 banks in total).  The paper's key
+macro-level observations are:
+
+* macro area grows super-linearly at small capacities (periphery overhead)
+  and near-linearly at large capacities;
+* macro access delay grows with capacity — the paper attributes the 6.2 %
+  frequency drop from MemPool-3D-1MiB to MemPool-3D-2MiB to "the longer
+  SRAMs' delay";
+* the 8 MiB macros are large enough that only 15 of 16 fit on the memory
+  die, forcing the adjusted 5x3 partitioning of Figure 3c.
+
+This module provides a parametric macro model with area, aspect ratio,
+access time, and access energy as functions of capacity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .technology import Technology, DEFAULT_TECHNOLOGY
+
+#: Read energy model: E = coeff * bits**exponent.  Fitted against the
+#: capacity scaling of the power row of Table II (2.2 pJ for a 1 KiB bank).
+READ_ENERGY_PJ_COEFF = 0.00987
+READ_ENERGY_BIT_EXPONENT = 0.6
+
+#: Leakage per KiB of macro capacity.
+LEAKAGE_UW_PER_KIB = 40.0
+
+
+@dataclass(frozen=True)
+class SRAMMacro:
+    """A compiled SRAM macro instance.
+
+    Attributes:
+        words: Number of addressable words.
+        word_bits: Bits per word (MemPool banks are 32-bit wide).
+        width_um: Physical macro width.
+        height_um: Physical macro height.
+        access_time_ps: Read access time (address-to-data) in the typical
+            corner.
+        read_energy_pj: Energy per read access.
+        write_energy_pj: Energy per write access.
+        leakage_uw: Leakage power of the macro.
+    """
+
+    words: int
+    word_bits: int
+    width_um: float
+    height_um: float
+    access_time_ps: float
+    read_energy_pj: float
+    write_energy_pj: float
+    leakage_uw: float
+
+    @property
+    def capacity_bits(self) -> int:
+        """Total storage capacity in bits."""
+        return self.words * self.word_bits
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total storage capacity in bytes."""
+        return self.capacity_bits // 8
+
+    @property
+    def area_um2(self) -> float:
+        """Macro footprint area."""
+        return self.width_um * self.height_um
+
+
+class SRAMCompiler:
+    """Generates :class:`SRAMMacro` instances for a technology node.
+
+    The model follows standard memory-compiler scaling:
+
+    * area = bitcell array / efficiency + fixed periphery, where array
+      efficiency improves with capacity (periphery is amortized);
+    * access time = t0 + k * sqrt(bits) (word-/bit-line RC grows with the
+      array's linear dimension);
+    * energy per access scales with the accessed row's length and the
+      bit-line capacitance, i.e. also ~sqrt(bits) plus a fixed part.
+    """
+
+    def __init__(self, tech: Technology = DEFAULT_TECHNOLOGY) -> None:
+        self._tech = tech
+
+    @property
+    def technology(self) -> Technology:
+        """The node this compiler targets."""
+        return self._tech
+
+    #: Array efficiency (bitcell area / total macro area) by log2(bits).
+    #: Table fitted against the per-capacity macro areas implied by the
+    #: paper's Table I utilization columns (memory-die utilizations of
+    #: 51 / 65 / 89 / ~100 % for bank capacities of 1 / 2 / 4 / 8 KiB);
+    #: very small single-port macros are heavily periphery-dominated.
+    EFFICIENCY_TABLE: tuple[tuple[float, float], ...] = (
+        (11.0, 0.120),  # 256 B
+        (12.0, 0.150),  # 512 B
+        (13.0, 0.183),  # 1 KiB
+        (14.0, 0.280),  # 2 KiB
+        (15.0, 0.345),  # 4 KiB
+        (16.0, 0.464),  # 8 KiB
+        (18.0, 0.580),  # 32 KiB
+        (20.0, 0.650),  # 128 KiB
+    )
+
+    def _efficiency(self, bits: int) -> float:
+        """Interpolated array efficiency for a macro of ``bits``."""
+        x = math.log2(bits)
+        table = self.EFFICIENCY_TABLE
+        if x <= table[0][0]:
+            return table[0][1]
+        if x >= table[-1][0]:
+            return table[-1][1]
+        for (x0, y0), (x1, y1) in zip(table, table[1:]):
+            if x0 <= x <= x1:
+                return y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+        raise AssertionError("interpolation table not monotone")
+
+    def compile(self, words: int, word_bits: int = 32) -> SRAMMacro:
+        """Compile a ``words x word_bits`` single-port macro.
+
+        Args:
+            words: Word count; must be a positive power of two.
+            word_bits: Word width in bits.
+
+        Raises:
+            ValueError: If ``words`` is not a positive power of two or
+                ``word_bits`` is not positive.
+        """
+        if words <= 0 or words & (words - 1):
+            raise ValueError(f"word count must be a positive power of two, got {words}")
+        if word_bits <= 0:
+            raise ValueError("word width must be positive")
+
+        bits = words * word_bits
+        area = bits * self._tech.sram_bitcell_um2 / self._efficiency(bits)
+
+        # Near-square macros with a mild landscape bias (column muxing).
+        aspect = 1.35
+        height = math.sqrt(area / aspect)
+        width = area / height
+
+        # Access time: fixed decode/sense part + RC part growing with the
+        # array's linear dimension (sqrt of bit count).
+        access_time = 230.0 + 1.1 * math.sqrt(bits)
+
+        # Access energy: word-/bit-line swing grows with the array's
+        # linear dimension.
+        read_energy = READ_ENERGY_PJ_COEFF * bits**READ_ENERGY_BIT_EXPONENT
+        write_energy = 1.1 * read_energy
+        leakage = LEAKAGE_UW_PER_KIB * bits / 8192.0
+
+        return SRAMMacro(
+            words=words,
+            word_bits=word_bits,
+            width_um=width,
+            height_um=height,
+            access_time_ps=access_time,
+            read_energy_pj=read_energy,
+            write_energy_pj=write_energy,
+            leakage_uw=leakage,
+        )
+
+    def compile_bytes(self, capacity_bytes: int, word_bits: int = 32) -> SRAMMacro:
+        """Compile a macro holding ``capacity_bytes`` of 32-bit words."""
+        if capacity_bytes <= 0 or capacity_bytes % (word_bits // 8):
+            raise ValueError("capacity must be a positive multiple of the word size")
+        return self.compile(capacity_bytes // (word_bits // 8), word_bits)
+
+
+def spm_bank_macro(
+    cluster_capacity_mib: int,
+    compiler: SRAMCompiler | None = None,
+    banks_per_tile: int = 16,
+    num_tiles: int = 64,
+) -> SRAMMacro:
+    """Compile the SPM bank macro for a given cluster capacity.
+
+    MemPool's L1 is word-interleaved over ``num_tiles * banks_per_tile``
+    banks; each bank is one macro.  For the paper's 1/2/4/8 MiB cluster
+    configurations this yields 1/2/4/8 KiB banks.
+
+    Args:
+        cluster_capacity_mib: Total cluster SPM capacity in MiB.
+        compiler: Optional compiler; a default 28 nm one is used otherwise.
+        banks_per_tile: SPM banks per tile (16 in MemPool).
+        num_tiles: Tiles in the cluster (64 in MemPool).
+    """
+    if cluster_capacity_mib <= 0:
+        raise ValueError("capacity must be positive")
+    compiler = compiler or SRAMCompiler()
+    total_bytes = cluster_capacity_mib * (1 << 20)
+    bank_bytes, rem = divmod(total_bytes, banks_per_tile * num_tiles)
+    if rem:
+        raise ValueError("cluster capacity must divide evenly across banks")
+    return compiler.compile_bytes(bank_bytes)
+
+
+def icache_bank_macro(compiler: SRAMCompiler | None = None) -> SRAMMacro:
+    """Compile one of the tile's instruction-cache banks (2 KiB I$ / 4 banks)."""
+    compiler = compiler or SRAMCompiler()
+    return compiler.compile_bytes(512)

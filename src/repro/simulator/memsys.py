@@ -1,0 +1,91 @@
+"""Off-chip memory system: bandwidth-limited, idealized latency.
+
+Section VI-A of the paper models the off-chip global memory as a channel
+delivering a fixed number of bytes per MemPool cycle, sweeping bandwidths
+from a worst-case 4 B/cycle to an optimistic 64 B/cycle; 16 B/cycle
+corresponds to a single DDR channel (8 B data width, double data rate)
+clocked at MemPool's frequency.  Latency into the global memory is
+idealized (fully pipelined), so a transfer of N bytes costs
+``ceil(N / bandwidth)`` cycles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: The bandwidth sweep of Figure 6, in bytes per cycle.
+PAPER_BANDWIDTH_SWEEP = (4, 8, 16, 32, 64)
+
+#: One DDR channel at MemPool's clock: 8 B wide, double data rate.
+DDR_CHANNEL_BYTES_PER_CYCLE = 16
+
+
+@dataclass
+class TransferRecord:
+    """One bulk transfer between global memory and the SPM."""
+
+    bytes: int
+    cycles: int
+    is_store: bool
+
+
+@dataclass
+class OffChipMemory:
+    """A bandwidth-limited off-chip memory channel.
+
+    Attributes:
+        bandwidth_bytes_per_cycle: Sustained transfer bandwidth.
+        latency_cycles: Fixed per-transfer access latency.  The paper
+            idealizes this to zero ("our model idealizes the latency into
+            the off-chip global memory"); a non-zero value models the
+            DRAM access time as an extension, charged once per bulk
+            transfer (streaming hides it within a transfer).
+        transfers: Log of performed transfers.
+    """
+
+    bandwidth_bytes_per_cycle: float = DDR_CHANNEL_BYTES_PER_CYCLE
+    latency_cycles: int = 0
+    transfers: list[TransferRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_cycle <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency_cycles < 0:
+            raise ValueError("latency must be non-negative")
+
+    def transfer_cycles(self, num_bytes: int) -> int:
+        """Cycles to move ``num_bytes`` in one direction.
+
+        Bandwidth-bound streaming plus the fixed access latency (zero in
+        the paper's idealized model).
+        """
+        if num_bytes < 0:
+            raise ValueError("byte count must be non-negative")
+        if num_bytes == 0:
+            return 0
+        return self.latency_cycles + math.ceil(
+            num_bytes / self.bandwidth_bytes_per_cycle
+        )
+
+    def load(self, num_bytes: int) -> int:
+        """Record a global-memory -> SPM transfer; returns its cycle cost."""
+        cycles = self.transfer_cycles(num_bytes)
+        self.transfers.append(TransferRecord(num_bytes, cycles, is_store=False))
+        return cycles
+
+    def store(self, num_bytes: int) -> int:
+        """Record an SPM -> global-memory transfer; returns its cycle cost."""
+        cycles = self.transfer_cycles(num_bytes)
+        self.transfers.append(TransferRecord(num_bytes, cycles, is_store=True))
+        return cycles
+
+    @property
+    def total_bytes(self) -> int:
+        """Total traffic moved in either direction."""
+        return sum(t.bytes for t in self.transfers)
+
+    @property
+    def total_cycles(self) -> int:
+        """Total cycles spent transferring."""
+        return sum(t.cycles for t in self.transfers)

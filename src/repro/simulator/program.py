@@ -1,0 +1,119 @@
+"""Generic SPMD program generators for the cycle-level simulator.
+
+These helpers assemble small data-parallel programs (vector add, memcpy,
+fill) used by tests and calibration runs.  The matmul kernels — the
+paper's workload — live in :mod:`repro.kernels.matmul`.
+
+Register conventions used by all generators:
+``x1`` hart id, ``x2`` core count, ``x3`` element count; ``x20+`` are
+scratch.
+"""
+
+from __future__ import annotations
+
+from ..arch.isa import Program, ProgramBuilder
+
+
+def vector_add_program(
+    num_elements: int, num_cores: int, base_a: int, base_b: int, base_c: int
+) -> Program:
+    """``c[i] = a[i] + b[i]`` with elements interleaved across cores."""
+    if num_elements <= 0 or num_cores <= 0:
+        raise ValueError("element and core counts must be positive")
+    b = ProgramBuilder()
+    b.csrr_hartid(1)
+    b.li(2, num_cores)
+    b.li(3, num_elements)
+    b.li(4, 4)
+    b.add(5, 1, 0)  # i = hartid
+    b.mul(20, 2, 4)  # stride = cores * 4
+    b.label("loop")
+    b.blt(5, 3, "body")
+    b.j("done")
+    b.label("body")
+    b.mul(21, 5, 4)  # offset = i * 4
+    b.li(22, base_a)
+    b.add(22, 22, 21)
+    b.lw(23, 22, 0)  # a[i]
+    b.li(24, base_b)
+    b.add(24, 24, 21)
+    b.lw(25, 24, 0)  # b[i]
+    b.add(26, 23, 25)
+    b.li(27, base_c)
+    b.add(27, 27, 21)
+    b.sw(26, 27, 0)
+    b.add(5, 5, 2)  # i += cores
+    b.j("loop")
+    b.label("done")
+    b.barrier()
+    b.halt()
+    return b.build()
+
+
+def memcpy_program(
+    num_words: int, num_cores: int, base_src: int, base_dst: int
+) -> Program:
+    """Copy ``num_words`` words, chunked contiguously across cores.
+
+    Each core copies a contiguous chunk with post-incrementing pointers,
+    mimicking the memory phase of the paper's matmul (bulk SPM refill).
+    """
+    if num_words <= 0 or num_cores <= 0:
+        raise ValueError("word and core counts must be positive")
+    chunk = (num_words + num_cores - 1) // num_cores
+    b = ProgramBuilder()
+    b.csrr_hartid(1)
+    b.li(2, chunk)
+    b.li(3, num_words)
+    b.li(4, 4)
+    b.mul(5, 1, 2)  # start = hartid * chunk
+    b.add(6, 5, 2)  # end = start + chunk
+    b.blt(6, 3, "clamped")
+    b.add(6, 3, 0)  # end = min(end, num_words)
+    b.label("clamped")
+    b.mul(20, 5, 4)
+    b.li(21, base_src)
+    b.add(21, 21, 20)  # src pointer
+    b.li(22, base_dst)
+    b.add(22, 22, 20)  # dst pointer
+    b.label("loop")
+    b.blt(5, 6, "body")
+    b.j("done")
+    b.label("body")
+    b.lw_postinc(23, 21, 4)
+    b.sw_postinc(23, 22, 4)
+    b.addi(5, 5, 1)
+    b.j("loop")
+    b.label("done")
+    b.barrier()
+    b.halt()
+    return b.build()
+
+
+def fill_program(num_words: int, num_cores: int, base: int, value: int) -> Program:
+    """Fill ``num_words`` words with ``value``, interleaved across cores."""
+    if num_words <= 0 or num_cores <= 0:
+        raise ValueError("word and core counts must be positive")
+    b = ProgramBuilder()
+    b.csrr_hartid(1)
+    b.li(2, num_cores)
+    b.li(3, num_words)
+    b.li(4, 4)
+    b.li(20, value)
+    b.add(5, 1, 0)
+    b.mul(21, 2, 4)  # pointer stride
+    b.mul(22, 5, 4)
+    b.li(23, base)
+    b.add(23, 23, 22)
+    b.label("loop")
+    b.blt(5, 3, "body")
+    b.j("done")
+    b.label("body")
+    b.sw_postinc(20, 23, 0)
+    b.add(23, 23, 21)
+    b.add(5, 5, 2)
+    b.j("loop")
+    b.label("done")
+    b.barrier()
+    b.halt()
+    return b.build()

@@ -1,0 +1,67 @@
+"""Simulation statistics collection and reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.cluster import MemPoolCluster
+
+
+@dataclass(frozen=True)
+class ClusterTrace:
+    """Aggregated post-run statistics of a cluster simulation."""
+
+    cycles: int
+    instructions: int
+    local_accesses: int
+    group_accesses: int
+    cluster_accesses: int
+    bank_conflicts: int
+    port_conflicts: int
+    icache_hit_rate: float
+    barrier_episodes: int
+
+    @property
+    def total_accesses(self) -> int:
+        """All granted SPM accesses."""
+        return self.local_accesses + self.group_accesses + self.cluster_accesses
+
+    @property
+    def conflict_rate(self) -> float:
+        """Refused-request fraction over all attempts."""
+        refused = self.bank_conflicts + self.port_conflicts
+        attempts = self.total_accesses + refused
+        if not attempts:
+            return 0.0
+        return refused / attempts
+
+    @property
+    def locality_fractions(self) -> tuple[float, float, float]:
+        """(local, intra-group, inter-group) access shares."""
+        total = self.total_accesses
+        if not total:
+            return (0.0, 0.0, 0.0)
+        return (
+            self.local_accesses / total,
+            self.group_accesses / total,
+            self.cluster_accesses / total,
+        )
+
+
+def collect_trace(cluster: MemPoolCluster, cycles: int) -> ClusterTrace:
+    """Snapshot a cluster's statistics after a run of ``cycles`` cycles."""
+    router = cluster.router.stats
+    hits = sum(t.icache.stats.hits for t in cluster.tiles)
+    accesses = sum(t.icache.stats.accesses for t in cluster.tiles)
+    hit_rate = hits / accesses if accesses else 1.0
+    return ClusterTrace(
+        cycles=cycles,
+        instructions=sum(c.stats.instructions for c in cluster.cores),
+        local_accesses=router.local_accesses,
+        group_accesses=router.group_accesses,
+        cluster_accesses=router.cluster_accesses,
+        bank_conflicts=router.bank_conflicts,
+        port_conflicts=router.port_conflicts,
+        icache_hit_rate=hit_rate,
+        barrier_episodes=cluster.barrier.episodes,
+    )

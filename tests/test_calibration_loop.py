@@ -1,0 +1,63 @@
+"""Closing the loop: Figure 6 rebuilt from simulator-calibrated parameters.
+
+The default phase model uses paper-fitted constants (CPI 2.9, 10 k-cycle
+overhead).  This test recalibrates the CPI from an actual cycle-level
+simulation (:func:`calibrate_from_simulation`) and verifies the paper's
+qualitative Figure 6 conclusions survive: absolute speedups shift with
+the CPI, but capacity always helps, bandwidth scarcity amplifies the
+benefit, and the 8-over-1 MiB ordering across bandwidths is preserved.
+"""
+
+import pytest
+
+from repro.core.config import Flow, MemPoolConfig
+from repro.experiments import fig6
+from repro.kernels.matmul import calibrate_from_simulation
+
+
+@pytest.fixture(scope="module")
+def calibrated_points():
+    config = MemPoolConfig(capacity_mib=1, flow=Flow.FLOW_2D)
+    params = calibrate_from_simulation(config, n=16, num_cores=8)
+    return fig6.run(params=params), params
+
+
+class TestCalibratedFig6:
+    def test_cpi_comes_from_simulation(self, calibrated_points):
+        _, params = calibrated_points
+        assert params.cpi_mac != pytest.approx(2.9)
+        assert params.num_cores == 256
+
+    def test_capacity_still_monotone(self, calibrated_points):
+        points, _ = calibrated_points
+        for bw in {p.bandwidth for p in points}:
+            series = sorted(
+                (p for p in points if p.bandwidth == bw),
+                key=lambda p: p.capacity_mib,
+            )
+            speedups = [p.speedup_vs_baseline for p in series]
+            assert speedups == sorted(speedups)
+
+    def test_scarce_bandwidth_amplifies_capacity_benefit(self, calibrated_points):
+        points, _ = calibrated_points
+        headline = fig6.speedup_8mib_over_1mib(points)
+        bandwidths = sorted(headline)
+        values = [headline[bw] for bw in bandwidths]
+        assert values == sorted(values, reverse=True)
+        assert headline[bandwidths[0]] > 0.1
+
+    def test_memory_fraction_still_decreases_with_capacity(self, calibrated_points):
+        points, _ = calibrated_points
+        at_4b = {p.capacity_mib: p.memory_fraction for p in points if p.bandwidth == 4}
+        assert at_4b[8] < at_4b[1]
+
+    def test_higher_cpi_lowers_relative_speedups(self, calibrated_points):
+        # The simulated (blocking-load) CPI exceeds the paper's optimized
+        # 2.9, so compute dominates more and memory savings matter less:
+        # the calibrated 8-over-1 speedup at 4 B/cycle drops below the
+        # paper-fitted 43 %.
+        points, params = calibrated_points
+        assert params.cpi_mac > 2.9
+        headline = fig6.speedup_8mib_over_1mib(points)
+        default_headline = fig6.speedup_8mib_over_1mib(fig6.run())
+        assert headline[4] < default_headline[4]

@@ -1,0 +1,151 @@
+"""Tests for repro.physical.cells and repro.physical.sram."""
+
+import pytest
+
+from repro.physical.cells import (
+    CELL_LIBRARY,
+    CellInventory,
+    CellKind,
+    inventory_from_kge,
+)
+from repro.physical.sram import (
+    SRAMCompiler,
+    icache_bank_macro,
+    spm_bank_macro,
+)
+from repro.physical.technology import DEFAULT_TECHNOLOGY
+
+
+class TestCellInventory:
+    def test_totals(self):
+        inv = CellInventory(combinational=10, registers=5, buffers=3, clock=2)
+        assert inv.total == 20
+
+    def test_area_matches_library(self):
+        inv = CellInventory(combinational=10)
+        assert inv.area_ge() == pytest.approx(10 * CELL_LIBRARY[CellKind.COMBINATIONAL].area_ge)
+
+    def test_buffer_fraction(self):
+        inv = CellInventory(combinational=1, buffers=3)
+        assert inv.buffer_fraction() == pytest.approx(0.75)
+        assert CellInventory().buffer_fraction() == 0.0
+
+    def test_with_buffers(self):
+        inv = CellInventory(combinational=5, buffers=1)
+        updated = inv.with_buffers(100)
+        assert updated.buffers == 100
+        assert updated.combinational == 5
+
+    def test_scaled_and_merged(self):
+        inv = CellInventory(combinational=10, registers=4)
+        assert inv.scaled(0.5).combinational == 5
+        merged = inv.merged(CellInventory(combinational=1, clock=2))
+        assert merged.combinational == 11
+        assert merged.clock == 2
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            CellInventory(combinational=-1)
+        with pytest.raises(ValueError):
+            CellInventory(registers=1).scaled(-2)
+
+
+class TestInventoryFromKge:
+    def test_area_roundtrip(self):
+        inv = inventory_from_kge(100.0)
+        assert inv.area_ge() == pytest.approx(100_000, rel=0.02)
+
+    def test_fraction_control(self):
+        heavy = inventory_from_kge(100.0, register_fraction=0.5)
+        light = inventory_from_kge(100.0, register_fraction=0.05)
+        assert heavy.registers > light.registers
+
+    def test_rejects_overcommitted_fractions(self):
+        with pytest.raises(ValueError):
+            inventory_from_kge(10.0, register_fraction=0.8, buffer_fraction=0.3)
+
+    def test_rejects_negative_kge(self):
+        with pytest.raises(ValueError):
+            inventory_from_kge(-1.0)
+
+
+class TestSRAMCompiler:
+    @pytest.fixture
+    def compiler(self):
+        return SRAMCompiler()
+
+    def test_area_monotone_in_capacity(self, compiler):
+        areas = [compiler.compile(words).area_um2 for words in (256, 512, 1024, 2048)]
+        assert areas == sorted(areas)
+
+    def test_access_time_monotone(self, compiler):
+        times = [compiler.compile(w).access_time_ps for w in (256, 1024, 2048)]
+        assert times == sorted(times)
+
+    def test_energy_monotone(self, compiler):
+        e = [compiler.compile(w).read_energy_pj for w in (256, 1024, 2048)]
+        assert e == sorted(e)
+        macro = compiler.compile(256)
+        assert macro.write_energy_pj > macro.read_energy_pj
+
+    def test_capacity_accessors(self, compiler):
+        macro = compiler.compile(256, word_bits=32)
+        assert macro.capacity_bits == 8192
+        assert macro.capacity_bytes == 1024
+
+    def test_sub_linear_area_growth(self, compiler):
+        # Periphery amortizes: doubling capacity less than doubles area.
+        small = compiler.compile(256).area_um2
+        big = compiler.compile(512).area_um2
+        assert big < 2 * small
+
+    def test_rejects_non_power_of_two(self, compiler):
+        with pytest.raises(ValueError):
+            compiler.compile(100)
+
+    def test_rejects_nonpositive(self, compiler):
+        with pytest.raises(ValueError):
+            compiler.compile(0)
+        with pytest.raises(ValueError):
+            compiler.compile(256, word_bits=0)
+
+    def test_compile_bytes(self, compiler):
+        macro = compiler.compile_bytes(1024)
+        assert macro.words == 256
+        with pytest.raises(ValueError):
+            compiler.compile_bytes(1023)
+
+    def test_aspect_is_landscape(self, compiler):
+        macro = compiler.compile(1024)
+        assert macro.width_um > macro.height_um
+
+    def test_efficiency_interpolation_monotone(self, compiler):
+        effs = [compiler._efficiency(1 << b) for b in range(11, 21)]
+        assert effs == sorted(effs)
+        assert compiler._efficiency(1 << 8) == compiler._efficiency(1 << 11)
+        assert compiler._efficiency(1 << 25) == compiler._efficiency(1 << 20)
+
+
+class TestBankMacros:
+    @pytest.mark.parametrize("cap,bank_bytes", [(1, 1024), (2, 2048), (4, 4096), (8, 8192)])
+    def test_spm_bank_capacity(self, cap, bank_bytes):
+        macro = spm_bank_macro(cap)
+        assert macro.capacity_bytes == bank_bytes
+        assert macro.word_bits == 32
+
+    def test_icache_bank(self):
+        macro = icache_bank_macro()
+        assert macro.capacity_bytes == 512
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            spm_bank_macro(0)
+        with pytest.raises(ValueError):
+            spm_bank_macro(1, banks_per_tile=7)  # does not divide
+
+    def test_access_time_drives_3d_frequency_drop(self):
+        # The paper attributes the 3D 1->2 MiB frequency drop to SRAM delay.
+        assert spm_bank_macro(2).access_time_ps > spm_bank_macro(1).access_time_ps
+
+    def test_technology_accessor(self):
+        assert SRAMCompiler().technology is DEFAULT_TECHNOLOGY

@@ -1,0 +1,69 @@
+"""Tests for the top-level CLI (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_implement_args(self):
+        args = build_parser().parse_args(["implement", "MemPool-3D-4MiB"])
+        assert args.config == "MemPool-3D-4MiB"
+        assert not args.cluster
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.kernel == "matmul"
+        assert args.cores == 16
+
+
+class TestCommands:
+    def test_implement(self, capsys):
+        assert main(["implement", "MemPool-2D-1MiB"]) == 0
+        out = capsys.readouterr().out
+        assert "footprint" in out
+        assert "MHz" in out
+
+    def test_implement_3d_shows_partition(self, capsys):
+        assert main(["implement", "MemPool-3D-8MiB"]) == 0
+        out = capsys.readouterr().out
+        assert "15 banks" in out
+        assert "F2F bumps" in out
+
+    def test_implement_cluster(self, capsys):
+        assert main(["implement", "MemPool-3D-1MiB", "--cluster"]) == 0
+        assert "cluster level" in capsys.readouterr().out
+
+    def test_simulate_matmul(self, capsys):
+        assert main(["simulate", "--kernel", "matmul", "--n", "8", "--cores", "4"]) == 0
+        assert "verified: True" in capsys.readouterr().out
+
+    def test_simulate_scoreboard(self, capsys):
+        assert main(
+            ["simulate", "--kernel", "matmul", "--n", "8", "--cores", "4",
+             "--scoreboard"]
+        ) == 0
+        assert "verified: True" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("kernel", ["dotp", "axpy", "conv2d"])
+    def test_simulate_other_kernels(self, kernel, capsys):
+        assert main(["simulate", "--kernel", kernel, "--n", "12", "--cores", "4"]) == 0
+        assert "verified: True" in capsys.readouterr().out
+
+    def test_explore(self, capsys):
+        assert main(["explore"]) == 0
+        out = capsys.readouterr().out
+        assert "MemPool-3D-8MiB" in out
+        assert "best performance" in out
+
+    def test_experiments_subset(self, capsys):
+        assert main(["experiments", "fig6"]) == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_bad_config_name(self):
+        with pytest.raises(ValueError):
+            main(["implement", "NotAConfig"])

@@ -1,0 +1,185 @@
+"""Tests for the clock-tree, cost, and DMA extensions."""
+
+import pytest
+
+from repro.core.config import Flow, MemPoolConfig
+from repro.physical.clocktree import synthesize_clock_tree
+from repro.physical.cost import (
+    CostModelParams,
+    analyze_cost,
+    cost_ratio_3d_over_2d,
+    dies_per_wafer,
+    murphy_yield,
+)
+from repro.physical.flow2d import implement_group_2d
+from repro.physical.flow3d import implement_group_3d
+from repro.physical.technology import DEFAULT_TECHNOLOGY, make_stack
+
+
+class TestClockTree:
+    def make(self, width=3000.0, height=3000.0, sinks=10_000):
+        return synthesize_clock_tree(
+            width, height, sinks, DEFAULT_TECHNOLOGY, make_stack("M8")
+        )
+
+    def test_structure(self):
+        tree = self.make()
+        assert tree.levels >= 2
+        assert tree.buffers > tree.levels
+        assert tree.wirelength_um > 3000.0
+
+    def test_more_sinks_deeper_tree(self):
+        small = self.make(sinks=100)
+        large = self.make(sinks=100_000)
+        assert large.levels >= small.levels
+        assert large.buffers > small.buffers
+
+    def test_bigger_die_more_wire_and_delay(self):
+        small = self.make(width=2000, height=2000)
+        large = self.make(width=4000, height=4000)
+        assert large.wirelength_um > small.wirelength_um
+        assert large.insertion_delay_ps > small.insertion_delay_ps
+
+    def test_skew_smaller_than_insertion(self):
+        tree = self.make()
+        assert 0 < tree.skew_ps < tree.insertion_delay_ps
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            self.make(width=0)
+        with pytest.raises(ValueError):
+            self.make(sinks=0)
+
+
+class TestYieldModel:
+    def test_murphy_yield_bounds(self):
+        assert murphy_yield(1e-9, 0.25) == pytest.approx(1.0, abs=1e-6)
+        assert 0 < murphy_yield(500.0, 0.25) < murphy_yield(50.0, 0.25) < 1
+
+    def test_zero_defects_perfect_yield(self):
+        assert murphy_yield(100.0, 0.0) == 1.0
+
+    def test_dies_per_wafer_decreases_with_area(self):
+        assert dies_per_wafer(10.0, 300) > dies_per_wafer(100.0, 300)
+
+    def test_dies_per_wafer_sane_magnitude(self):
+        # A ~100 mm^2 die on a 300 mm wafer: several hundred dies.
+        assert 400 < dies_per_wafer(100.0, 300) < 800
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            murphy_yield(0, 0.25)
+        with pytest.raises(ValueError):
+            dies_per_wafer(0, 300)
+
+
+class TestCostAnalysis:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        g3 = implement_group_3d(MemPoolConfig(4, Flow.FLOW_3D))
+        g2 = implement_group_2d(MemPoolConfig(4, Flow.FLOW_2D))
+        return g3, g2
+
+    def test_3d_uses_two_smaller_dies(self, pair):
+        g3, g2 = pair
+        c3, c2 = analyze_cost(g3), analyze_cost(g2)
+        assert c3.dies == 2 and c2.dies == 1
+        assert c3.die_area_mm2 < c2.die_area_mm2
+        assert c3.dies_per_wafer > c2.dies_per_wafer
+
+    def test_smaller_die_yields_better(self, pair):
+        g3, g2 = pair
+        assert analyze_cost(g3).die_yield > analyze_cost(g2).die_yield
+
+    def test_3d_unit_yield_includes_bonding(self, pair):
+        g3, _ = pair
+        c3 = analyze_cost(g3)
+        assert c3.unit_yield < c3.die_yield**2 + 1e-12
+
+    def test_cost_ratio_moderate(self, pair):
+        g3, g2 = pair
+        ratio = cost_ratio_3d_over_2d(g3, g2)
+        # Two dies cost more, but yield pulls the ratio well below 2x.
+        assert 1.0 < ratio < 2.0
+
+    def test_defect_density_penalizes_w2w_bonding(self, pair):
+        # Wafer-to-wafer bonding joins *untested* dies: the unit needs two
+        # good dies, so although each 3D die is smaller and yields better,
+        # rising defect density still widens the 3D cost gap.  (This is
+        # the classic argument for known-good-die / die-to-wafer flows.)
+        g3, g2 = pair
+        clean = cost_ratio_3d_over_2d(g3, g2, CostModelParams(defect_density_per_cm2=0.05))
+        dirty = cost_ratio_3d_over_2d(g3, g2, CostModelParams(defect_density_per_cm2=1.0))
+        assert dirty > clean
+
+    def test_argument_order_enforced(self, pair):
+        g3, g2 = pair
+        with pytest.raises(ValueError):
+            cost_ratio_3d_over_2d(g2, g3)
+
+
+class TestDMA:
+    @pytest.fixture
+    def cluster(self):
+        from repro.arch.cluster import MemPoolCluster
+
+        return MemPoolCluster(MemPoolConfig(1, Flow.FLOW_2D))
+
+    def test_fill_writes_data(self, cluster):
+        from repro.simulator.dma import dma_fill
+
+        payload = [i * 7 + 1 for i in range(256)]
+        cycles = dma_fill(cluster, 0, payload, bandwidth_bytes_per_cycle=16)
+        assert cluster.read_words(0, 256) == payload
+        # 256 words at 4 words/cycle: at least 64 cycles.
+        assert cycles >= 64
+
+    def test_bandwidth_bounds_cycles(self, cluster):
+        from repro.arch.cluster import MemPoolCluster
+        from repro.simulator.dma import dma_fill
+
+        payload = list(range(512))
+        fast_cluster = MemPoolCluster(cluster.config)
+        slow = dma_fill(cluster, 0, payload, bandwidth_bytes_per_cycle=8)
+        fast = dma_fill(fast_cluster, 0, payload, bandwidth_bytes_per_cycle=64)
+        assert fast < slow
+
+    def test_readback_transfer(self, cluster):
+        from repro.simulator.dma import DMACore, DMARequest
+
+        cluster.write_words(128, [5, 6, 7, 8])
+        dma = DMACore(cluster, bandwidth_bytes_per_cycle=16)
+        request = DMARequest(spm_address=128, words=4, to_spm=False)
+        dma.enqueue(request)
+        cycle = 0
+        while not dma.halted:
+            dma.step(cycle)
+            cycle += 1
+        assert request.data == [5, 6, 7, 8]
+
+    def test_competes_with_cores_for_banks(self, cluster):
+        # A core hammering bank 0 forces DMA retries on that bank.
+        from repro.simulator.dma import DMACore, DMARequest
+
+        dma = DMACore(cluster, bandwidth_bytes_per_cycle=16)
+        dma.enqueue(DMARequest(spm_address=0, words=64, to_spm=True, data=[1] * 64))
+        cycle = 0
+        while not dma.halted:
+            # Steal bank 0 of tile 0 on even cycles before the DMA runs.
+            if cycle % 2 == 0:
+                cluster.tile(0).access(cycle, 0, 0, write=False)
+            dma.step(cycle)
+            cycle += 1
+            assert cycle < 10_000
+        assert dma.stats.stall_cycles > 0
+        assert cluster.read_words(0, 64) == [1] * 64
+
+    def test_request_validation(self):
+        from repro.simulator.dma import DMARequest
+
+        with pytest.raises(ValueError):
+            DMARequest(spm_address=2, words=4, to_spm=False)
+        with pytest.raises(ValueError):
+            DMARequest(spm_address=0, words=0, to_spm=False)
+        with pytest.raises(ValueError):
+            DMARequest(spm_address=0, words=4, to_spm=True, data=[1])

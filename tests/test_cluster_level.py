@@ -1,0 +1,77 @@
+"""Tests for repro.physical.cluster_level."""
+
+import pytest
+
+from repro.core.config import CAPACITIES_MIB, Flow, MemPoolConfig
+from repro.physical.cluster_level import (
+    implement_cluster,
+    inter_group_channel_width_um,
+)
+from repro.physical.flow3d import implement_group
+
+
+@pytest.fixture(scope="module")
+def clusters():
+    out = {}
+    for cap in CAPACITIES_MIB:
+        for flow in (Flow.FLOW_2D, Flow.FLOW_3D):
+            config = MemPoolConfig(cap, flow)
+            out[(flow.value, cap)] = implement_cluster(implement_group(config))
+    return out
+
+
+class TestGeometry:
+    def test_cluster_is_2x2_of_groups_plus_channel(self, clusters):
+        c = clusters[("2D", 1)]
+        assert c.width_um == pytest.approx(
+            2 * c.group.placement.width_um + c.channel_width_um
+        )
+        assert c.footprint_um2 > 4 * c.group.placement.footprint_um2
+
+    def test_channel_area_fraction_is_small(self, clusters):
+        for c in clusters.values():
+            assert 0 < c.channel_area_fraction < 0.15
+
+    def test_3d_inter_group_channels_narrower(self, clusters):
+        for cap in CAPACITIES_MIB:
+            w2 = clusters[("2D", cap)].channel_width_um
+            w3 = clusters[("3D", cap)].channel_width_um
+            assert w3 < w2
+
+    def test_paper_claim_more_favorable_cluster_area_ratio(self, clusters):
+        """Section V-A: the 3D/2D footprint ratio improves at cluster level."""
+        for cap in CAPACITIES_MIB:
+            group_ratio = (
+                clusters[("3D", cap)].group.footprint_um2
+                / clusters[("2D", cap)].group.footprint_um2
+            )
+            cluster_ratio = (
+                clusters[("3D", cap)].footprint_um2
+                / clusters[("2D", cap)].footprint_um2
+            )
+            assert cluster_ratio < group_ratio
+
+    def test_combined_area_counts_dies(self, clusters):
+        c3 = clusters[("3D", 1)]
+        assert c3.combined_area_um2 == pytest.approx(2 * c3.footprint_um2)
+        c2 = clusters[("2D", 1)]
+        assert c2.combined_area_um2 == pytest.approx(c2.footprint_um2)
+
+
+class TestAggregates:
+    def test_power_is_four_groups_plus_glue(self, clusters):
+        c = clusters[("2D", 1)]
+        assert c.power_mw == pytest.approx(4 * c.group.power.total_mw, rel=0.01)
+        assert c.power_mw > 4 * c.group.power.total_mw  # glue adds a little
+
+    def test_frequency_matches_group(self, clusters):
+        c = clusters[("3D", 4)]
+        assert c.frequency_mhz == c.group.timing.frequency_mhz
+
+    def test_channel_width_grows_with_address_bits(self, clusters):
+        w1 = inter_group_channel_width_um(clusters[("2D", 1)].group)
+        w8 = inter_group_channel_width_um(clusters[("2D", 8)].group)
+        assert w1 < w8 < w1 * 1.05
+
+    def test_config_passthrough(self, clusters):
+        assert clusters[("3D", 2)].config.name == "MemPool-3D-2MiB"

@@ -1,0 +1,119 @@
+"""Tests for repro.core.config."""
+
+import pytest
+
+from repro.core.config import (
+    CAPACITIES_MIB,
+    PAPER_MATRIX_DIM,
+    TILE_SIZE_BY_CAPACITY,
+    ArchParams,
+    Flow,
+    MemPoolConfig,
+    config_by_name,
+    paper_configurations,
+)
+
+
+class TestArchParams:
+    def test_default_totals_match_mempool(self):
+        arch = ArchParams()
+        assert arch.num_tiles == 64
+        assert arch.num_cores == 256
+        assert arch.num_banks == 1024
+
+    def test_latency_contract(self):
+        arch = ArchParams()
+        assert (arch.local_latency, arch.group_latency, arch.cluster_latency) == (1, 3, 5)
+
+    def test_rejects_nonpositive_cores(self):
+        with pytest.raises(ValueError):
+            ArchParams(cores_per_tile=0)
+
+    def test_rejects_inverted_latencies(self):
+        with pytest.raises(ValueError):
+            ArchParams(local_latency=4, group_latency=3)
+
+    def test_rejects_zero_local_latency(self):
+        with pytest.raises(ValueError):
+            ArchParams(local_latency=0)
+
+    def test_custom_geometry(self):
+        arch = ArchParams(cores_per_tile=2, tiles_per_group=4, groups=2)
+        assert arch.num_tiles == 8
+        assert arch.num_cores == 16
+
+
+class TestMemPoolConfig:
+    def test_name_follows_paper_convention(self):
+        config = MemPoolConfig(capacity_mib=4, flow=Flow.FLOW_3D)
+        assert config.name == "MemPool-3D-4MiB"
+
+    def test_bank_bytes_scaling(self):
+        for cap in CAPACITIES_MIB:
+            config = MemPoolConfig(capacity_mib=cap, flow=Flow.FLOW_2D)
+            assert config.bank_bytes == cap * 1024  # 1 KiB bank per MiB cluster
+            assert config.spm_bytes == cap << 20
+
+    def test_spm_bytes_per_tile(self):
+        config = MemPoolConfig(capacity_mib=1, flow=Flow.FLOW_2D)
+        assert config.spm_bytes_per_tile == 16 * 1024
+
+    def test_matmul_tile_sizes_match_paper(self):
+        for cap, t in TILE_SIZE_BY_CAPACITY.items():
+            config = MemPoolConfig(capacity_mib=cap, flow=Flow.FLOW_2D)
+            assert config.matmul_tile_size == t
+
+    def test_unknown_capacity_tile_size_raises(self):
+        config = MemPoolConfig(capacity_mib=16, flow=Flow.FLOW_2D)
+        with pytest.raises(ValueError):
+            _ = config.matmul_tile_size
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            MemPoolConfig(capacity_mib=0, flow=Flow.FLOW_2D)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            MemPoolConfig(capacity_mib=1, flow=Flow.FLOW_2D, target_frequency_mhz=0)
+
+    def test_rejects_capacity_not_divisible_over_banks(self):
+        arch = ArchParams(banks_per_tile=13)  # 1 MiB does not divide over 13*64 banks
+        with pytest.raises(ValueError):
+            MemPoolConfig(capacity_mib=1, flow=Flow.FLOW_2D, arch=arch)
+
+    def test_is_3d_flag(self):
+        assert MemPoolConfig(1, Flow.FLOW_3D).is_3d
+        assert not MemPoolConfig(1, Flow.FLOW_2D).is_3d
+
+
+class TestPaperConfigurations:
+    def test_eight_instances(self):
+        configs = paper_configurations()
+        assert len(configs) == 8
+        assert len({c.name for c in configs}) == 8
+
+    def test_covers_all_capacities_and_flows(self):
+        configs = paper_configurations()
+        assert {c.capacity_mib for c in configs} == set(CAPACITIES_MIB)
+        assert {c.flow for c in configs} == {Flow.FLOW_2D, Flow.FLOW_3D}
+
+
+class TestConfigByName:
+    def test_roundtrip(self):
+        for config in paper_configurations():
+            assert config_by_name(config.name).name == config.name
+
+    def test_case_insensitive(self):
+        assert config_by_name("mempool-2d-1mib").capacity_mib == 1
+
+    @pytest.mark.parametrize(
+        "bad", ["MemPool", "MemPool-5D-1MiB", "MemPool-2D-xMiB", "Foo-2D-1MiB", "MemPool-2D-1GiB"]
+    )
+    def test_malformed_names_raise(self, bad):
+        with pytest.raises(ValueError):
+            config_by_name(bad)
+
+
+def test_paper_matrix_dim_is_lcm_multiple():
+    for t in TILE_SIZE_BY_CAPACITY.values():
+        assert PAPER_MATRIX_DIM % t == 0

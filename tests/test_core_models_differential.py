@@ -1,0 +1,105 @@
+"""Differential property test: both core models agree architecturally.
+
+Generates random straight-line programs (arithmetic + memory ops) with
+hypothesis and runs them on the blocking-load :class:`SnitchCore` and the
+scoreboarded :class:`ScoreboardSnitchCore`.  Cycle counts may differ —
+architectural state (registers, memory) must not.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.isa import ProgramBuilder
+from repro.arch.scoreboard import ScoreboardSnitchCore
+from repro.arch.snitch import SnitchCore
+
+
+class FlatMemory:
+    def __init__(self, words=64, latency=3):
+        self.data = [0] * words
+        self.latency = latency
+
+    def port(self, cycle, address, is_store, value):
+        index = (address // 4) % len(self.data)
+        if is_store:
+            self.data[index] = value & 0xFFFFFFFF
+            return True, self.latency, 0
+        return True, self.latency, self.data[index]
+
+
+# Each op is a tuple the builder interprets; registers x1..x7, word
+# offsets 0..15 (kept in range by masking in FlatMemory anyway).
+reg = st.integers(min_value=1, max_value=7)
+imm = st.integers(min_value=-64, max_value=64)
+offset = st.integers(min_value=0, max_value=15)
+
+operation = st.one_of(
+    st.tuples(st.just("li"), reg, imm),
+    st.tuples(st.just("add"), reg, reg, reg),
+    st.tuples(st.just("sub"), reg, reg, reg),
+    st.tuples(st.just("addi"), reg, reg, imm),
+    st.tuples(st.just("mul"), reg, reg, reg),
+    st.tuples(st.just("mac"), reg, reg, reg),
+    st.tuples(st.just("lw"), reg, offset),
+    st.tuples(st.just("sw"), reg, offset),
+)
+
+
+def build_program(ops):
+    b = ProgramBuilder()
+    b.li(1, 5)  # give the memory ops a defined base state
+    for op in ops:
+        name = op[0]
+        if name == "li":
+            b.li(op[1], op[2])
+        elif name == "add":
+            b.add(op[1], op[2], op[3])
+        elif name == "sub":
+            b.sub(op[1], op[2], op[3])
+        elif name == "addi":
+            b.addi(op[1], op[2], op[3])
+        elif name == "mul":
+            b.mul(op[1], op[2], op[3])
+        elif name == "mac":
+            b.mac(op[1], op[2], op[3])
+        elif name == "lw":
+            b.li(8, op[2] * 4)
+            b.lw(op[1], 8, 0)
+        elif name == "sw":
+            b.li(8, op[2] * 4)
+            b.sw(op[1], 8, 0)
+    b.halt()
+    return b.build()
+
+
+def run(core_class, program, latency):
+    memory = FlatMemory(latency=latency)
+    for i in range(len(memory.data)):
+        memory.data[i] = (i * 2654435761) & 0xFFFFFFFF
+    core = core_class(0, program, memory.port)
+    cycle = 0
+    while not core.halted:
+        assert cycle < 50_000, "core did not halt"
+        core.step(cycle)
+        cycle += 1
+    return core.regs, memory.data, cycle
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=st.lists(operation, min_size=1, max_size=30),
+       latency=st.integers(min_value=1, max_value=8))
+def test_scoreboard_matches_blocking_architectural_state(ops, latency):
+    program = build_program(ops)
+    regs_a, mem_a, _ = run(SnitchCore, program, latency)
+    regs_b, mem_b, _ = run(ScoreboardSnitchCore, program, latency)
+    assert regs_a == regs_b
+    assert mem_a == mem_b
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=st.lists(operation, min_size=5, max_size=30))
+def test_scoreboard_never_slower(ops):
+    program = build_program(ops)
+    _, _, cycles_blocking = run(SnitchCore, program, 6)
+    _, _, cycles_scoreboard = run(ScoreboardSnitchCore, program, 6)
+    assert cycles_scoreboard <= cycles_blocking

@@ -1,0 +1,79 @@
+"""Tests for the double-buffered phase-schedule extension."""
+
+import pytest
+
+from repro.core.config import PAPER_MATRIX_DIM
+from repro.kernels.phases import (
+    DOUBLE_BUFFER_TILES,
+    double_buffered_cycles,
+    double_buffered_plan,
+    matmul_cycles,
+)
+from repro.kernels.tiling import paper_tiling
+from repro.simulator.memsys import OffChipMemory
+
+
+class TestDoubleBufferedPlan:
+    def test_five_tiles_fit(self):
+        for cap in (1, 2, 4, 8):
+            plan = double_buffered_plan(PAPER_MATRIX_DIM, cap << 20)
+            assert DOUBLE_BUFFER_TILES * plan.tile_bytes <= cap << 20
+
+    def test_tile_smaller_than_serial(self):
+        for cap in (1, 2, 4, 8):
+            db = double_buffered_plan(PAPER_MATRIX_DIM, cap << 20)
+            assert db.tile_size < paper_tiling(cap).tile_size
+
+    def test_divides_matrix(self):
+        plan = double_buffered_plan(PAPER_MATRIX_DIM, 1 << 20)
+        assert PAPER_MATRIX_DIM % plan.tile_size == 0
+
+    def test_rejects_hopeless_inputs(self):
+        with pytest.raises(ValueError):
+            double_buffered_plan(0, 1 << 20)
+        with pytest.raises(ValueError):
+            double_buffered_plan(7, 1 << 10)  # prime dim, tiny SPM
+
+
+class TestDoubleBufferedCycles:
+    def test_wins_when_memory_bound(self):
+        # At 4 B/cycle the serial schedule spends ~40 % in memory phases;
+        # overlapping hides almost all of it, beating the bigger tile.
+        memory = OffChipMemory(bandwidth_bytes_per_cycle=4)
+        serial = matmul_cycles(paper_tiling(1), memory)
+        db = double_buffered_cycles(
+            double_buffered_plan(PAPER_MATRIX_DIM, 1 << 20), memory
+        )
+        assert db.total < serial.total
+
+    def test_overlap_cannot_beat_compute_bound(self):
+        # Exposed memory never goes below zero; total >= compute.
+        memory = OffChipMemory(bandwidth_bytes_per_cycle=64)
+        plan = double_buffered_plan(PAPER_MATRIX_DIM, 8 << 20)
+        db = double_buffered_cycles(plan, memory)
+        assert db.total >= db.compute_cycles
+
+    def test_exposed_memory_much_smaller_than_serial(self):
+        memory = OffChipMemory(bandwidth_bytes_per_cycle=8)
+        plan = double_buffered_plan(PAPER_MATRIX_DIM, 4 << 20)
+        serial = matmul_cycles(plan, memory)
+        db = double_buffered_cycles(plan, memory)
+        assert db.memory_cycles < 0.5 * serial.memory_cycles
+
+    def test_compute_component_unchanged(self):
+        memory = OffChipMemory(bandwidth_bytes_per_cycle=16)
+        plan = double_buffered_plan(PAPER_MATRIX_DIM, 2 << 20)
+        serial = matmul_cycles(plan, memory)
+        db = double_buffered_cycles(plan, memory)
+        assert db.compute_cycles == pytest.approx(serial.compute_cycles)
+
+    def test_advantage_shrinks_with_bandwidth(self):
+        gains = []
+        for bw in (4, 16, 64):
+            memory = OffChipMemory(bandwidth_bytes_per_cycle=bw)
+            serial = matmul_cycles(paper_tiling(1), memory).total
+            db = double_buffered_cycles(
+                double_buffered_plan(PAPER_MATRIX_DIM, 1 << 20), memory
+            ).total
+            gains.append(serial / db)
+        assert gains == sorted(gains, reverse=True)

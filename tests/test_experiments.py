@@ -1,0 +1,216 @@
+"""End-to-end tests: every table and figure reproduces the paper's shape."""
+
+import pytest
+
+from repro.experiments import fig6, fig789, paper_data, table1, table2
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+@pytest.fixture(scope="module")
+def t1_rows():
+    return table1.run()
+
+
+@pytest.fixture(scope="module")
+def t2_rows():
+    return table2.run()
+
+
+@pytest.fixture(scope="module")
+def f6_points():
+    return fig6.run()
+
+
+@pytest.fixture(scope="module")
+def kernel_rows():
+    return fig789.run()
+
+
+class TestTable1:
+    def test_all_eight_configs_present(self, t1_rows):
+        assert len(t1_rows) == 8
+
+    def test_footprints_within_10_percent(self, t1_rows):
+        for row in t1_rows:
+            assert row.footprint == pytest.approx(row.paper_footprint, rel=0.10), row
+
+    def test_memory_utilization_tracks_paper(self, t1_rows):
+        for row in t1_rows:
+            if row.paper_memory_utilization is not None:
+                assert row.memory_utilization == pytest.approx(
+                    row.paper_memory_utilization, abs=0.08
+                ), row
+
+    def test_banks_on_memory_die_match_paper(self, t1_rows):
+        for row in t1_rows:
+            if row.banks_on_memory_die is not None:
+                expected = paper_data.TABLE1_BANKS_ON_MEMORY_DIE[row.capacity_mib]
+                assert row.banks_on_memory_die == expected
+
+    def test_format_contains_all_configs(self, t1_rows):
+        text = table1.format_rows(t1_rows)
+        assert "MemPool-3D-8MiB" in text
+        assert "MemPool-2D-1MiB" in text
+
+
+class TestTable2:
+    def test_footprint_row(self, t2_rows):
+        for row in t2_rows:
+            assert row.modeled.footprint == pytest.approx(row.paper_footprint, rel=0.05)
+
+    def test_wire_length_row(self, t2_rows):
+        for row in t2_rows:
+            assert row.modeled.wire_length == pytest.approx(row.paper_wire_length, rel=0.08)
+
+    def test_frequency_row_exact(self, t2_rows):
+        for row in t2_rows:
+            assert row.modeled.frequency == pytest.approx(row.paper_frequency, abs=0.005)
+
+    def test_power_row(self, t2_rows):
+        for row in t2_rows:
+            assert row.modeled.power == pytest.approx(row.paper_power, rel=0.05)
+
+    def test_pdp_row(self, t2_rows):
+        for row in t2_rows:
+            assert row.modeled.power_delay_product == pytest.approx(row.paper_pdp, rel=0.05)
+
+    def test_combined_area_row(self, t2_rows):
+        for row in t2_rows:
+            paper = paper_data.TABLE2_COMBINED_AREA[(row.flow, row.capacity_mib)]
+            assert row.modeled.combined_area == pytest.approx(paper, rel=0.06)
+
+    def test_buffer_counts_in_paper_band(self, t2_rows):
+        for row in t2_rows:
+            paper = paper_data.TABLE2_NUM_BUFFERS[(row.flow, row.capacity_mib)]
+            assert row.num_buffers == pytest.approx(paper, rel=0.30)
+
+    def test_f2f_bumps_close_to_paper(self, t2_rows):
+        for row in t2_rows:
+            if row.flow == "3D":
+                paper = paper_data.TABLE2_F2F_BUMPS[(row.flow, row.capacity_mib)]
+                assert row.num_f2f_bumps == pytest.approx(paper, rel=0.15)
+
+    def test_density_in_paper_band(self, t2_rows):
+        for row in t2_rows:
+            assert 0.45 < row.modeled.density < 0.62
+
+    def test_headline_3d4_frequency_gain(self, t2_rows):
+        by_key = {(r.flow, r.capacity_mib): r.modeled for r in t2_rows}
+        gain = by_key[("3D", 4)].frequency / by_key[("2D", 4)].frequency - 1
+        assert gain == pytest.approx(0.091, abs=0.01)
+
+    def test_headline_8mib_footprint_reduction(self, t2_rows):
+        by_key = {(r.flow, r.capacity_mib): r.modeled for r in t2_rows}
+        reduction = 1 - by_key[("3D", 8)].footprint / by_key[("2D", 8)].footprint
+        assert reduction == pytest.approx(0.46, abs=0.05)
+
+
+class TestFig6:
+    def test_surface_covers_sweep(self, f6_points):
+        assert len(f6_points) == 4 * 5  # capacities x bandwidths
+
+    def test_headline_speedups(self, f6_points):
+        headline = fig6.speedup_8mib_over_1mib(f6_points)
+        for bw, expected in paper_data.FIG6_SPEEDUP_8MIB_OVER_1MIB.items():
+            assert headline[bw] == pytest.approx(expected, abs=0.02)
+
+    def test_speedup_monotone_in_capacity(self, f6_points):
+        for bw in {p.bandwidth for p in f6_points}:
+            series = sorted(
+                (p for p in f6_points if p.bandwidth == bw),
+                key=lambda p: p.capacity_mib,
+            )
+            speedups = [p.speedup_vs_baseline for p in series]
+            assert speedups == sorted(speedups)
+
+    def test_speedup_monotone_in_bandwidth(self, f6_points):
+        for cap in {p.capacity_mib for p in f6_points}:
+            series = sorted(
+                (p for p in f6_points if p.capacity_mib == cap),
+                key=lambda p: p.bandwidth,
+            )
+            speedups = [p.speedup_vs_baseline for p in series]
+            assert speedups == sorted(speedups)
+
+    def test_step_annotation_4b_4to8(self, f6_points):
+        step = next(
+            p.step_speedup
+            for p in f6_points
+            if p.capacity_mib == 8 and p.bandwidth == 4
+        )
+        assert step == pytest.approx(paper_data.FIG6_STEP_4B_4TO8, abs=0.02)
+
+    def test_diminishing_returns_at_high_bandwidth(self, f6_points):
+        # Capacity matters most when bandwidth is scarce.
+        headline = fig6.speedup_8mib_over_1mib(f6_points)
+        assert headline[4] > headline[16] > headline[64]
+
+
+class TestFig789:
+    def test_3d_vs_2d_performance_gains(self, kernel_rows):
+        for row in kernel_rows:
+            if row.flow == "3D":
+                paper = paper_data.FIG7_3D_VS_2D_GAIN[row.capacity_mib]
+                assert row.gain_3d_over_2d == pytest.approx(paper, abs=0.01)
+
+    def test_2d_4mib_performance_drop(self, kernel_rows):
+        # The paper's callout: MemPool-2D-4MiB performs below the baseline.
+        row = next(r for r in kernel_rows if r.flow == "2D" and r.capacity_mib == 4)
+        assert row.performance_gain < 0
+
+    def test_3d_8mib_is_fastest(self, kernel_rows):
+        best = max(kernel_rows, key=lambda r: r.performance_gain)
+        assert best.flow == "3D"
+        assert best.capacity_mib == 8
+        assert best.performance_gain == pytest.approx(
+            paper_data.FIG7_BEST_3D_VS_BASELINE, abs=0.02
+        )
+
+    def test_3d_always_outperforms_2d(self, kernel_rows):
+        by_key = {(r.flow, r.capacity_mib): r for r in kernel_rows}
+        for cap in (1, 2, 4, 8):
+            assert (
+                by_key[("3D", cap)].performance_gain
+                > by_key[("2D", cap)].performance_gain
+            )
+
+    def test_3d_efficiency_beats_2d(self, kernel_rows):
+        by_key = {(r.flow, r.capacity_mib): r for r in kernel_rows}
+        for cap in (1, 2, 4, 8):
+            assert (
+                by_key[("3D", cap)].efficiency_gain
+                > by_key[("2D", cap)].efficiency_gain
+            )
+
+    def test_2d_efficiency_degrades_with_capacity(self, kernel_rows):
+        # Figure 8: increasing SPM in 2D costs energy efficiency.
+        by_key = {(r.flow, r.capacity_mib): r for r in kernel_rows}
+        assert by_key[("2D", 8)].efficiency_gain < by_key[("2D", 1)].efficiency_gain
+
+    def test_edp_optimum_is_small_3d_design(self, kernel_rows):
+        # Paper: MemPool-3D-1MiB; our power fit puts 3D-2MiB in a near-tie.
+        best = fig789.best_edp_configuration(kernel_rows)
+        assert best in ("MemPool-3D-1MiB", "MemPool-3D-2MiB")
+
+    def test_3d_edp_better_than_2d(self, kernel_rows):
+        by_key = {(r.flow, r.capacity_mib): r for r in kernel_rows}
+        for cap in (1, 2, 4, 8):
+            assert by_key[("3D", cap)].edp_variation < by_key[("2D", cap)].edp_variation
+
+    def test_abstract_energy_claims(self, kernel_rows):
+        vs_2d4, vs_2d1 = fig789.energy_3d4_comparisons(kernel_rows)
+        assert vs_2d4 == pytest.approx(paper_data.ENERGY_3D4_VS_2D4, abs=0.03)
+        assert vs_2d1 == pytest.approx(paper_data.ENERGY_3D4_VS_2D1, abs=0.03)
+
+
+class TestRunner:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {"table1", "table2", "fig6", "fig789"}
+
+    def test_single_experiment(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["nope"]) == 2

@@ -1,0 +1,119 @@
+"""Tests for repro.core.explorer — the co-exploration driver."""
+
+import pytest
+
+from repro.core.config import Flow
+from repro.core.explorer import Explorer, OBJECTIVES
+from repro.kernels.phases import PhaseModelParams
+
+
+@pytest.fixture(scope="module")
+def points():
+    return Explorer().explore()
+
+
+class TestExplore:
+    def test_covers_all_configurations(self, points):
+        assert len(points) == 8
+        assert len({p.config.name for p in points}) == 8
+
+    def test_metrics_attached(self, points):
+        for p in points:
+            assert p.frequency_mhz > 0
+            assert p.power_mw > 0
+            assert p.kernel.cycles > 0
+            assert p.edp > 0
+
+    def test_same_capacity_shares_cycles(self, points):
+        by_name = {p.config.name: p for p in points}
+        assert (
+            by_name["MemPool-2D-4MiB"].kernel.cycles
+            == by_name["MemPool-3D-4MiB"].kernel.cycles
+        )
+
+    def test_restricted_sweep(self):
+        explorer = Explorer(capacities_mib=(1, 8), flows=(Flow.FLOW_3D,))
+        points = explorer.explore()
+        assert {p.config.name for p in points} == {
+            "MemPool-3D-1MiB",
+            "MemPool-3D-8MiB",
+        }
+
+    def test_rejects_empty_sweep(self):
+        with pytest.raises(ValueError):
+            Explorer(capacities_mib=())
+
+
+class TestRank:
+    def test_performance_winner_is_3d_8mib(self, points):
+        best = Explorer().rank("performance", points)[0]
+        assert best.config.name == "MemPool-3D-8MiB"
+
+    def test_efficiency_winner_is_small_3d(self, points):
+        best = Explorer().rank("energy_efficiency", points)[0]
+        assert best.config.flow is Flow.FLOW_3D
+        assert best.config.capacity_mib <= 2
+
+    def test_edp_winner_is_small_3d(self, points):
+        best = Explorer().rank("edp", points)[0]
+        assert best.config.flow is Flow.FLOW_3D
+        assert best.config.capacity_mib <= 2
+
+    def test_footprint_winner_is_3d(self, points):
+        best = Explorer().rank("footprint", points)[0]
+        assert best.config.flow is Flow.FLOW_3D
+
+    def test_silicon_cost_winner_is_2d_1mib(self, points):
+        # Combined die area favors 2D (one die).
+        best = Explorer().rank("silicon_cost", points)[0]
+        assert best.config.name == "MemPool-2D-1MiB"
+
+    def test_every_objective_orders_correctly(self, points):
+        explorer = Explorer()
+        for name, (key, higher_better) in OBJECTIVES.items():
+            ranked = explorer.rank(name, points)
+            values = [key(p) for p in ranked]
+            assert values == sorted(values, reverse=higher_better)
+
+    def test_unknown_objective(self, points):
+        with pytest.raises(ValueError):
+            Explorer().rank("beauty", points)
+
+
+class TestParetoFront:
+    def test_front_members_are_undominated(self, points):
+        front = Explorer().pareto_front(points)
+        assert front
+        for p in front:
+            for q in points:
+                dominates = (
+                    q.performance >= p.performance
+                    and q.energy_efficiency >= p.energy_efficiency
+                    and (
+                        q.performance > p.performance
+                        or q.energy_efficiency > p.energy_efficiency
+                    )
+                )
+                assert not dominates
+
+    def test_front_is_all_3d(self, points):
+        # Every 2D design is dominated by its 3D counterpart.
+        front = Explorer().pareto_front(points)
+        assert all(p.config.flow is Flow.FLOW_3D for p in front)
+
+    def test_front_sorted_by_performance(self, points):
+        front = Explorer().pareto_front(points)
+        perfs = [p.performance for p in front]
+        assert perfs == sorted(perfs)
+
+
+class TestCustomPhaseParams:
+    def test_zero_overhead_params_change_cycles(self):
+        fast = Explorer(
+            phase_params=PhaseModelParams(cpi_mac=1.0, phase_overhead_cycles=0.0)
+        ).explore()
+        slow = Explorer().explore()
+        fast_cycles = {p.config.name: p.kernel.cycles for p in fast}
+        slow_cycles = {p.config.name: p.kernel.cycles for p in slow}
+        for name in fast_cycles:
+            assert fast_cycles[name] < slow_cycles[name]

@@ -1,0 +1,131 @@
+"""Tests for repro.physical.floorplan."""
+
+import pytest
+
+from repro.physical.floorplan import (
+    DiePlan,
+    MacroArray,
+    best_macro_array,
+    memory_die_packing,
+    plan_2d_tile,
+    plan_3d_tile,
+)
+from repro.physical.sram import spm_bank_macro
+
+
+class TestMacroArray:
+    def test_geometry(self):
+        macro = spm_bank_macro(1)
+        array = MacroArray(rows=2, cols=3, macro=macro, spacing_um=2.0)
+        assert array.count == 6
+        assert array.width_um == pytest.approx(3 * macro.width_um + 2 * 2.0)
+        assert array.height_um == pytest.approx(2 * macro.height_um + 2.0)
+        assert array.macro_area_um2 == pytest.approx(6 * macro.area_um2)
+
+    def test_rejects_bad_dims(self):
+        macro = spm_bank_macro(1)
+        with pytest.raises(ValueError):
+            MacroArray(rows=0, cols=1, macro=macro)
+        with pytest.raises(ValueError):
+            MacroArray(rows=1, cols=1, macro=macro, spacing_um=-1)
+
+
+class TestBestMacroArray:
+    def test_15_macros_form_5x3(self):
+        # Figure 3c: the 8 MiB memory die arranges 15 macros in a 5x3 array.
+        macro = spm_bank_macro(8)
+        array = best_macro_array(15, macro)
+        assert {array.rows, array.cols} == {5, 3}
+        assert array.count == 15
+
+    def test_16_macros_form_grid_without_waste(self):
+        macro = spm_bank_macro(4)
+        array = best_macro_array(16, macro)
+        assert array.rows * array.cols == 16
+
+    def test_prefers_no_waste(self):
+        macro = spm_bank_macro(1)
+        array = best_macro_array(6, macro)
+        assert array.rows * array.cols == 6
+
+    def test_single_macro(self):
+        macro = spm_bank_macro(1)
+        array = best_macro_array(1, macro)
+        assert (array.rows, array.cols) == (1, 1)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            best_macro_array(0, spm_bank_macro(1))
+
+
+class TestDiePlan:
+    def test_utilizations(self):
+        plan = DiePlan(width_um=100, height_um=100, cell_area_um2=4500, macro_area_um2=5000)
+        assert plan.area_um2 == 10_000
+        assert plan.core_utilization == pytest.approx(0.9)
+        assert plan.macro_utilization == pytest.approx(0.5)
+
+    def test_macro_only_die(self):
+        plan = DiePlan(width_um=10, height_um=10, cell_area_um2=0, macro_area_um2=97)
+        assert plan.macro_utilization == pytest.approx(0.97)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            DiePlan(width_um=0, height_um=1, cell_area_um2=0, macro_area_um2=0)
+
+
+class TestPlan2DTile:
+    def test_area_composition(self):
+        plan = plan_2d_tile(logic_area_um2=90_000, macro_area_um2=50_000)
+        assert plan.area_um2 == pytest.approx(90_000 / 0.9 + 50_000 * 1.0)
+        assert plan.core_utilization == pytest.approx(0.9, abs=0.01)
+
+    def test_aspect(self):
+        plan = plan_2d_tile(logic_area_um2=90_000, macro_area_um2=0, aspect=2.0)
+        assert plan.width_um == pytest.approx(2 * plan.height_um)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            plan_2d_tile(logic_area_um2=0, macro_area_um2=0)
+        with pytest.raises(ValueError):
+            plan_2d_tile(logic_area_um2=1, macro_area_um2=0, target_density=1.5)
+
+
+class TestPlan3DTile:
+    def test_dies_share_footprint(self):
+        logic, memory = plan_3d_tile(100_000, 0, 50_000)
+        assert logic.area_um2 == pytest.approx(memory.area_um2)
+        assert (logic.width_um, logic.height_um) == (memory.width_um, memory.height_um)
+
+    def test_logic_bound_die(self):
+        # Small memory: logic sets the footprint; memory die underutilized
+        # (the 51 % situation of MemPool-3D-1MiB).
+        logic, memory = plan_3d_tile(100_000, 0, 50_000)
+        assert logic.area_um2 == pytest.approx(100_000 / 0.9)
+        assert memory.macro_utilization < 0.6
+
+    def test_memory_bound_die(self):
+        # Big memory forces the footprint (the 4/8 MiB situation).
+        logic, memory = plan_3d_tile(100_000, 0, 400_000, memory_packing=0.97)
+        assert memory.area_um2 == pytest.approx(400_000 / 0.97)
+        assert memory.macro_utilization == pytest.approx(0.97)
+
+    def test_macros_on_logic_die_count_toward_area(self):
+        plain, _ = plan_3d_tile(100_000, 0, 10_000)
+        with_macros, _ = plan_3d_tile(100_000, 30_000, 10_000)
+        assert with_macros.area_um2 > plain.area_um2
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            plan_3d_tile(0, 0, 0)
+        with pytest.raises(ValueError):
+            plan_3d_tile(1, 0, 1, memory_packing=0)
+
+
+class TestMemoryDiePacking:
+    def test_large_macros_pack_better(self):
+        assert memory_die_packing(65536) > memory_die_packing(8192)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            memory_die_packing(0)

@@ -1,0 +1,171 @@
+"""Integration tests of the 2D and Macro-3D implementation flows."""
+
+import pytest
+
+from repro.core.config import CAPACITIES_MIB, Flow, MemPoolConfig, paper_configurations
+from repro.core.metrics import normalize
+from repro.physical.flow2d import implement_group_2d, implement_tile_2d
+from repro.physical.flow3d import (
+    implement_group,
+    implement_group_3d,
+    implement_tile_3d,
+    memory_die_array,
+)
+
+
+@pytest.fixture(scope="module")
+def groups():
+    return {c.name: implement_group(c) for c in paper_configurations()}
+
+
+@pytest.fixture(scope="module")
+def baseline(groups):
+    return groups["MemPool-2D-1MiB"].to_group_result()
+
+
+class TestTileFlows:
+    def test_flow_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            implement_tile_2d(MemPoolConfig(1, Flow.FLOW_3D))
+        with pytest.raises(ValueError):
+            implement_tile_3d(MemPoolConfig(1, Flow.FLOW_2D))
+
+    def test_2d_tile_has_single_die(self):
+        tile = implement_tile_2d(MemPoolConfig(1, Flow.FLOW_2D))
+        assert tile.memory_die is None
+        assert not tile.is_3d
+        assert tile.memory_utilization is None
+
+    def test_3d_tile_has_two_dies_sharing_footprint(self):
+        tile = implement_tile_3d(MemPoolConfig(1, Flow.FLOW_3D))
+        assert tile.is_3d
+        assert tile.memory_die is not None
+        assert tile.memory_die.area_um2 == pytest.approx(tile.logic_die.area_um2)
+
+    def test_3d_tile_smaller_than_2d(self):
+        for cap in CAPACITIES_MIB:
+            t2 = implement_tile_2d(MemPoolConfig(cap, Flow.FLOW_2D))
+            t3 = implement_tile_3d(MemPoolConfig(cap, Flow.FLOW_3D))
+            assert t3.footprint_um2 < t2.footprint_um2
+
+    def test_1_and_2mib_3d_tiles_share_footprint(self):
+        # Table I: both are logic-die bound, so identical footprints.
+        t1 = implement_tile_3d(MemPoolConfig(1, Flow.FLOW_3D))
+        t2 = implement_tile_3d(MemPoolConfig(2, Flow.FLOW_3D))
+        assert t2.footprint_um2 == pytest.approx(t1.footprint_um2, rel=0.01)
+
+    def test_memory_utilization_rises_with_capacity(self):
+        utils = [
+            implement_tile_3d(MemPoolConfig(cap, Flow.FLOW_3D)).memory_utilization
+            for cap in CAPACITIES_MIB
+        ]
+        assert utils == sorted(utils)
+        assert 0.4 < utils[0] < 0.6  # ~51 % at 1 MiB
+        assert utils[-1] > 0.9  # ~100 % at 8 MiB
+
+    def test_8mib_uses_adjusted_partition(self):
+        tile = implement_tile_3d(MemPoolConfig(8, Flow.FLOW_3D))
+        assert tile.partition.spm_banks_on_memory_die == 15
+        assert not tile.partition.icache_on_memory_die
+
+    def test_8mib_memory_die_is_5x3(self):
+        array = memory_die_array(MemPoolConfig(8, Flow.FLOW_3D))
+        assert {array.rows, array.cols} == {5, 3}
+
+    def test_small_capacity_memory_die_keeps_all_banks(self):
+        for cap in (1, 2, 4):
+            tile = implement_tile_3d(MemPoolConfig(cap, Flow.FLOW_3D))
+            assert tile.partition.is_default
+
+
+class TestGroupFlows:
+    def test_dispatch_matches_flow(self):
+        g2 = implement_group(MemPoolConfig(1, Flow.FLOW_2D))
+        g3 = implement_group(MemPoolConfig(1, Flow.FLOW_3D))
+        assert g2.stack.name == "M8"
+        assert g3.stack.name == "M6M6"
+
+    def test_3d_groups_smaller(self, groups):
+        for cap in CAPACITIES_MIB:
+            g2 = groups[f"MemPool-2D-{cap}MiB"]
+            g3 = groups[f"MemPool-3D-{cap}MiB"]
+            assert g3.footprint_um2 < g2.footprint_um2
+
+    def test_largest_3d_smaller_than_smallest_2d(self, groups):
+        # Paper: MemPool-3D-8MiB is ~14 % smaller than MemPool-2D-1MiB.
+        assert (
+            groups["MemPool-3D-8MiB"].footprint_um2
+            < groups["MemPool-2D-1MiB"].footprint_um2
+        )
+
+    def test_3d_combined_area_is_two_dies(self, groups):
+        g3 = groups["MemPool-3D-1MiB"]
+        assert g3.combined_area_um2 == pytest.approx(2 * g3.footprint_um2)
+        g2 = groups["MemPool-2D-1MiB"]
+        assert g2.combined_area_um2 == pytest.approx(g2.footprint_um2)
+
+    def test_combined_area_overhead_shrinks_with_capacity(self, groups, baseline):
+        # Table II: +33 % at 1 MiB down to +9 % at 8 MiB.
+        overheads = []
+        for cap in CAPACITIES_MIB:
+            n2 = normalize(groups[f"MemPool-2D-{cap}MiB"].to_group_result(), baseline)
+            n3 = normalize(groups[f"MemPool-3D-{cap}MiB"].to_group_result(), baseline)
+            overheads.append(n3.combined_area / n2.combined_area)
+        assert overheads == sorted(overheads, reverse=True)
+
+    def test_3d_faster_than_2d_at_same_capacity(self, groups):
+        for cap in CAPACITIES_MIB:
+            f2 = groups[f"MemPool-2D-{cap}MiB"].timing.frequency_mhz
+            f3 = groups[f"MemPool-3D-{cap}MiB"].timing.frequency_mhz
+            assert f3 > f2
+
+    def test_3d_wire_length_shorter(self, groups):
+        for cap in CAPACITIES_MIB:
+            wl2 = groups[f"MemPool-2D-{cap}MiB"].wirelength.total_um
+            wl3 = groups[f"MemPool-3D-{cap}MiB"].wirelength.total_um
+            assert wl3 < wl2
+
+    def test_3d_fewer_buffers(self, groups):
+        for cap in CAPACITIES_MIB:
+            b2 = groups[f"MemPool-2D-{cap}MiB"].buffering.total
+            b3 = groups[f"MemPool-3D-{cap}MiB"].buffering.total
+            assert b3 < b2
+
+    def test_3d_less_power_at_same_capacity(self, groups):
+        for cap in CAPACITIES_MIB:
+            p2 = groups[f"MemPool-2D-{cap}MiB"].power.total_mw
+            p3 = groups[f"MemPool-3D-{cap}MiB"].power.total_mw
+            assert p3 < p2
+
+    def test_3d_lower_pdp(self, groups):
+        for cap in CAPACITIES_MIB:
+            r2 = groups[f"MemPool-2D-{cap}MiB"].to_group_result()
+            r3 = groups[f"MemPool-3D-{cap}MiB"].to_group_result()
+            assert r3.power_delay_product < r2.power_delay_product
+
+    def test_f2f_bumps_only_in_3d(self, groups):
+        for cap in CAPACITIES_MIB:
+            assert groups[f"MemPool-2D-{cap}MiB"].num_f2f_bumps == 0
+            assert groups[f"MemPool-3D-{cap}MiB"].num_f2f_bumps > 50_000
+
+    def test_3d_better_tns(self, groups):
+        for cap in CAPACITIES_MIB:
+            tns2 = groups[f"MemPool-2D-{cap}MiB"].timing.tns_ps
+            tns3 = groups[f"MemPool-3D-{cap}MiB"].timing.tns_ps
+            assert abs(tns3) < abs(tns2)
+
+    def test_group_result_density_in_paper_band(self, groups):
+        for impl in groups.values():
+            assert 0.45 < impl.to_group_result().density < 0.65
+
+    def test_wire_fraction_of_2d_baseline_matches_paper(self, groups):
+        # ~37 % of the 2D critical path is wire propagation delay.
+        assert groups["MemPool-2D-1MiB"].timing.wire_fraction == pytest.approx(
+            0.37, abs=0.06
+        )
+
+    def test_baseline_frequency_near_target(self, groups):
+        # Implemented against a uniform 1 GHz target.
+        assert groups["MemPool-2D-1MiB"].timing.frequency_mhz == pytest.approx(
+            1000.0, rel=0.05
+        )

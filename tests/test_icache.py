@@ -1,0 +1,76 @@
+"""Tests for repro.arch.icache."""
+
+import pytest
+
+from repro.arch.icache import InstructionCache
+
+
+class TestConstruction:
+    def test_line_count(self):
+        cache = InstructionCache(capacity_bytes=2048, line_bytes=32)
+        assert cache.num_lines == 64
+
+    def test_rejects_unaligned_capacity(self):
+        with pytest.raises(ValueError):
+            InstructionCache(capacity_bytes=100, line_bytes=32)
+
+    def test_rejects_negative_penalty(self):
+        with pytest.raises(ValueError):
+            InstructionCache(refill_penalty=-1)
+
+
+class TestBehaviour:
+    def test_first_fetch_misses_then_hits(self):
+        cache = InstructionCache(refill_penalty=20)
+        assert cache.fetch(0) == 20
+        assert cache.fetch(0) == 0
+        assert cache.fetch(4) == 0  # same line
+
+    def test_distinct_lines_miss_independently(self):
+        cache = InstructionCache(line_bytes=32, refill_penalty=10)
+        assert cache.fetch(0) == 10
+        assert cache.fetch(32) == 10
+        assert cache.fetch(0) == 0
+
+    def test_fifo_eviction(self):
+        cache = InstructionCache(capacity_bytes=64, line_bytes=32, refill_penalty=5)
+        cache.fetch(0)
+        cache.fetch(32)
+        cache.fetch(64)  # evicts line 0
+        assert cache.fetch(0) == 5
+        assert cache.stats.misses == 4
+
+    def test_loop_fitting_in_cache_hits_after_first_iteration(self):
+        cache = InstructionCache(capacity_bytes=2048, line_bytes=32, refill_penalty=20)
+        loop_bytes = 256
+        for _ in range(3):
+            for pc in range(0, loop_bytes, 4):
+                cache.fetch(pc)
+        assert cache.stats.misses == loop_bytes // 32
+        assert cache.stats.hit_rate > 0.95
+
+    def test_warm_makes_fetches_hit(self):
+        cache = InstructionCache()
+        cache.warm(0, 512)
+        assert cache.fetch(100) == 0
+        assert cache.stats.misses == 0
+
+    def test_warm_rejects_inverted_range(self):
+        cache = InstructionCache()
+        with pytest.raises(ValueError):
+            cache.warm(100, 50)
+
+    def test_flush_clears_contents(self):
+        cache = InstructionCache(refill_penalty=7)
+        cache.fetch(0)
+        cache.flush()
+        assert cache.fetch(0) == 7
+
+    def test_negative_pc_rejected(self):
+        cache = InstructionCache()
+        with pytest.raises(ValueError):
+            cache.fetch(-4)
+
+    def test_hit_rate_defaults_to_one(self):
+        cache = InstructionCache()
+        assert cache.stats.hit_rate == 1.0

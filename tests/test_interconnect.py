@@ -1,0 +1,180 @@
+"""Tests for repro.interconnect: crossbar, butterfly, topology."""
+
+import pytest
+
+from repro.core.config import ArchParams
+from repro.interconnect.butterfly import ButterflyNetwork
+from repro.interconnect.crossbar import LogarithmicCrossbar
+from repro.interconnect.topology import ClusterTopology, LatencyTable
+
+
+class TestCrossbarStructure:
+    def test_mempool_tile_dimensions(self):
+        xbar = LogarithmicCrossbar(masters=8, slaves=16)
+        assert xbar.mux_depth() == 3
+        assert xbar.gate_estimate_kge() > 0
+
+    def test_gate_count_grows_with_ports(self):
+        small = LogarithmicCrossbar(masters=4, slaves=8)
+        large = LogarithmicCrossbar(masters=8, slaves=16)
+        assert large.gate_estimate_kge() > small.gate_estimate_kge()
+
+    def test_gate_count_grows_with_width(self):
+        narrow = LogarithmicCrossbar(masters=8, slaves=16, request_bits=40)
+        wide = LogarithmicCrossbar(masters=8, slaves=16, request_bits=80)
+        assert wide.gate_estimate_kge() > narrow.gate_estimate_kge()
+
+    def test_wire_bits(self):
+        xbar = LogarithmicCrossbar(masters=2, slaves=2, request_bits=10, response_bits=5)
+        assert xbar.wire_bits() == 2 * 12 + 2 * 7
+
+    def test_rejects_nonpositive_ports(self):
+        with pytest.raises(ValueError):
+            LogarithmicCrossbar(masters=0, slaves=4)
+
+
+class TestCrossbarArbitration:
+    def test_disjoint_requests_all_granted(self):
+        xbar = LogarithmicCrossbar(masters=4, slaves=4)
+        grants = xbar.arbitrate(0, {0: 0, 1: 1, 2: 2, 3: 3})
+        assert all(grants.values())
+
+    def test_conflicting_requests_grant_one(self):
+        xbar = LogarithmicCrossbar(masters=4, slaves=4)
+        grants = xbar.arbitrate(0, {0: 2, 1: 2, 3: 2})
+        assert sum(grants.values()) == 1
+        assert xbar.stats.conflicted == 2
+
+    def test_round_robin_rotates_winner(self):
+        xbar = LogarithmicCrossbar(masters=4, slaves=4)
+        winners = set()
+        for cycle in range(4):
+            grants = xbar.arbitrate(cycle, {0: 1, 1: 1})
+            winners.update(m for m, ok in grants.items() if ok)
+        assert winners == {0, 1}
+
+    def test_bad_indices_raise(self):
+        xbar = LogarithmicCrossbar(masters=2, slaves=2)
+        with pytest.raises(ValueError):
+            xbar.arbitrate(0, {5: 0})
+        with pytest.raises(ValueError):
+            xbar.arbitrate(0, {0: 9})
+
+
+class TestButterflyStructure:
+    def test_mempool_group_network(self):
+        net = ButterflyNetwork(ports=16, radix=4)
+        assert net.stages == 2
+        assert net.switches_per_stage == 4
+        assert net.num_switches == 8
+        assert net.internal_links == 16
+        assert net.external_links == 32
+        assert net.hop_latency() == 2
+
+    def test_64_port_radix4(self):
+        net = ButterflyNetwork(ports=64, radix=4)
+        assert net.stages == 3
+        assert net.num_switches == 48
+
+    def test_radix2(self):
+        net = ButterflyNetwork(ports=8, radix=2)
+        assert net.stages == 3
+        assert net.num_switches == 12
+
+    def test_rejects_non_power_ports(self):
+        with pytest.raises(ValueError):
+            ButterflyNetwork(ports=12, radix=4)
+
+    def test_rejects_tiny_radix(self):
+        with pytest.raises(ValueError):
+            ButterflyNetwork(ports=4, radix=1)
+
+    def test_wire_bits_scale_with_ports(self):
+        small = ButterflyNetwork(ports=16, radix=4)
+        large = ButterflyNetwork(ports=64, radix=4)
+        assert large.wire_bits() == 4 * small.wire_bits()
+
+
+class TestButterflyRouting:
+    def test_permutation_traffic_all_granted(self):
+        net = ButterflyNetwork(ports=16, radix=4)
+        grants = net.route(0, {i: (i + 1) % 16 for i in range(16)})
+        assert all(grants.values())
+        assert net.stats.routed == 16
+
+    def test_output_contention_serializes(self):
+        net = ButterflyNetwork(ports=16, radix=4)
+        grants = net.route(0, {0: 5, 1: 5, 2: 5})
+        assert sum(grants.values()) == 1
+        assert net.stats.contended == 2
+
+    def test_rotating_priority_is_fair_under_full_contention(self):
+        net = ButterflyNetwork(ports=4, radix=4)
+        wins = {i: 0 for i in range(4)}
+        for cycle in range(8):
+            grants = net.route(cycle, {i: 3 for i in range(4)})
+            for port, ok in grants.items():
+                if ok:
+                    wins[port] += 1
+        assert all(count == 2 for count in wins.values())
+
+    def test_bad_ports_raise(self):
+        net = ButterflyNetwork(ports=4, radix=4)
+        with pytest.raises(ValueError):
+            net.route(0, {7: 0})
+
+
+class TestLatencyTable:
+    def test_defaults(self):
+        table = LatencyTable()
+        assert (table.local, table.intra_group, table.inter_group) == (1, 3, 5)
+
+    def test_rejects_non_monotone(self):
+        with pytest.raises(ValueError):
+            LatencyTable(local=3, intra_group=2, inter_group=5)
+
+
+class TestClusterTopology:
+    @pytest.fixture
+    def topo(self):
+        return ClusterTopology()
+
+    def test_core_tile_mapping(self, topo):
+        assert topo.core_tile(0) == 0
+        assert topo.core_tile(3) == 0
+        assert topo.core_tile(4) == 1
+        assert topo.core_tile(255) == 63
+
+    def test_core_tile_bounds(self, topo):
+        with pytest.raises(ValueError):
+            topo.core_tile(256)
+
+    def test_locality_classes(self, topo):
+        assert topo.locality(0, 0) == "local"
+        assert topo.locality(0, 1) == "intra_group"
+        assert topo.locality(0, 16) == "inter_group"
+
+    def test_access_latencies_match_paper(self, topo):
+        assert topo.access_latency(0, 0) == 1
+        assert topo.access_latency(0, 15) == 3
+        assert topo.access_latency(0, 63) == 5
+
+    def test_group_channel_bits_scale_with_request_width(self, topo):
+        narrow = topo.group_channel_bits(request_bits=60)
+        wide = topo.group_channel_bits(request_bits=70)
+        assert wide > narrow
+
+    def test_address_bits(self, topo):
+        assert topo.address_bits(1 << 20) == 20
+        assert topo.address_bits(8 << 20) == 23
+
+    def test_request_bits_grow_with_capacity(self, topo):
+        assert topo.request_bits_for_capacity(8 << 20) == (
+            topo.request_bits_for_capacity(1 << 20) + 3
+        )
+
+    def test_small_arch_topology(self):
+        arch = ArchParams(cores_per_tile=2, tiles_per_group=4, groups=2)
+        topo = ClusterTopology(arch)
+        assert topo.core_tile(7) == 3
+        assert topo.locality(0, 4) == "inter_group"

@@ -1,0 +1,124 @@
+"""Tests for repro.arch.isa."""
+
+import pytest
+
+from repro.arch.isa import (
+    BRANCH_OPS,
+    MEMORY_OPS,
+    Instruction,
+    Op,
+    ProgramBuilder,
+    to_signed,
+)
+
+
+class TestInstruction:
+    def test_memory_classification(self):
+        assert Instruction(Op.LW, rd=1, rs1=2).is_memory
+        assert Instruction(Op.SW_POSTINC, rs1=2, rs2=3).is_memory
+        assert not Instruction(Op.ADD, rd=1).is_memory
+
+    def test_store_classification(self):
+        assert Instruction(Op.SW, rs1=1, rs2=2).is_store
+        assert not Instruction(Op.LW, rd=1, rs1=2).is_store
+
+    def test_register_bounds(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.ADD, rd=32)
+        with pytest.raises(ValueError):
+            Instruction(Op.ADD, rs1=-1)
+
+    def test_branch_requires_target(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.BNE, rs1=1, rs2=2)
+        Instruction(Op.BNE, rs1=1, rs2=2, target=0)  # ok
+
+    def test_op_sets_disjoint(self):
+        assert not (MEMORY_OPS & BRANCH_OPS)
+
+
+class TestProgramBuilder:
+    def test_simple_program(self):
+        b = ProgramBuilder()
+        b.li(1, 42)
+        b.halt()
+        program = b.build()
+        assert len(program) == 2
+        assert program[0].op is Op.LI
+        assert program[0].imm == 42
+
+    def test_label_resolution(self):
+        b = ProgramBuilder()
+        b.label("start")
+        b.addi(1, 1, 1)
+        b.j("start")
+        program = b.build()
+        assert program[1].target == 0
+
+    def test_forward_label(self):
+        b = ProgramBuilder()
+        b.j("end")
+        b.nop()
+        b.label("end")
+        b.halt()
+        program = b.build()
+        assert program[0].target == 2
+
+    def test_undefined_label_raises(self):
+        b = ProgramBuilder()
+        b.j("nowhere")
+        with pytest.raises(ValueError):
+            b.build()
+
+    def test_duplicate_label_raises(self):
+        b = ProgramBuilder()
+        b.label("x")
+        with pytest.raises(ValueError):
+            b.label("x")
+
+    def test_fluent_chaining(self):
+        program = ProgramBuilder().li(1, 1).addi(1, 1, 2).halt().build()
+        assert len(program) == 3
+
+    def test_all_emitters_produce_expected_ops(self):
+        b = ProgramBuilder()
+        b.label("l")
+        b.li(1, 0)
+        b.add(1, 1, 2)
+        b.sub(1, 1, 2)
+        b.addi(1, 1, 1)
+        b.mul(1, 1, 2)
+        b.mac(1, 2, 3)
+        b.lw(1, 2)
+        b.sw(1, 2)
+        b.lw_postinc(1, 2, 4)
+        b.sw_postinc(1, 2, 4)
+        b.bne(1, 2, "l")
+        b.blt(1, 2, "l")
+        b.j("l")
+        b.barrier()
+        b.csrr_hartid(1)
+        b.nop()
+        b.halt()
+        ops = [i.op for i in b.build().instructions]
+        assert ops == [
+            Op.LI, Op.ADD, Op.SUB, Op.ADDI, Op.MUL, Op.MAC, Op.LW, Op.SW,
+            Op.LW_POSTINC, Op.SW_POSTINC, Op.BNE, Op.BLT, Op.J, Op.BARRIER,
+            Op.CSRR_HARTID, Op.NOP, Op.HALT,
+        ]
+
+    def test_labels_preserved_in_program(self):
+        b = ProgramBuilder()
+        b.label("entry")
+        b.halt()
+        assert b.build().labels == {"entry": 0}
+
+
+class TestToSigned:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [(0, 0), (1, 1), (0x7FFFFFFF, 2**31 - 1), (0x80000000, -(2**31)),
+         (0xFFFFFFFF, -1), (2**32 + 5, 5)],
+    )
+    def test_conversion(self, raw, expected):
+        assert to_signed(raw) == expected

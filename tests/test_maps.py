@@ -1,0 +1,76 @@
+"""Tests for repro.physical.maps — Figure 4 density/routing maps."""
+
+import pytest
+
+from repro.core.config import Flow, MemPoolConfig
+from repro.physical.flow3d import implement_group_3d
+from repro.physical.maps import cell_density_map, routing_demand_map
+
+
+@pytest.fixture(scope="module")
+def impl():
+    # The paper's Figure 4 shows MemPool-3D-4MiB.
+    return implement_group_3d(MemPoolConfig(4, Flow.FLOW_3D))
+
+
+class TestCellDensityMap:
+    def test_center_is_hotspot(self, impl):
+        density = cell_density_map(impl)
+        assert density.center_mean > density.edge_mean
+
+    def test_tiles_are_empty(self, impl):
+        # Tile interiors are blackboxes: a large share of bins is zero.
+        density = cell_density_map(impl)
+        zero_fraction = (density.values == 0).mean()
+        assert zero_fraction > 0.4
+
+    def test_normalized(self, impl):
+        density = cell_density_map(impl)
+        assert 0 <= density.values.min()
+        assert density.peak == pytest.approx(1.0)
+
+    def test_ascii_render(self, impl):
+        art = cell_density_map(impl, bins=12).to_ascii()
+        assert "cell density" in art
+        assert len(art.splitlines()) == 13
+
+    def test_rejects_tiny_grid(self, impl):
+        with pytest.raises(ValueError):
+            cell_density_map(impl, bins=3)
+
+
+class TestRoutingDemandMap:
+    def test_center_cross_is_hottest(self, impl):
+        demand = routing_demand_map(impl)
+        assert demand.center_mean > demand.edge_mean
+
+    def test_demand_positive_somewhere(self, impl):
+        demand = routing_demand_map(impl)
+        assert demand.peak == pytest.approx(1.0)
+        assert (demand.values > 0).sum() > 10
+
+    def test_bins_shape(self, impl):
+        demand = routing_demand_map(impl, bins=16)
+        assert demand.values.shape == (16, 16)
+
+
+class TestTileFrequency:
+    def test_tile_ppa_spread_is_small(self):
+        """Section IV: negligible PPA difference across tile instances."""
+        from repro.physical.flow2d import implement_tile_2d
+        from repro.physical.flow3d import implement_tile_3d
+
+        freqs = []
+        for cap in (1, 2, 4, 8):
+            freqs.append(implement_tile_2d(MemPoolConfig(cap, Flow.FLOW_2D)).frequency_mhz)
+            freqs.append(implement_tile_3d(MemPoolConfig(cap, Flow.FLOW_3D)).frequency_mhz)
+        spread = max(freqs) / min(freqs) - 1
+        assert spread < 0.10  # paper: ~6 %
+
+    def test_tile_faster_than_group(self):
+        from repro.physical.flow3d import implement_group_3d, implement_tile_3d
+
+        config = MemPoolConfig(1, Flow.FLOW_3D)
+        tile = implement_tile_3d(config)
+        group = implement_group_3d(config)
+        assert tile.frequency_mhz > group.timing.frequency_mhz

@@ -1,0 +1,111 @@
+"""Tests for repro.arch.memory_map."""
+
+import pytest
+
+from repro.arch.memory_map import BankAddress, MemoryMap
+from repro.core.config import ArchParams, DEFAULT_ARCH
+
+
+@pytest.fixture
+def memmap():
+    return MemoryMap(1 << 20)  # 1 MiB over the default 1024 banks
+
+
+class TestConstruction:
+    def test_words_per_bank(self, memmap):
+        assert memmap.words_per_bank == (1 << 20) // (1024 * 4)
+        assert memmap.total_words == (1 << 20) // 4
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            MemoryMap(0)
+
+    def test_rejects_unaligned_size(self):
+        with pytest.raises(ValueError):
+            MemoryMap(1024 * 4 * 1024 + 4)  # not whole words per bank
+
+
+class TestInterleaving:
+    def test_consecutive_words_hit_consecutive_banks(self, memmap):
+        first = memmap.decode(0)
+        second = memmap.decode(4)
+        assert first.bank == 0
+        assert second.bank == 1
+        assert first.tile == second.tile == 0
+
+    def test_wraps_to_next_tile_after_bank_sweep(self, memmap):
+        banks = DEFAULT_ARCH.banks_per_tile
+        loc = memmap.decode(4 * banks)
+        assert loc.bank == 0
+        assert loc.flat_tile() == 1
+
+    def test_wraps_to_next_offset_after_tile_sweep(self, memmap):
+        words_per_sweep = DEFAULT_ARCH.num_banks
+        loc = memmap.decode(4 * words_per_sweep)
+        assert loc.flat_tile() == 0
+        assert loc.bank == 0
+        assert loc.offset == 1
+
+    def test_sequential_block_spreads_evenly(self, memmap):
+        counts = {}
+        for i in range(DEFAULT_ARCH.num_banks):
+            loc = memmap.decode(4 * i)
+            counts[loc.flat_bank()] = counts.get(loc.flat_bank(), 0) + 1
+        assert all(v == 1 for v in counts.values())
+        assert len(counts) == DEFAULT_ARCH.num_banks
+
+
+class TestEncodeDecode:
+    def test_roundtrip_sample(self, memmap):
+        for address in range(0, 4096, 4):
+            assert memmap.encode(memmap.decode(address)) == address
+
+    def test_decode_rejects_unaligned(self, memmap):
+        with pytest.raises(ValueError):
+            memmap.decode(2)
+
+    def test_decode_rejects_out_of_range(self, memmap):
+        with pytest.raises(ValueError):
+            memmap.decode(1 << 20)
+        with pytest.raises(ValueError):
+            memmap.decode(-4)
+
+    def test_encode_rejects_bad_components(self, memmap):
+        with pytest.raises(ValueError):
+            memmap.encode(BankAddress(group=4, tile=0, bank=0, offset=0))
+        with pytest.raises(ValueError):
+            memmap.encode(BankAddress(group=0, tile=16, bank=0, offset=0))
+        with pytest.raises(ValueError):
+            memmap.encode(BankAddress(group=0, tile=0, bank=16, offset=0))
+        with pytest.raises(ValueError):
+            memmap.encode(
+                BankAddress(group=0, tile=0, bank=0, offset=memmap.words_per_bank)
+            )
+
+
+class TestLatencyClass:
+    def test_local_access(self, memmap):
+        # Address 0 lives in tile 0; a core in tile 0 sees 1 cycle.
+        assert memmap.latency_class(0, 0) == 1
+
+    def test_intra_group_access(self, memmap):
+        # Tile 1 is in group 0, like tile 0.
+        addr = memmap.encode(BankAddress(group=0, tile=1, bank=0, offset=0))
+        assert memmap.latency_class(0, addr) == 3
+
+    def test_inter_group_access(self, memmap):
+        addr = memmap.encode(BankAddress(group=1, tile=0, bank=0, offset=0))
+        assert memmap.latency_class(0, addr) == 5
+
+    def test_rejects_bad_tile(self, memmap):
+        with pytest.raises(ValueError):
+            memmap.latency_class(64, 0)
+
+
+class TestCustomArch:
+    def test_small_cluster(self):
+        arch = ArchParams(cores_per_tile=2, tiles_per_group=4, groups=2, banks_per_tile=4)
+        m = MemoryMap(arch.num_banks * 4 * 8, arch)
+        assert m.words_per_bank == 8
+        for address in range(0, m.spm_bytes, 4):
+            assert m.encode(m.decode(address)) == address

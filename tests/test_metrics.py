@@ -1,0 +1,147 @@
+"""Tests for repro.core.metrics."""
+
+import pytest
+
+from repro.core.metrics import (
+    GroupResult,
+    KernelMetrics,
+    as_table,
+    gain,
+    normalize,
+    variation,
+)
+
+
+def make_result(name="g", fp=100.0, area=None, freq=1000.0, power=500.0,
+                tns=-10.0, failing=5, buffers=1000, bumps=0, wl=1e6, density=0.5):
+    return GroupResult(
+        name=name,
+        footprint_um2=fp,
+        combined_area_um2=area if area is not None else fp,
+        wire_length_um=wl,
+        density=density,
+        num_buffers=buffers,
+        num_f2f_bumps=bumps,
+        frequency_mhz=freq,
+        total_negative_slack_ps=tns,
+        failing_paths=failing,
+        power_mw=power,
+    )
+
+
+class TestGroupResult:
+    def test_period_and_pdp(self):
+        r = make_result(freq=1000.0, power=500.0)
+        assert r.period_ps == pytest.approx(1000.0)
+        assert r.power_delay_product == pytest.approx(500.0 * 1000.0)
+
+    def test_rejects_positive_tns(self):
+        with pytest.raises(ValueError):
+            make_result(tns=5.0)
+
+    def test_rejects_combined_area_below_footprint(self):
+        with pytest.raises(ValueError):
+            make_result(fp=100.0, area=50.0)
+
+    def test_rejects_density_above_one(self):
+        with pytest.raises(ValueError):
+            make_result(density=1.2)
+
+    def test_rejects_nonpositive_power(self):
+        with pytest.raises(ValueError):
+            make_result(power=0.0)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            make_result(buffers=-1)
+
+
+class TestNormalize:
+    def test_baseline_normalizes_to_one(self):
+        base = make_result()
+        n = normalize(base, base)
+        assert n.footprint == pytest.approx(1.0)
+        assert n.frequency == pytest.approx(1.0)
+        assert n.power == pytest.approx(1.0)
+        assert n.power_delay_product == pytest.approx(1.0)
+        assert n.total_negative_slack == pytest.approx(-1.0)
+
+    def test_tns_normalized_by_magnitude(self):
+        base = make_result(tns=-10.0)
+        other = make_result(name="o", tns=-25.0)
+        n = normalize(other, base)
+        assert n.total_negative_slack == pytest.approx(-2.5)
+
+    def test_zero_baseline_tns(self):
+        base = make_result(tns=0.0)
+        clean = normalize(make_result(name="c", tns=0.0), base)
+        assert clean.total_negative_slack == 0.0
+        dirty = normalize(make_result(name="d", tns=-5.0), base)
+        assert dirty.total_negative_slack == float("-inf")
+
+    def test_density_stays_absolute(self):
+        base = make_result(density=0.5)
+        n = normalize(make_result(name="o", density=0.6), base)
+        assert n.density == pytest.approx(0.6)
+
+    def test_f2f_against_zero_baseline_reports_absolute(self):
+        base = make_result(bumps=0)
+        n = normalize(make_result(name="o", bumps=80_000), base)
+        assert n.num_f2f_bumps == pytest.approx(80_000)
+
+    def test_pdp_equals_power_over_frequency_ratio(self):
+        base = make_result(freq=1000.0, power=500.0)
+        other = make_result(name="o", freq=875.0, power=564.5)
+        n = normalize(other, base)
+        assert n.power_delay_product == pytest.approx(n.power / n.frequency)
+
+
+class TestKernelMetrics:
+    def test_runtime_and_performance(self):
+        m = KernelMetrics(name="k", cycles=1e9, frequency_mhz=1000.0, power_mw=500.0)
+        assert m.runtime_s == pytest.approx(1.0)
+        assert m.performance == pytest.approx(1.0)
+
+    def test_energy_and_efficiency(self):
+        m = KernelMetrics(name="k", cycles=1e9, frequency_mhz=1000.0, power_mw=500.0)
+        assert m.energy_j == pytest.approx(0.5)
+        assert m.energy_efficiency == pytest.approx(2.0)
+
+    def test_edp(self):
+        m = KernelMetrics(name="k", cycles=2e9, frequency_mhz=1000.0, power_mw=250.0)
+        assert m.edp == pytest.approx(m.energy_j * m.runtime_s)
+
+    def test_faster_clock_improves_performance_and_edp(self):
+        slow = KernelMetrics(name="s", cycles=1e9, frequency_mhz=875.0, power_mw=500.0)
+        fast = KernelMetrics(name="f", cycles=1e9, frequency_mhz=955.0, power_mw=500.0)
+        assert fast.performance > slow.performance
+        assert fast.edp < slow.edp
+
+    def test_rejects_nonpositive_inputs(self):
+        with pytest.raises(ValueError):
+            KernelMetrics(name="k", cycles=0, frequency_mhz=1.0, power_mw=1.0)
+
+
+class TestGain:
+    def test_gain_sign(self):
+        assert gain(1.1, 1.0) == pytest.approx(0.1)
+        assert gain(0.9, 1.0) == pytest.approx(-0.1)
+
+    def test_variation_alias(self):
+        assert variation(1.2, 1.0) == gain(1.2, 1.0)
+
+    def test_zero_baseline_raises(self):
+        with pytest.raises(ValueError):
+            gain(1.0, 0.0)
+
+
+class TestAsTable:
+    def test_empty(self):
+        assert as_table([]) == "(no results)"
+
+    def test_contains_names_and_metrics(self):
+        base = make_result(name="base")
+        text = as_table([normalize(base, base)])
+        assert "base" in text
+        assert "footprint" in text
+        assert "power_delay_product" in text

@@ -1,0 +1,87 @@
+"""Additional physical-layer tests: group clock trees, calibration overrides."""
+
+import pytest
+
+from repro.core.config import Flow, MemPoolConfig
+from repro.physical.calibration import (
+    Calibration,
+    PowerCalibration,
+    TimingCalibration,
+)
+from repro.physical.clocktree import clock_tree_for_group
+from repro.physical.flow2d import implement_group_2d
+from repro.physical.flow3d import implement_group_3d
+
+
+class TestGroupClockTree:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        return (
+            implement_group_2d(MemPoolConfig(1, Flow.FLOW_2D)),
+            implement_group_3d(MemPoolConfig(1, Flow.FLOW_3D)),
+        )
+
+    def test_tree_covers_group(self, pair):
+        g2, _ = pair
+        tree = clock_tree_for_group(g2)
+        assert tree.wirelength_um > g2.placement.half_perimeter_um
+
+    def test_smaller_3d_group_has_cheaper_tree(self, pair):
+        g2, g3 = pair
+        t2 = clock_tree_for_group(g2)
+        t3 = clock_tree_for_group(g3)
+        assert t3.wirelength_um < t2.wirelength_um
+        assert t3.insertion_delay_ps < t2.insertion_delay_ps
+
+    def test_skew_fraction_of_period(self, pair):
+        g2, _ = pair
+        tree = clock_tree_for_group(g2)
+        assert tree.skew_ps < 0.05 * g2.timing.period_ps
+
+
+class TestCalibrationOverrides:
+    def test_zero_noise_changes_frequency(self):
+        config = MemPoolConfig(8, Flow.FLOW_2D)
+        default = implement_group_2d(config)
+        mechanistic = implement_group_2d(
+            config, calibration=Calibration(closure_adjust_ps={})
+        )
+        # The 2D-8MiB entry carries a large negative (lucky-run) noise.
+        assert mechanistic.timing.frequency_mhz < default.timing.frequency_mhz
+
+    def test_wire_activity_scales_power(self):
+        config = MemPoolConfig(1, Flow.FLOW_2D)
+        low = implement_group_2d(
+            config,
+            calibration=Calibration(power=PowerCalibration(wire_activity=0.05)),
+        )
+        high = implement_group_2d(
+            config,
+            calibration=Calibration(power=PowerCalibration(wire_activity=0.20)),
+        )
+        assert high.power.wires_mw > 2 * low.power.wires_mw
+
+    def test_diagonal_fraction_scales_wire_delay(self):
+        config = MemPoolConfig(1, Flow.FLOW_2D)
+        short = implement_group_2d(
+            config,
+            calibration=Calibration(
+                timing=TimingCalibration(diagonal_route_fraction=0.5),
+                closure_adjust_ps={},
+            ),
+        )
+        long = implement_group_2d(
+            config,
+            calibration=Calibration(
+                timing=TimingCalibration(diagonal_route_fraction=1.0),
+                closure_adjust_ps={},
+            ),
+        )
+        assert long.timing.wire_delay_ps == pytest.approx(
+            2 * short.timing.wire_delay_ps
+        )
+
+    def test_unknown_config_noise_defaults_to_zero(self):
+        cal = Calibration()
+        assert cal.closure_noise("2D", 16) == 0.0
+        assert cal.closure_noise("3D", 8) != 0.0

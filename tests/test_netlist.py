@@ -1,0 +1,97 @@
+"""Tests for repro.physical.netlist."""
+
+import pytest
+
+from repro.core.config import CAPACITIES_MIB, Flow, MemPoolConfig
+from repro.interconnect.butterfly import ButterflyNetwork
+from repro.physical.netlist import (
+    GROUP_GLUE_KGE,
+    TILE_CONTROL_KGE,
+    build_group_netlist,
+    build_tile_netlist,
+    butterfly_kge,
+)
+from repro.physical.technology import DEFAULT_TECHNOLOGY
+
+
+def config(cap=1, flow=Flow.FLOW_2D):
+    return MemPoolConfig(capacity_mib=cap, flow=flow)
+
+
+class TestTileNetlist:
+    def test_macro_counts(self):
+        netlist = build_tile_netlist(config())
+        assert len(netlist.spm_macros) == 16
+        assert len(netlist.icache_macros) == 4
+
+    def test_logic_area_anchored_to_core_kge(self):
+        netlist = build_tile_netlist(config())
+        # 4 cores x 60 kGE dominate the ~270-290 kGE tile.
+        core_area = DEFAULT_TECHNOLOGY.kge_to_area_um2(4 * 60.0)
+        assert core_area < netlist.logic_area_um2 < 1.4 * core_area
+
+    def test_macro_area_grows_with_capacity(self):
+        areas = [
+            build_tile_netlist(config(cap)).macro_area_um2 for cap in CAPACITIES_MIB
+        ]
+        assert areas == sorted(areas)
+
+    def test_logic_area_nearly_capacity_independent(self):
+        # Only the crossbar's address bits grow with capacity.
+        small = build_tile_netlist(config(1)).logic_area_um2
+        large = build_tile_netlist(config(8)).logic_area_um2
+        assert large > small
+        assert large / small < 1.01
+
+    def test_sram_access_time_accessor(self):
+        netlist = build_tile_netlist(config(2))
+        assert netlist.sram_access_time_ps == netlist.spm_macros[0].access_time_ps
+
+    def test_crossbar_shape(self):
+        netlist = build_tile_netlist(config())
+        assert netlist.crossbar.masters == 8
+        assert netlist.crossbar.slaves == 16
+
+
+class TestGroupNetlist:
+    def test_four_butterflies(self):
+        netlist = build_group_netlist(config())
+        assert len(netlist.butterflies) == 4
+        assert all(b.ports == 16 and b.radix == 4 for b in netlist.butterflies)
+
+    def test_boundary_bits_grow_with_address_width(self):
+        small = build_group_netlist(config(1)).boundary_bits
+        large = build_group_netlist(config(8)).boundary_bits
+        assert small < large
+        # 3 extra address bits x 4 butterflies x 16 ports.
+        assert large - small == 3 * 4 * 16
+
+    def test_interconnect_cells_register_heavy(self):
+        netlist = build_group_netlist(config())
+        cells = netlist.interconnect_cells
+        assert cells.registers > 0
+        assert cells.total == netlist.total_group_level_cells
+
+    def test_reuses_supplied_tile(self):
+        cfg = config()
+        tile = build_tile_netlist(cfg)
+        netlist = build_group_netlist(cfg, tile)
+        assert netlist.tile is tile
+
+    def test_num_tiles(self):
+        assert build_group_netlist(config()).num_tiles == 16
+
+
+class TestButterflyKge:
+    def test_positive_and_scales_with_width(self):
+        narrow = butterfly_kge(ButterflyNetwork(ports=16, radix=4, request_bits=60))
+        wide = butterfly_kge(ButterflyNetwork(ports=16, radix=4, request_bits=80))
+        assert 0 < narrow < wide
+
+    def test_group_interconnect_magnitude(self):
+        # Four butterflies plus glue land in the low-hundreds of kGE.
+        total = 4 * butterfly_kge(ButterflyNetwork()) + GROUP_GLUE_KGE
+        assert 50 < total < 400
+
+    def test_tile_control_constant_sane(self):
+        assert 5 < TILE_CONTROL_KGE < 60

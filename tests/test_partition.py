@@ -1,0 +1,113 @@
+"""Tests for repro.core.partition — the paper's partitioning scheme."""
+
+import pytest
+
+from repro.core.config import Flow, MemPoolConfig
+from repro.core.partition import (
+    TilePartition,
+    adjusted_partition,
+    default_partition,
+    select_partition,
+)
+from repro.physical.netlist import build_tile_netlist
+
+
+def config(cap, flow=Flow.FLOW_3D):
+    return MemPoolConfig(capacity_mib=cap, flow=flow)
+
+
+class TestTilePartition:
+    def test_default_flag(self):
+        assert TilePartition(16, 0, True).is_default
+        assert not TilePartition(15, 1, False).is_default
+
+    def test_total_banks(self):
+        assert TilePartition(15, 1, False).total_banks == 16
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TilePartition(-1, 0, True)
+
+    def test_rejects_no_banks(self):
+        with pytest.raises(ValueError):
+            TilePartition(0, 0, True)
+
+
+class TestNamedPartitions:
+    def test_default_partition(self):
+        p = default_partition(config(1))
+        assert p.spm_banks_on_memory_die == 16
+        assert p.icache_on_memory_die
+
+    def test_adjusted_partition(self):
+        p = adjusted_partition(config(8))
+        assert p.spm_banks_on_memory_die == 15
+        assert p.spm_banks_on_logic_die == 1
+        assert not p.icache_on_memory_die
+
+    def test_adjusted_bounds(self):
+        with pytest.raises(ValueError):
+            adjusted_partition(config(8), banks_moved=0)
+        with pytest.raises(ValueError):
+            adjusted_partition(config(8), banks_moved=16)
+
+
+class TestSelectPartition:
+    """Reproduces Section IV's scheme selection from the macro areas."""
+
+    @pytest.mark.parametrize("cap", [1, 2, 4])
+    def test_small_capacities_keep_default(self, cap):
+        cfg = config(cap)
+        netlist = build_tile_netlist(cfg)
+        p = select_partition(
+            cfg,
+            bank_area_um2=netlist.spm_macros[0].area_um2,
+            icache_area_um2=sum(m.area_um2 for m in netlist.icache_macros),
+            logic_die_area_um2=netlist.logic_area_um2 / 0.9,
+        )
+        assert p.is_default
+
+    def test_8mib_moves_one_bank(self):
+        cfg = config(8)
+        netlist = build_tile_netlist(cfg)
+        p = select_partition(
+            cfg,
+            bank_area_um2=netlist.spm_macros[0].area_um2,
+            icache_area_um2=sum(m.area_um2 for m in netlist.icache_macros),
+            logic_die_area_um2=netlist.logic_area_um2 / 0.9,
+        )
+        assert p.spm_banks_on_memory_die == 15
+        assert not p.icache_on_memory_die
+
+    def test_huge_macros_move_more_banks(self):
+        cfg = config(1)
+        p = select_partition(
+            cfg,
+            bank_area_um2=50_000.0,
+            icache_area_um2=10_000.0,
+            logic_die_area_um2=200_000.0,
+        )
+        assert p.spm_banks_on_logic_die >= 1
+
+    def test_extreme_macros_converge_to_heavy_move(self):
+        # Moving banks to the logic die grows its budget, so the balance
+        # rule always converges; absurd macro sizes end with nearly all
+        # banks on the logic die.
+        cfg = config(1)
+        p = select_partition(
+            cfg,
+            bank_area_um2=1e9,
+            icache_area_um2=0.0,
+            logic_die_area_um2=1.0,
+        )
+        assert p.spm_banks_on_logic_die >= p.spm_banks_on_memory_die
+
+    def test_validates_inputs(self):
+        cfg = config(1)
+        with pytest.raises(ValueError):
+            select_partition(cfg, bank_area_um2=0, icache_area_um2=0, logic_die_area_um2=1)
+        with pytest.raises(ValueError):
+            select_partition(
+                cfg, bank_area_um2=1, icache_area_um2=0, logic_die_area_um2=1,
+                balance_limit=0.5,
+            )

@@ -1,0 +1,90 @@
+"""Tests for repro.kernels.phases — the Figure 6 cycle model."""
+
+import pytest
+
+from repro.kernels.phases import (
+    DEFAULT_PHASE_PARAMS,
+    PhaseModelParams,
+    matmul_cycles,
+    speedup,
+)
+from repro.kernels.tiling import TilingPlan, paper_tiling
+from repro.simulator.memsys import OffChipMemory
+
+
+class TestParams:
+    def test_defaults_documented(self):
+        assert DEFAULT_PHASE_PARAMS.cpi_mac == pytest.approx(2.9)
+        assert DEFAULT_PHASE_PARAMS.phase_overhead_cycles == pytest.approx(10_000.0)
+        assert DEFAULT_PHASE_PARAMS.num_cores == 256
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhaseModelParams(cpi_mac=0)
+        with pytest.raises(ValueError):
+            PhaseModelParams(phase_overhead_cycles=-1)
+        with pytest.raises(ValueError):
+            PhaseModelParams(num_cores=0)
+
+
+class TestMatmulCycles:
+    def test_breakdown_sums(self):
+        plan = paper_tiling(1)
+        memory = OffChipMemory(bandwidth_bytes_per_cycle=16)
+        b = matmul_cycles(plan, memory)
+        assert b.total == pytest.approx(
+            b.memory_cycles + b.compute_cycles + b.overhead_cycles + b.writeback_cycles
+        )
+        assert 0 < b.memory_fraction < 1
+
+    def test_higher_bandwidth_fewer_cycles(self):
+        plan = paper_tiling(1)
+        slow = matmul_cycles(plan, OffChipMemory(bandwidth_bytes_per_cycle=4))
+        fast = matmul_cycles(plan, OffChipMemory(bandwidth_bytes_per_cycle=64))
+        assert fast.total < slow.total
+        assert fast.memory_fraction < slow.memory_fraction
+
+    def test_bigger_spm_fewer_cycles(self):
+        memory = OffChipMemory(bandwidth_bytes_per_cycle=16)
+        small = matmul_cycles(paper_tiling(1), memory)
+        large = matmul_cycles(paper_tiling(8), memory)
+        assert large.total < small.total
+
+    def test_compute_cycles_independent_of_tile_size(self):
+        # Total MACs are fixed at M^3; only overheads and memory change.
+        memory = OffChipMemory(bandwidth_bytes_per_cycle=16)
+        a = matmul_cycles(paper_tiling(1), memory)
+        b = matmul_cycles(paper_tiling(8), memory)
+        assert a.compute_cycles == pytest.approx(b.compute_cycles, rel=1e-9)
+
+    def test_overhead_shrinks_with_bigger_tiles(self):
+        memory = OffChipMemory(bandwidth_bytes_per_cycle=16)
+        a = matmul_cycles(paper_tiling(1), memory)
+        b = matmul_cycles(paper_tiling(8), memory)
+        assert b.overhead_cycles < a.overhead_cycles
+
+
+class TestPaperHeadlines:
+    """Section VI-A's reported speedups for 8 MiB over 1 MiB."""
+
+    @pytest.mark.parametrize("bw,expected,tol", [(4, 0.43, 0.02), (16, 0.16, 0.02), (64, 0.08, 0.02)])
+    def test_speedup_8mib_over_1mib(self, bw, expected, tol):
+        memory = OffChipMemory(bandwidth_bytes_per_cycle=bw)
+        c1 = matmul_cycles(paper_tiling(1), memory).total
+        c8 = matmul_cycles(paper_tiling(8), memory).total
+        assert c1 / c8 - 1.0 == pytest.approx(expected, abs=tol)
+
+    def test_memory_phase_dominates_at_low_bandwidth(self):
+        b = matmul_cycles(paper_tiling(1), OffChipMemory(bandwidth_bytes_per_cycle=4))
+        assert b.memory_fraction > 0.3
+
+
+class TestSpeedup:
+    def test_definition(self):
+        assert speedup(200.0, 100.0) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            speedup(0, 10)
+        with pytest.raises(ValueError):
+            speedup(10, 0)

@@ -1,0 +1,258 @@
+"""Tests for wirelength, congestion, buffering, timing, and power models."""
+
+import pytest
+
+from repro.core.config import Flow, MemPoolConfig
+from repro.physical.buffering import (
+    insert_buffers,
+    optimal_repeater_spacing_um,
+)
+from repro.physical.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.physical.cells import CellInventory
+from repro.physical.congestion import analyze_congestion
+from repro.physical.netlist import build_group_netlist
+from repro.physical.placement import ChannelPlan, GroupPlacement
+from repro.physical.technology import DEFAULT_TECHNOLOGY, make_stack
+from repro.physical.timing import TimingReport, analyze_timing, slack_population
+from repro.physical.wirelength import estimate_wirelength, port_net_length_um
+
+
+def make_placement(tile=500.0, outer=80.0, center=150.0):
+    return GroupPlacement(
+        grid=4,
+        tile_width_um=tile,
+        tile_height_um=tile,
+        channels=ChannelPlan(outer_width_um=outer, center_width_um=center),
+    )
+
+
+class TestWirelength:
+    def test_corner_tiles_have_longest_nets(self):
+        p = make_placement()
+        corner = port_net_length_um(p, 0, 0)
+        middle = port_net_length_um(p, 1, 1)
+        assert corner > middle
+
+    def test_total_positive_and_decomposed(self):
+        p = make_placement()
+        report = estimate_wirelength(p, boundary_bits=7040, group_cells=60_000, registers=8000)
+        assert report.total_um == pytest.approx(
+            report.interconnect_um + report.clock_um + report.local_um
+        )
+        assert report.interconnect_um > report.clock_um
+
+    def test_wirelength_scales_with_tile_size(self):
+        small = estimate_wirelength(make_placement(tile=400), 7040, 60_000, 8000)
+        large = estimate_wirelength(make_placement(tile=600), 7040, 60_000, 8000)
+        assert large.interconnect_um > small.interconnect_um
+
+    def test_wirelength_scales_with_bits(self):
+        p = make_placement()
+        narrow = estimate_wirelength(p, 6000, 60_000, 8000)
+        wide = estimate_wirelength(p, 7000, 60_000, 8000)
+        assert wide.interconnect_um > narrow.interconnect_um
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            estimate_wirelength(make_placement(), 0, 0, 0)
+
+
+class TestCongestion:
+    def test_center_is_hotspot(self):
+        p = make_placement()
+        report = analyze_congestion(p, 10e6, make_stack("M8"), is_3d=False)
+        assert report.center_demand > report.average_demand
+
+    def test_more_wires_more_congestion(self):
+        p = make_placement()
+        stack = make_stack("M8")
+        light = analyze_congestion(p, 5e6, stack, is_3d=False)
+        heavy = analyze_congestion(p, 20e6, stack, is_3d=False)
+        assert heavy.center_demand > light.center_demand
+
+    def test_overflow_produces_drvs(self):
+        p = make_placement(outer=20, center=40)  # starved channels
+        report = analyze_congestion(p, 60e6, make_stack("M8"), is_3d=False)
+        assert report.congested
+        assert report.drv_estimate > 0
+
+    def test_no_overflow_no_drvs(self):
+        p = make_placement()
+        report = analyze_congestion(p, 1e6, make_stack("M8"), is_3d=False)
+        assert not report.congested
+        assert report.drv_estimate == 0
+
+    def test_rejects_negative_wirelength(self):
+        with pytest.raises(ValueError):
+            analyze_congestion(make_placement(), -1, make_stack("M8"), False)
+
+
+class TestBuffering:
+    def test_repeater_spacing_in_plausible_band(self):
+        spacing = optimal_repeater_spacing_um(DEFAULT_TECHNOLOGY, make_stack("M8"))
+        assert 100 < spacing < 600
+
+    def test_buffers_scale_with_wirelength(self):
+        cells = CellInventory(combinational=50_000, registers=8000)
+        kwargs = dict(
+            boundary_bits=7040, grid=4, cells=cells,
+            tech=DEFAULT_TECHNOLOGY, stack=make_stack("M8"),
+        )
+        short = insert_buffers(wirelength_um=5e6, **kwargs)
+        long = insert_buffers(wirelength_um=20e6, **kwargs)
+        assert long.repeaters > short.repeaters
+        assert long.endpoint_buffers == short.endpoint_buffers
+
+    def test_congestion_adds_repeaters(self):
+        cells = CellInventory(combinational=50_000, registers=8000)
+        kwargs = dict(
+            wirelength_um=10e6, boundary_bits=7040, grid=4, cells=cells,
+            tech=DEFAULT_TECHNOLOGY, stack=make_stack("M8"),
+        )
+        clean = insert_buffers(congestion_overflow=0.0, **kwargs)
+        congested = insert_buffers(congestion_overflow=1.0, **kwargs)
+        assert congested.repeaters > clean.repeaters
+
+    def test_total_sums_components(self):
+        cells = CellInventory(combinational=50_000, registers=8000)
+        report = insert_buffers(
+            wirelength_um=10e6, boundary_bits=7040, grid=4, cells=cells,
+            tech=DEFAULT_TECHNOLOGY, stack=make_stack("M8"),
+        )
+        assert report.total == report.repeaters + report.endpoint_buffers + report.clock_buffers
+
+    def test_rejects_bad_inputs(self):
+        cells = CellInventory()
+        with pytest.raises(ValueError):
+            insert_buffers(-1, 7040, 4, cells, DEFAULT_TECHNOLOGY, make_stack("M8"))
+
+
+class TestTiming:
+    def run_timing(self, tile=500.0, sram_ps=330.0, is_3d=False, cap=1):
+        p = make_placement(tile=tile)
+        stack = make_stack("M6M6" if is_3d else "M8")
+        congestion = analyze_congestion(p, 10e6, stack, is_3d)
+        return analyze_timing(
+            placement=p,
+            sram_access_ps=sram_ps,
+            congestion=congestion,
+            boundary_bits=7040,
+            tech=DEFAULT_TECHNOLOGY,
+            stack=stack,
+            is_3d=is_3d,
+            capacity_mib=cap,
+            calibration=Calibration(closure_adjust_ps={}),
+        )
+
+    def test_bigger_group_is_slower(self):
+        assert self.run_timing(tile=600).frequency_mhz < self.run_timing(tile=450).frequency_mhz
+
+    def test_slower_sram_is_slower(self):
+        assert self.run_timing(sram_ps=500).frequency_mhz < self.run_timing(sram_ps=330).frequency_mhz
+
+    def test_wire_fraction_significant(self):
+        # Paper: ~37 % of the 2D critical path is wire delay.
+        report = self.run_timing()
+        assert 0.2 < report.wire_fraction < 0.55
+
+    def test_breakdown_sums_to_period(self):
+        r = self.run_timing()
+        assert r.period_ps == pytest.approx(
+            r.wire_delay_ps + r.logic_delay_ps + r.sram_delay_ps + r.congestion_delay_ps
+        )
+
+    def test_timing_report_validation(self):
+        with pytest.raises(ValueError):
+            TimingReport(
+                period_ps=-1, wire_delay_ps=0, logic_delay_ps=0, sram_delay_ps=0,
+                congestion_delay_ps=0, tns_ps=0, failing_paths=0,
+            )
+        with pytest.raises(ValueError):
+            TimingReport(
+                period_ps=100, wire_delay_ps=0, logic_delay_ps=0, sram_delay_ps=0,
+                congestion_delay_ps=0, tns_ps=5, failing_paths=0,
+            )
+
+
+class TestSlackPopulation:
+    def test_meeting_target_still_has_residuals(self):
+        tns, failing = slack_population(990.0, 1000.0, is_3d=False)
+        assert failing > 0
+        assert tns < 0
+
+    def test_worse_period_more_failures(self):
+        tns_a, fail_a = slack_population(1050.0, 1000.0, is_3d=False)
+        tns_b, fail_b = slack_population(1150.0, 1000.0, is_3d=False)
+        assert fail_b > fail_a
+        assert tns_b < tns_a
+
+    def test_3d_closes_cleaner(self):
+        tns_2d, _ = slack_population(1050.0, 1000.0, is_3d=False)
+        tns_3d, _ = slack_population(1050.0, 1000.0, is_3d=True)
+        assert abs(tns_3d) < abs(tns_2d)
+
+    def test_rejects_nonpositive_periods(self):
+        with pytest.raises(ValueError):
+            slack_population(0, 1000, False)
+
+
+class TestPowerIntegration:
+    def test_power_components_positive(self):
+        from repro.physical.buffering import BufferingReport
+        from repro.physical.power import analyze_power
+        from repro.physical.wirelength import WirelengthReport
+
+        config = MemPoolConfig(1, Flow.FLOW_2D)
+        netlist = build_group_netlist(config)
+        report = analyze_power(
+            netlist=netlist,
+            wirelength=WirelengthReport(interconnect_um=10e6, clock_um=1e5, local_um=1e6),
+            buffering=BufferingReport(repeaters=100_000, endpoint_buffers=40_000, clock_buffers=3000),
+            frequency_mhz=1000.0,
+            tech=DEFAULT_TECHNOLOGY,
+            total_cell_area_um2=3e6,
+        )
+        for field in ("cores_mw", "interconnect_cells_mw", "buffers_mw", "sram_mw",
+                      "wires_mw", "clock_mw", "leakage_mw"):
+            assert getattr(report, field) > 0
+        assert report.total_mw == pytest.approx(
+            report.cores_mw + report.interconnect_cells_mw + report.buffers_mw
+            + report.sram_mw + report.wires_mw + report.clock_mw + report.leakage_mw
+        )
+        assert report.wire_related_mw == report.wires_mw + report.buffers_mw
+
+    def test_power_scales_with_frequency(self):
+        from repro.physical.buffering import BufferingReport
+        from repro.physical.power import analyze_power
+        from repro.physical.wirelength import WirelengthReport
+
+        config = MemPoolConfig(1, Flow.FLOW_2D)
+        netlist = build_group_netlist(config)
+        common = dict(
+            netlist=netlist,
+            wirelength=WirelengthReport(interconnect_um=10e6, clock_um=1e5, local_um=1e6),
+            buffering=BufferingReport(repeaters=100_000, endpoint_buffers=40_000, clock_buffers=3000),
+            tech=DEFAULT_TECHNOLOGY,
+            total_cell_area_um2=3e6,
+        )
+        slow = analyze_power(frequency_mhz=800.0, **common)
+        fast = analyze_power(frequency_mhz=1000.0, **common)
+        assert fast.total_mw > slow.total_mw
+        # Leakage does not scale with frequency.
+        assert fast.leakage_mw == pytest.approx(slow.leakage_mw)
+
+    def test_rejects_nonpositive_frequency(self):
+        from repro.physical.buffering import BufferingReport
+        from repro.physical.power import analyze_power
+        from repro.physical.wirelength import WirelengthReport
+
+        config = MemPoolConfig(1, Flow.FLOW_2D)
+        with pytest.raises(ValueError):
+            analyze_power(
+                netlist=build_group_netlist(config),
+                wirelength=WirelengthReport(1e6, 1e5, 1e5),
+                buffering=BufferingReport(1000, 100, 10),
+                frequency_mhz=0,
+                tech=DEFAULT_TECHNOLOGY,
+                total_cell_area_um2=1e6,
+            )

@@ -1,0 +1,128 @@
+"""Tests for repro.physical.placement — Figures 4/5 mechanisms."""
+
+import pytest
+
+from repro.physical.placement import (
+    ChannelPlan,
+    GroupPlacement,
+    channel_supply_tracks_per_um,
+    place_group,
+    plan_channels,
+)
+from repro.physical.technology import make_stack
+
+
+@pytest.fixture
+def m8():
+    return make_stack("M8")
+
+
+@pytest.fixture
+def m6m6():
+    return make_stack("M6M6")
+
+
+class TestChannelPlan:
+    def test_total_width(self):
+        plan = ChannelPlan(outer_width_um=100, center_width_um=180)
+        assert plan.total_width_um == 380
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ChannelPlan(outer_width_um=0, center_width_um=1)
+
+
+class TestChannelSupply:
+    def test_3d_supply_beats_2d_despite_blockage(self, m8, m6m6):
+        assert channel_supply_tracks_per_um(m6m6, True) > channel_supply_tracks_per_um(m8, False)
+
+    def test_blockage_only_applies_to_3d(self, m6m6):
+        assert channel_supply_tracks_per_um(m6m6, True) < channel_supply_tracks_per_um(m6m6, False)
+
+
+class TestPlanChannels:
+    def test_3d_channels_about_18_percent_narrower(self, m8, m6m6):
+        """Section V-A: 3D channels are ~18 % narrower than 2D ones."""
+        bits = 7040
+        w2d = plan_channels(bits, m8, is_3d=False).total_width_um
+        w3d = plan_channels(bits, m6m6, is_3d=True).total_width_um
+        assert w3d / w2d == pytest.approx(0.82, abs=0.03)
+
+    def test_center_channel_wider(self, m8):
+        plan = plan_channels(7040, m8, is_3d=False)
+        assert plan.center_width_um > plan.outer_width_um
+
+    def test_width_grows_with_demand(self, m8):
+        narrow = plan_channels(6000, m8, is_3d=False).total_width_um
+        wide = plan_channels(7000, m8, is_3d=False).total_width_um
+        assert wide > narrow
+
+    def test_address_bits_barely_move_channels(self, m8):
+        # The interconnect size is "largely independent of the SPM
+        # capacity, except for the additional address bits".
+        base = plan_channels(4 * 16 * 110, m8, is_3d=False).total_width_um
+        plus3bits = plan_channels(4 * 16 * 113, m8, is_3d=False).total_width_um
+        assert plus3bits / base < 1.04
+
+    def test_rejects_bad_inputs(self, m8):
+        with pytest.raises(ValueError):
+            plan_channels(0, m8, is_3d=False)
+        with pytest.raises(ValueError):
+            plan_channels(100, m8, is_3d=False, grid=1)
+
+
+class TestGroupPlacement:
+    def make(self, tile=500.0, outer=80.0, center=150.0, grid=4):
+        return GroupPlacement(
+            grid=grid,
+            tile_width_um=tile,
+            tile_height_um=tile,
+            channels=ChannelPlan(outer_width_um=outer, center_width_um=center),
+        )
+
+    def test_outline(self):
+        p = self.make()
+        expected = 4 * 500 + (2 * 80 + 150) + 2 * 15
+        assert p.width_um == pytest.approx(expected)
+        assert p.height_um == pytest.approx(expected)
+        assert p.footprint_um2 == pytest.approx(expected**2)
+
+    def test_diagonal_exceeds_width(self):
+        p = self.make()
+        assert p.width_um < p.diagonal_um < 2 * p.width_um
+
+    def test_tile_centers_ordered_and_symmetric(self):
+        p = self.make()
+        xs = [p.tile_center(0, c)[0] for c in range(4)]
+        assert xs == sorted(xs)
+        # Symmetric around the die center.
+        assert xs[0] + xs[3] == pytest.approx(p.width_um)
+        assert xs[1] + xs[2] == pytest.approx(p.width_um)
+
+    def test_center_channel_between_middle_tiles(self):
+        p = self.make()
+        x1 = p.tile_center(0, 1)[0]
+        x2 = p.tile_center(0, 2)[0]
+        # Gap between middle tiles = tile width + center channel.
+        assert x2 - x1 == pytest.approx(500 + 150)
+
+    def test_center_position(self):
+        p = self.make()
+        cx, cy = p.center
+        assert cx == pytest.approx(p.width_um / 2)
+        assert cy == pytest.approx(p.height_um / 2)
+
+    def test_out_of_range_tile(self):
+        with pytest.raises(ValueError):
+            self.make().tile_center(4, 0)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            self.make(tile=-1)
+
+
+class TestPlaceGroup:
+    def test_place_group_wires_demand_through(self, m8):
+        p = place_group(500, 500, 7040, m8, is_3d=False)
+        assert p.grid == 4
+        assert p.footprint_um2 > 4 * 4 * 500 * 500

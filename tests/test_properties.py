@@ -1,0 +1,224 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.cluster import Barrier
+from repro.arch.isa import ProgramBuilder, to_signed
+from repro.arch.memory_map import MemoryMap
+from repro.arch.spm import SPMBank
+from repro.core.config import ArchParams
+from repro.core.metrics import GroupResult, normalize
+from repro.kernels.tiling import TILES_IN_FLIGHT, TilingPlan, select_tile_size
+from repro.physical.sram import SRAMCompiler
+from repro.simulator.memsys import OffChipMemory
+
+# ---------------------------------------------------------------------------
+# Memory map: encode/decode is a bijection and interleaving is balanced.
+
+word_addresses = st.integers(min_value=0, max_value=(1 << 20) // 4 - 1)
+
+
+@given(word=word_addresses)
+def test_memory_map_roundtrip(word):
+    memmap = MemoryMap(1 << 20)
+    address = word * 4
+    assert memmap.encode(memmap.decode(address)) == address
+
+
+@given(word=word_addresses)
+def test_memory_map_components_in_range(word):
+    memmap = MemoryMap(1 << 20)
+    loc = memmap.decode(word * 4)
+    arch = memmap.arch
+    assert 0 <= loc.group < arch.groups
+    assert 0 <= loc.tile < arch.tiles_per_group
+    assert 0 <= loc.bank < arch.banks_per_tile
+    assert 0 <= loc.offset < memmap.words_per_bank
+
+
+@given(start=st.integers(min_value=0, max_value=1000))
+def test_memory_map_consecutive_words_distinct_banks(start):
+    memmap = MemoryMap(1 << 20)
+    banks = {
+        memmap.decode((start + i) * 4).flat_bank() for i in range(16)
+    }
+    assert len(banks) == 16  # 16 consecutive words never share a bank
+
+
+@given(
+    tiles=st.sampled_from([4, 16]),
+    groups=st.sampled_from([2, 4]),
+    banks=st.sampled_from([4, 8, 16]),
+)
+def test_memory_map_roundtrip_generalizes(tiles, groups, banks):
+    arch = ArchParams(tiles_per_group=tiles, groups=groups, banks_per_tile=banks)
+    size = arch.num_banks * 4 * 16
+    memmap = MemoryMap(size, arch)
+    for address in range(0, size, max(4, size // 64 // 4 * 4)):
+        assert memmap.encode(memmap.decode(address)) == address
+
+
+# ---------------------------------------------------------------------------
+# ISA: to_signed is the inverse of the 32-bit masking for signed ints.
+
+
+@given(value=st.integers(min_value=-(2**31), max_value=2**31 - 1))
+def test_to_signed_roundtrip(value):
+    assert to_signed(value & 0xFFFFFFFF) == value
+
+
+@given(values=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=20))
+def test_program_builder_label_targets_valid(values):
+    b = ProgramBuilder()
+    b.label("start")
+    for v in values:
+        b.addi(1, 1, v)
+    b.j("start")
+    program = b.build()
+    for instr in program.instructions:
+        if instr.target >= 0:
+            assert 0 <= instr.target < len(program)
+
+
+# ---------------------------------------------------------------------------
+# SPM bank: at most one grant per cycle, data integrity.
+
+
+@given(offsets=st.lists(st.integers(min_value=0, max_value=15), min_size=2, max_size=8))
+def test_spm_bank_single_grant_per_cycle(offsets):
+    bank = SPMBank(words=16)
+    grants = [bank.try_access(0, off, write=False)[0] for off in offsets]
+    assert sum(grants) == 1
+
+
+@given(
+    writes=st.dictionaries(
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=2**32 - 1),
+        min_size=1,
+        max_size=16,
+    )
+)
+def test_spm_bank_data_integrity(writes):
+    bank = SPMBank(words=32)
+    for cycle, (offset, value) in enumerate(writes.items()):
+        granted, _ = bank.try_access(cycle, offset, write=True, value=value)
+        assert granted
+    for offset, value in writes.items():
+        assert bank.peek(offset) == value
+
+
+# ---------------------------------------------------------------------------
+# Barrier: releases exactly when all parties arrived, for any party count.
+
+
+@given(parties=st.integers(min_value=1, max_value=32))
+def test_barrier_releases_after_all(parties):
+    barrier = Barrier(parties)
+    releases = [barrier.arrive(i) for i in range(parties - 1)]
+    assert all(not r() for r in releases)
+    last = barrier.arrive(parties - 1)
+    assert last()
+    assert all(r() for r in releases)
+    assert barrier.episodes == 1
+
+
+# ---------------------------------------------------------------------------
+# Tiling: selected tile always fits and is maximal at its granularity.
+
+
+@given(
+    spm_mib=st.integers(min_value=1, max_value=64),
+    granularity=st.sampled_from([4, 8, 16, 32]),
+)
+def test_select_tile_size_fits_and_is_maximal(spm_mib, granularity):
+    spm = spm_mib << 20
+    t = select_tile_size(spm, granularity=granularity)
+    assert t % granularity == 0
+    assert TILES_IN_FLIGHT * t * t * 4 <= spm
+    bigger = t + granularity
+    assert TILES_IN_FLIGHT * bigger * bigger * 4 > spm
+
+
+@given(
+    tiles_per_edge=st.integers(min_value=1, max_value=16),
+    tile=st.sampled_from([16, 64, 256]),
+)
+def test_tiling_traffic_invariants(tiles_per_edge, tile):
+    plan = TilingPlan(matrix_dim=tiles_per_edge * tile, tile_size=tile)
+    # Total loads equal 2 * M^2 * reuse elements.
+    m = plan.matrix_dim
+    assert plan.total_load_bytes == 2 * m * m * plan.input_reuse_factor * 4
+    assert plan.total_store_bytes == m * m * 4
+    assert plan.total_phases == plan.output_tiles * plan.phases_per_output_tile
+
+
+# ---------------------------------------------------------------------------
+# Off-chip memory: transfer cycles are exact ceil division.
+
+
+@given(
+    num_bytes=st.integers(min_value=0, max_value=10**9),
+    bandwidth=st.integers(min_value=1, max_value=256),
+)
+def test_transfer_cycles_is_ceil(num_bytes, bandwidth):
+    mem = OffChipMemory(bandwidth_bytes_per_cycle=bandwidth)
+    assert mem.transfer_cycles(num_bytes) == math.ceil(num_bytes / bandwidth)
+
+
+# ---------------------------------------------------------------------------
+# SRAM compiler: monotone in capacity across the whole range.
+
+
+@settings(max_examples=30)
+@given(log_words=st.integers(min_value=6, max_value=14))
+def test_sram_monotone_steps(log_words):
+    compiler = SRAMCompiler()
+    small = compiler.compile(1 << log_words)
+    large = compiler.compile(1 << (log_words + 1))
+    assert large.area_um2 > small.area_um2
+    assert large.access_time_ps > small.access_time_ps
+    assert large.read_energy_pj > small.read_energy_pj
+    assert large.leakage_uw > small.leakage_uw
+    # Sub-linear area growth (periphery amortization).
+    assert large.area_um2 < 2.2 * small.area_um2
+
+
+# ---------------------------------------------------------------------------
+# Metrics: normalization is consistent (scale-invariant).
+
+result_strategy = st.builds(
+    GroupResult,
+    name=st.just("g"),
+    footprint_um2=st.floats(min_value=1e4, max_value=1e8),
+    combined_area_um2=st.just(1e9),
+    wire_length_um=st.floats(min_value=1e3, max_value=1e8),
+    density=st.floats(min_value=0.1, max_value=0.9),
+    num_buffers=st.integers(min_value=1, max_value=10**6),
+    num_f2f_bumps=st.integers(min_value=0, max_value=10**5),
+    frequency_mhz=st.floats(min_value=100.0, max_value=2000.0),
+    total_negative_slack_ps=st.floats(min_value=-1e6, max_value=0.0),
+    failing_paths=st.integers(min_value=0, max_value=10**5),
+    power_mw=st.floats(min_value=1.0, max_value=1e4),
+)
+
+
+@given(result=result_strategy)
+def test_normalize_self_is_unity(result):
+    n = normalize(result, result)
+    assert n.footprint == pytest.approx(1.0)
+    assert n.power == pytest.approx(1.0)
+    assert n.frequency == pytest.approx(1.0)
+
+
+@given(a=result_strategy, b=result_strategy)
+def test_normalize_antisymmetry(a, b):
+    ab = normalize(a, b)
+    ba = normalize(b, a)
+    assert ab.footprint * ba.footprint == pytest.approx(1.0)
+    assert ab.frequency * ba.frequency == pytest.approx(1.0)
+    assert ab.power_delay_product * ba.power_delay_product == pytest.approx(1.0)

@@ -1,0 +1,56 @@
+"""Tests for the public package API (subpackage exports)."""
+
+import pytest
+
+
+class TestTopLevel:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+
+@pytest.mark.parametrize(
+    "module",
+    ["repro.core", "repro.arch", "repro.interconnect", "repro.simulator",
+     "repro.kernels", "repro.physical"],
+)
+def test_subpackage_all_resolves(module):
+    import importlib
+
+    mod = importlib.import_module(module)
+    assert mod.__all__
+    for name in mod.__all__:
+        assert getattr(mod, name, None) is not None, f"{module}.{name}"
+
+
+class TestEndToEndThroughPublicApi:
+    def test_implement_and_measure(self):
+        from repro.core import config_by_name, normalize
+        from repro.physical import implement_group
+
+        base = implement_group(config_by_name("MemPool-2D-1MiB")).to_group_result()
+        other = implement_group(config_by_name("MemPool-3D-1MiB")).to_group_result()
+        n = normalize(other, base)
+        assert n.footprint < 0.75
+        assert n.frequency > 1.0
+
+    def test_simulate_through_public_api(self):
+        from repro.core import MemPoolConfig, Flow
+        from repro.kernels import run_matmul
+
+        run = run_matmul(MemPoolConfig(1, Flow.FLOW_2D), n=8, num_cores=4)
+        assert run.correct
+
+    def test_phase_model_through_public_api(self):
+        from repro.kernels import matmul_cycles, paper_tiling
+        from repro.simulator import OffChipMemory
+
+        b = matmul_cycles(paper_tiling(1), OffChipMemory(bandwidth_bytes_per_cycle=16))
+        assert b.total > 0

@@ -1,0 +1,52 @@
+"""Tests for repro.experiments.sensitivity."""
+
+import pytest
+
+from repro.experiments import sensitivity
+from repro.simulator.memsys import PAPER_BANDWIDTH_SWEEP
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return sensitivity.run()
+
+
+class TestSensitivity:
+    def test_covers_bandwidth_sweep(self, rows):
+        assert [r.bandwidth for r in rows] == list(PAPER_BANDWIDTH_SWEEP)
+
+    def test_best_configs_are_always_3d(self, rows):
+        for row in rows:
+            assert "3D" in row.best_performance
+            assert "3D" in row.best_efficiency
+            assert "3D" in row.best_edp
+
+    def test_performance_crossover(self, rows):
+        # Scarce bandwidth rewards data reuse (large SPM); abundant
+        # bandwidth lets the small design's higher clock win.
+        by_bw = {r.bandwidth: r for r in rows}
+        assert by_bw[4].best_performance.endswith(("4MiB", "8MiB"))
+        assert by_bw[64].best_performance.endswith(("1MiB", "2MiB"))
+
+    def test_performance_winner_capacity_never_grows_with_bandwidth(self, rows):
+        def capacity(name):
+            return int(name.split("-")[-1].replace("MiB", ""))
+
+        capacities = [capacity(r.best_performance) for r in rows]
+        assert all(a >= b for a, b in zip(capacities, capacities[1:]))
+
+    def test_edp_winner_capacity_never_grows_with_bandwidth(self, rows):
+        def capacity(name):
+            return int(name.split("-")[-1].replace("MiB", ""))
+
+        capacities = [capacity(r.best_edp) for r in rows]
+        assert all(a >= b for a, b in zip(capacities, capacities[1:]))
+
+    def test_speedup_decreases_with_bandwidth(self, rows):
+        speedups = [r.speedup_8_over_1_3d for r in rows]
+        assert speedups == sorted(speedups, reverse=True)
+
+    def test_format(self, rows):
+        text = sensitivity.format_rows(rows)
+        assert "best EDP" in text
+        assert str(PAPER_BANDWIDTH_SWEEP[0]) in text

@@ -1,0 +1,250 @@
+"""Tests for repro.arch.snitch — core semantics against a flat memory."""
+
+import pytest
+
+from repro.arch.icache import InstructionCache
+from repro.arch.isa import ProgramBuilder
+from repro.arch.snitch import CoreState, SnitchCore
+
+
+class FlatMemory:
+    """Simple word memory with configurable latency, used as a port."""
+
+    def __init__(self, words=1024, latency=1):
+        self.data = [0] * words
+        self.latency = latency
+        self.accesses = []
+
+    def port(self, cycle, address, is_store, value):
+        self.accesses.append((cycle, address, is_store))
+        index = address // 4
+        if is_store:
+            self.data[index] = value & 0xFFFFFFFF
+            return True, self.latency, 0
+        return True, self.latency, self.data[index]
+
+
+def run_core(program, memory=None, core_id=0, max_cycles=10_000, icache=None):
+    memory = memory or FlatMemory()
+    core = SnitchCore(core_id, program, memory.port, icache=icache)
+    cycle = 0
+    while not core.halted:
+        if cycle > max_cycles:
+            raise AssertionError("core did not halt")
+        core.step(cycle)
+        cycle += 1
+    return core, memory
+
+
+class TestArithmetic:
+    def test_li_add_sub(self):
+        p = ProgramBuilder().li(1, 10).li(2, 3).add(3, 1, 2).sub(4, 1, 2).halt().build()
+        core, _ = run_core(p)
+        assert core.regs[3] == 13
+        assert core.regs[4] == 7
+
+    def test_addi_and_mul(self):
+        p = ProgramBuilder().li(1, 6).addi(2, 1, -2).mul(3, 1, 2).halt().build()
+        core, _ = run_core(p)
+        assert core.regs[2] == 4
+        assert core.regs[3] == 24
+
+    def test_mac_accumulates(self):
+        p = (
+            ProgramBuilder()
+            .li(1, 3).li(2, 4).li(3, 100)
+            .mac(3, 1, 2)
+            .mac(3, 1, 2)
+            .halt().build()
+        )
+        core, _ = run_core(p)
+        assert core.regs[3] == 124
+
+    def test_mul_signed_semantics(self):
+        p = ProgramBuilder().li(1, -3).li(2, 5).mul(3, 1, 2).halt().build()
+        core, _ = run_core(p)
+        assert core.regs[3] == (-15) & 0xFFFFFFFF
+
+    def test_x0_is_hardwired_zero(self):
+        p = ProgramBuilder().li(0, 99).add(1, 0, 0).halt().build()
+        core, _ = run_core(p)
+        assert core.regs[0] == 0
+        assert core.regs[1] == 0
+
+    def test_csrr_hartid(self):
+        p = ProgramBuilder().csrr_hartid(5).halt().build()
+        core, _ = run_core(p, core_id=17)
+        assert core.regs[5] == 17
+
+
+class TestMemoryOps:
+    def test_store_then_load(self):
+        p = (
+            ProgramBuilder()
+            .li(1, 0x123).li(2, 8)
+            .sw(1, 2, 0)
+            .lw(3, 2, 0)
+            .halt().build()
+        )
+        core, mem = run_core(p)
+        assert mem.data[2] == 0x123
+        assert core.regs[3] == 0x123
+
+    def test_load_with_offset(self):
+        mem = FlatMemory()
+        mem.data[5] = 77
+        p = ProgramBuilder().li(1, 0).lw(2, 1, 20).halt().build()
+        core, _ = run_core(p, mem)
+        assert core.regs[2] == 77
+
+    def test_postincrement_load_advances_pointer(self):
+        mem = FlatMemory()
+        mem.data[0], mem.data[1] = 11, 22
+        p = (
+            ProgramBuilder()
+            .li(1, 0)
+            .lw_postinc(2, 1, 4)
+            .lw_postinc(3, 1, 4)
+            .halt().build()
+        )
+        core, _ = run_core(p, mem)
+        assert core.regs[2] == 11
+        assert core.regs[3] == 22
+        assert core.regs[1] == 8
+
+    def test_postincrement_store(self):
+        p = (
+            ProgramBuilder()
+            .li(1, 0).li(2, 5)
+            .sw_postinc(2, 1, 4)
+            .sw_postinc(2, 1, 4)
+            .halt().build()
+        )
+        core, mem = run_core(p)
+        assert mem.data[0] == 5 and mem.data[1] == 5
+        assert core.regs[1] == 8
+
+    def test_load_latency_stalls_core(self):
+        fast_mem = FlatMemory(latency=1)
+        slow_mem = FlatMemory(latency=5)
+        p = ProgramBuilder().li(1, 0).lw(2, 1, 0).halt().build()
+        fast_core, _ = run_core(p, fast_mem)
+        slow_core, _ = run_core(p, slow_mem)
+        assert slow_core.stats.cycles > fast_core.stats.cycles
+        assert slow_core.stats.load_stall_cycles > 0
+
+    def test_refused_request_retries(self):
+        class RefuseOnce(FlatMemory):
+            def __init__(self):
+                super().__init__()
+                self.refused = False
+
+            def port(self, cycle, address, is_store, value):
+                if not self.refused:
+                    self.refused = True
+                    return False, 0, 0
+                return super().port(cycle, address, is_store, value)
+
+        mem = RefuseOnce()
+        p = ProgramBuilder().li(1, 0).lw(2, 1, 0).halt().build()
+        core, _ = run_core(p, mem)
+        assert core.halted
+        assert core.stats.conflict_retries == 1
+
+
+class TestControlFlow:
+    def test_loop_counts(self):
+        p = (
+            ProgramBuilder()
+            .li(1, 0).li(2, 10)
+            .label("loop")
+            .addi(1, 1, 1)
+            .blt(1, 2, "loop")
+            .halt().build()
+        )
+        core, _ = run_core(p)
+        assert core.regs[1] == 10
+
+    def test_bne_loop(self):
+        p = (
+            ProgramBuilder()
+            .li(1, 5).li(2, 0)
+            .label("loop")
+            .addi(1, 1, -1)
+            .bne(1, 2, "loop")
+            .halt().build()
+        )
+        core, _ = run_core(p)
+        assert core.regs[1] == 0
+
+    def test_taken_branch_costs_extra_cycle(self):
+        taken = (
+            ProgramBuilder().li(1, 0).li(2, 1).blt(1, 2, "t").label("t").halt().build()
+        )
+        not_taken = (
+            ProgramBuilder().li(1, 1).li(2, 0).blt(1, 2, "t").label("t").halt().build()
+        )
+        taken_core, _ = run_core(taken)
+        nt_core, _ = run_core(not_taken)
+        assert taken_core.stats.cycles > nt_core.stats.cycles
+
+    def test_jump(self):
+        p = ProgramBuilder().j("end").li(1, 99).label("end").halt().build()
+        core, _ = run_core(p)
+        assert core.regs[1] == 0
+
+    def test_running_off_program_halts(self):
+        p = ProgramBuilder().li(1, 1).build()  # no HALT
+        core, _ = run_core(p)
+        assert core.halted
+
+
+class TestBarrier:
+    def test_barrier_waits_for_release(self):
+        p = ProgramBuilder().barrier().li(1, 7).halt().build()
+        released = {"value": False}
+        core = SnitchCore(0, p, FlatMemory().port)
+        core.barrier_arrive = lambda _cid: (lambda: released["value"])
+        for cycle in range(5):
+            core.step(cycle)
+        assert core.state is CoreState.WAIT_BARRIER
+        assert core.regs[1] == 0
+        released["value"] = True
+        for cycle in range(5, 10):
+            core.step(cycle)
+        assert core.halted
+        assert core.regs[1] == 7
+
+    def test_barrier_without_callback_releases_immediately(self):
+        p = ProgramBuilder().barrier().halt().build()
+        core, _ = run_core(p)
+        assert core.halted
+
+
+class TestICacheIntegration:
+    def test_cold_icache_slows_execution(self):
+        p = ProgramBuilder().li(1, 1).li(2, 2).li(3, 3).halt().build()
+        cold = InstructionCache(refill_penalty=20)
+        core_cold, _ = run_core(p, icache=cold)
+        core_warm, _ = run_core(p)
+        assert core_cold.stats.cycles > core_warm.stats.cycles
+
+    def test_warmed_icache_matches_no_cache(self):
+        p = ProgramBuilder().li(1, 1).halt().build()
+        warm = InstructionCache(refill_penalty=20)
+        warm.warm(0, len(p) * SnitchCore.PC_BYTES)
+        core_warm, _ = run_core(p, icache=warm)
+        core_none, _ = run_core(p)
+        assert core_warm.stats.cycles == core_none.stats.cycles
+
+
+class TestStats:
+    def test_instruction_count(self):
+        p = ProgramBuilder().li(1, 1).addi(1, 1, 1).halt().build()
+        core, _ = run_core(p)
+        assert core.stats.instructions == 3
+
+    def test_ipc_bounded_by_one(self):
+        p = ProgramBuilder().li(1, 1).addi(1, 1, 1).halt().build()
+        core, _ = run_core(p)
+        assert 0 < core.stats.ipc <= 1.0

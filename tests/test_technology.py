@@ -1,0 +1,120 @@
+"""Tests for repro.physical.technology."""
+
+import pytest
+
+from repro.physical.technology import (
+    DEFAULT_TECHNOLOGY,
+    F2FVia,
+    MetalLayer,
+    MetalStack,
+    Technology,
+    make_stack,
+)
+
+
+class TestMetalLayer:
+    def test_tracks_per_um(self):
+        layer = MetalLayer("M2", 0.1, 3.2, 0.2, "V")
+        assert layer.tracks_per_um() == pytest.approx(10.0)
+
+
+class TestF2FVia:
+    def test_paper_parameters(self):
+        via = F2FVia()
+        assert via.size_um == 0.5
+        assert via.resistance_ohm == 0.5
+        assert via.capacitance_ff == 1.0
+        assert via.pitch_um == 10.0
+
+    def test_vias_per_area(self):
+        via = F2FVia()
+        assert via.vias_per_area(100, 100) == 100
+        assert via.vias_per_area(5, 100) == 0
+
+
+class TestMakeStack:
+    def test_m6(self):
+        stack = make_stack("M6")
+        assert stack.layer_count == 6
+        assert not stack.mirrored
+        assert stack.routable_layers == 5
+
+    def test_m8(self):
+        stack = make_stack("M8")
+        assert stack.layer_count == 8
+        assert [l.name for l in stack.layers][-1] == "M8"
+
+    def test_m6m6_mirrored(self):
+        stack = make_stack("M6M6")
+        assert stack.mirrored
+        assert stack.layer_count == 12
+        assert stack.routable_layers == 10
+        assert stack.f2f is not None
+
+    def test_mirrored_supply_exceeds_m8(self):
+        # Twelve layers of M6M6 supply more raw tracks than eight of M8.
+        assert (
+            make_stack("M6M6").supply_tracks_per_um()
+            > make_stack("M8").supply_tracks_per_um()
+        )
+
+    def test_unknown_stack_raises(self):
+        with pytest.raises(ValueError):
+            make_stack("M4")
+
+    def test_mirrored_requires_f2f(self):
+        layers = make_stack("M6").layers
+        with pytest.raises(ValueError):
+            MetalStack(name="bad", layers=layers, mirrored=True, f2f=None)
+
+
+class TestTechnology:
+    def test_kge_roundtrip(self):
+        tech = DEFAULT_TECHNOLOGY
+        assert tech.area_to_kge(tech.kge_to_area_um2(60.0)) == pytest.approx(60.0)
+
+    def test_snitch_core_area_scale(self):
+        # 60 kGE at ~0.65 um^2/GE lands in the tens of thousands of um^2.
+        area = DEFAULT_TECHNOLOGY.kge_to_area_um2(60.0)
+        assert 20_000 < area < 80_000
+
+    def test_negative_kge_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_TECHNOLOGY.kge_to_area_um2(-1.0)
+
+    def test_wire_delay_linear_in_length(self):
+        tech = DEFAULT_TECHNOLOGY
+        stack = make_stack("M8")
+        d1 = tech.wire_delay_ps(1000, stack)
+        d2 = tech.wire_delay_ps(2000, stack)
+        assert d2 == pytest.approx(2 * d1)
+
+    def test_wire_delay_in_plausible_band(self):
+        # Buffered 28 nm global wires: ~0.05-0.2 ps/um.
+        tech = DEFAULT_TECHNOLOGY
+        per_um = tech.wire_delay_ps(1000, make_stack("M8")) / 1000
+        assert 0.05 < per_um < 0.2
+
+    def test_unbuffered_delay_quadratic(self):
+        tech = DEFAULT_TECHNOLOGY
+        stack = make_stack("M8")
+        d1 = tech.unbuffered_wire_delay_ps(500, stack)
+        d2 = tech.unbuffered_wire_delay_ps(1000, stack)
+        assert d2 == pytest.approx(4 * d1)
+
+    def test_unbuffered_beats_buffered_only_for_short_wires(self):
+        tech = DEFAULT_TECHNOLOGY
+        stack = make_stack("M8")
+        assert tech.unbuffered_wire_delay_ps(50, stack) < tech.wire_delay_ps(50, stack)
+        assert tech.unbuffered_wire_delay_ps(5000, stack) > tech.wire_delay_ps(5000, stack)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_TECHNOLOGY.wire_delay_ps(-1, make_stack("M8"))
+
+    def test_critical_rc_identical_across_stacks(self):
+        # Modeling assumption documented in critical_route_rc.
+        assert make_stack("M8").critical_route_rc() == make_stack("M6M6").critical_route_rc()
+
+    def test_default_stacks_present(self):
+        assert set(DEFAULT_TECHNOLOGY.stacks) == {"M6", "M8", "M6M6"}

@@ -1,0 +1,107 @@
+"""Tests for repro.kernels.tiling."""
+
+import pytest
+
+from repro.core.config import PAPER_MATRIX_DIM, TILE_SIZE_BY_CAPACITY
+from repro.kernels.tiling import (
+    TILES_IN_FLIGHT,
+    TilingPlan,
+    lcm_matrix_dim,
+    paper_tiling,
+    select_tile_size,
+)
+
+
+class TestTilingPlan:
+    def test_phase_counts(self):
+        plan = TilingPlan(matrix_dim=1024, tile_size=256)
+        assert plan.tiles_per_edge == 4
+        assert plan.output_tiles == 16
+        assert plan.phases_per_output_tile == 4
+        assert plan.total_phases == 64
+
+    def test_working_set(self):
+        plan = TilingPlan(matrix_dim=1024, tile_size=256)
+        assert plan.tile_bytes == 256 * 256 * 4
+        assert plan.working_set_bytes == TILES_IN_FLIGHT * plan.tile_bytes
+        assert plan.fits(1 << 20)
+        assert not plan.fits(1 << 19)
+
+    def test_input_reuse_factor_is_m_over_t(self):
+        plan = TilingPlan(matrix_dim=2048, tile_size=256)
+        assert plan.input_reuse_factor == 8
+
+    def test_traffic_accounting(self):
+        plan = TilingPlan(matrix_dim=512, tile_size=256)
+        # Total loads: 2 * M^2 * (M/t) elements * 4 bytes.
+        assert plan.total_load_bytes == 2 * 512 * 512 * 2 * 4
+        assert plan.total_store_bytes == 512 * 512 * 4
+        assert plan.total_macs == 512**3
+        assert plan.macs_per_phase == 256**3
+
+    def test_rejects_non_dividing_tile(self):
+        with pytest.raises(ValueError):
+            TilingPlan(matrix_dim=1000, tile_size=256)
+
+    def test_rejects_tile_larger_than_matrix(self):
+        with pytest.raises(ValueError):
+            TilingPlan(matrix_dim=128, tile_size=256)
+
+    def test_bigger_tile_reduces_traffic(self):
+        small = TilingPlan(matrix_dim=1024, tile_size=128)
+        big = TilingPlan(matrix_dim=1024, tile_size=256)
+        assert big.total_load_bytes < small.total_load_bytes
+
+
+class TestPaperTiling:
+    @pytest.mark.parametrize("cap", [1, 2, 4, 8])
+    def test_paper_tile_fits_capacity(self, cap):
+        plan = paper_tiling(cap)
+        assert plan.tile_size == TILE_SIZE_BY_CAPACITY[cap]
+        assert plan.fits(cap << 20)
+        assert plan.matrix_dim == PAPER_MATRIX_DIM
+
+    def test_paper_tiles_nearly_fill_spm(self):
+        # "fully utilize the available SPM": the next standard step up
+        # (the next capacity's tile) must NOT fit.
+        sizes = sorted(TILE_SIZE_BY_CAPACITY.items())
+        for (cap, _), (_, next_t) in zip(sizes, sizes[1:]):
+            oversized = TilingPlan(matrix_dim=lcm_matrix_dim(), tile_size=next_t)
+            assert not oversized.fits(cap << 20)
+
+    def test_unknown_capacity_raises(self):
+        with pytest.raises(ValueError):
+            paper_tiling(3)
+
+
+class TestSelectTileSize:
+    def test_result_fits(self):
+        for cap_mib in (1, 2, 4, 8):
+            t = select_tile_size(cap_mib << 20)
+            assert TilingPlan(matrix_dim=t * 4, tile_size=t).fits(cap_mib << 20)
+
+    def test_result_is_aligned(self):
+        assert select_tile_size(1 << 20, granularity=8) % 8 == 0
+
+    def test_next_step_does_not_fit(self):
+        spm = 1 << 20
+        t = select_tile_size(spm, granularity=8)
+        too_big = t + 8
+        assert 3 * too_big * too_big * 4 > spm
+
+    def test_tiny_spm_raises(self):
+        with pytest.raises(ValueError):
+            select_tile_size(64)
+
+
+class TestLcm:
+    def test_paper_value(self):
+        assert lcm_matrix_dim() == PAPER_MATRIX_DIM
+
+    def test_divisibility(self):
+        m = lcm_matrix_dim((6, 10, 15))
+        assert m == 30
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            lcm_matrix_dim(())

@@ -1,0 +1,60 @@
+"""Tests for repro.kernels.workloads — DSP kernels verified vs numpy."""
+
+import pytest
+
+from repro.core.config import Flow, MemPoolConfig
+from repro.kernels.workloads import (
+    axpy_program,
+    conv2d_3x3_program,
+    dotp_program,
+    run_axpy,
+    run_conv2d,
+    run_dotp,
+)
+
+
+@pytest.fixture
+def config():
+    return MemPoolConfig(capacity_mib=1, flow=Flow.FLOW_2D)
+
+
+class TestDotProduct:
+    @pytest.mark.parametrize("n,cores", [(16, 1), (64, 8), (100, 16)])
+    def test_correct(self, config, n, cores):
+        run = run_dotp(config, num_elements=n, num_cores=cores)
+        assert run.correct
+        assert run.cycles > 0
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            dotp_program(0, 4, 0, 64, 128)
+        with pytest.raises(ValueError):
+            dotp_program(16, 0, 0, 64, 128)
+
+
+class TestAxpy:
+    @pytest.mark.parametrize("n,cores,scalar", [(16, 2, 3), (64, 8, -2), (33, 4, 7)])
+    def test_correct(self, config, n, cores, scalar):
+        run = run_axpy(config, num_elements=n, num_cores=cores, scalar=scalar)
+        assert run.correct
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            axpy_program(0, 4, 1, 0, 64)
+
+
+class TestConv2D:
+    @pytest.mark.parametrize("w,h,cores", [(8, 8, 4), (12, 6, 2), (16, 10, 8)])
+    def test_correct(self, config, w, h, cores):
+        run = run_conv2d(config, width=w, height=h, num_cores=cores)
+        assert run.correct
+
+    def test_rejects_tiny_image(self):
+        with pytest.raises(ValueError):
+            conv2d_3x3_program(2, 8, 4, 0, 100, 200)
+
+    def test_more_cores_help(self, config):
+        few = run_conv2d(config, width=16, height=16, num_cores=1)
+        many = run_conv2d(config, width=16, height=16, num_cores=8)
+        assert many.cycles < few.cycles
+        assert few.correct and many.correct

@@ -1,0 +1,74 @@
+"""Tests for the matvec and stencil workloads, plus the report module."""
+
+import pytest
+
+from repro.core.config import Flow, MemPoolConfig
+from repro.kernels.workloads import (
+    matvec_program,
+    run_matvec,
+    run_stencil5,
+    stencil5_program,
+)
+
+
+@pytest.fixture
+def config():
+    return MemPoolConfig(capacity_mib=1, flow=Flow.FLOW_2D)
+
+
+class TestMatvec:
+    @pytest.mark.parametrize("rows,cols,cores", [(8, 8, 2), (12, 10, 4), (20, 6, 8)])
+    def test_correct(self, config, rows, cols, cores):
+        run = run_matvec(config, rows=rows, cols=cols, num_cores=cores)
+        assert run.correct
+
+    def test_single_core(self, config):
+        assert run_matvec(config, rows=5, cols=7, num_cores=1).correct
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            matvec_program(0, 4, 2, 0, 64, 128)
+        with pytest.raises(ValueError):
+            matvec_program(4, 4, 0, 0, 64, 128)
+
+
+class TestStencil5:
+    @pytest.mark.parametrize("w,h,cores", [(8, 8, 2), (10, 8, 4), (16, 12, 8)])
+    def test_correct(self, config, w, h, cores):
+        run = run_stencil5(config, width=w, height=h, num_cores=cores)
+        assert run.correct
+
+    def test_minimal_image(self, config):
+        assert run_stencil5(config, width=3, height=3, num_cores=1).correct
+
+    def test_rejects_tiny_image(self):
+        with pytest.raises(ValueError):
+            stencil5_program(2, 3, 2, 0, 100)
+
+    def test_parallel_speedup(self, config):
+        one = run_stencil5(config, width=16, height=16, num_cores=1)
+        eight = run_stencil5(config, width=16, height=16, num_cores=8)
+        assert eight.cycles < one.cycles
+
+
+class TestReport:
+    def test_report_builds_and_covers_everything(self):
+        from repro.experiments.report import build_report
+
+        report = build_report()
+        assert "# MemPool-3D reproduction" in report
+        assert "## Table I" in report
+        assert "## Table II" in report
+        assert "## Figure 6" in report
+        assert "## Figures 7-9" in report
+        assert "MemPool-3D-8MiB" in report
+        assert "EDP optimum" in report
+
+    def test_report_writes_to_file(self, tmp_path):
+        from repro.experiments.report import write_report
+
+        path = tmp_path / "report.md"
+        write_report(str(path))
+        text = path.read_text()
+        assert text.startswith("# MemPool-3D reproduction")
+        assert "| config |" in text

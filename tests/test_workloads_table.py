@@ -1,0 +1,65 @@
+"""Tests for the workload-characterization experiment."""
+
+import pytest
+
+from repro.experiments.workloads_table import (
+    KERNELS,
+    WorkloadCharacterization,
+    characterize,
+    format_rows,
+    run,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run(core_counts=(4, 16))
+
+
+class TestCharacterization:
+    def test_covers_all_kernels(self, rows):
+        assert {r.kernel for r in rows} == set(KERNELS)
+
+    def test_locality_fractions_sum_to_one(self, rows):
+        for r in rows:
+            total = r.local_fraction + r.group_fraction + r.cluster_fraction
+            assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_conflicts_stay_low_for_streaming_kernels(self, rows):
+        # The design property MemPool is built around: interleaving keeps
+        # streaming kernels nearly conflict-free.
+        for r in rows:
+            if r.kernel != "matvec":
+                assert r.conflict_rate < 0.08, r
+
+    def test_matvec_broadcast_reads_create_hotspot(self, rows):
+        # matvec is the exception: every core walks the *same* x vector in
+        # lockstep, so its banks serialize — visibly above dotp's rate.
+        by = {(r.kernel, r.num_cores): r for r in rows}
+        assert (
+            by[("matvec", 16)].conflict_rate > 2 * by[("dotp", 16)].conflict_rate
+        )
+
+    def test_more_cores_more_throughput(self, rows):
+        by_kernel = {}
+        for r in rows:
+            by_kernel.setdefault(r.kernel, {})[r.num_cores] = r
+        for kernel, runs in by_kernel.items():
+            if len(runs) == 2:
+                assert runs[16].cycles <= runs[4].cycles, kernel
+
+    def test_ipc_positive_and_bounded(self, rows):
+        for r in rows:
+            assert 0 < r.ipc <= r.num_cores
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError):
+            characterize("fft", 4)
+
+    def test_format(self, rows):
+        text = format_rows(rows)
+        assert "matmul" in text
+        assert "IPC" in text
+
+    def test_row_type(self, rows):
+        assert all(isinstance(r, WorkloadCharacterization) for r in rows)
