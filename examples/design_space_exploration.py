@@ -1,47 +1,49 @@
 #!/usr/bin/env python3
-"""Design-space co-exploration across SPM capacity and integration flow.
+"""Design-space co-exploration on the parallel, cached sweep engine.
 
-Reproduces the paper's central workflow: sweep the architectural axis
-(1-8 MiB of shared L1) and the technology axis (2D vs Macro-3D) together,
-then rank the eight design points under different objectives
-and print the performance/efficiency Pareto front.
+Reproduces the paper's central workflow — sweeping the architectural axis
+(1-8 MiB of shared L1) and the technology axis (2D vs Macro-3D) together —
+but through `repro.sweep`: the grid also spans off-chip bandwidth, runs
+across worker processes, and lands in a content-addressed cache, so the
+second pass over the same grid costs nothing.
 
-Run:  python examples/design_space_exploration.py [bandwidth_B_per_cycle]
+Run:  python examples/design_space_exploration.py [bandwidth_B_per_cycle ...]
 """
 
 import sys
+import tempfile
 
-from repro.core.explorer import Explorer, OBJECTIVES
+from repro.sweep import (
+    ResultCache,
+    SweepExecutor,
+    SweepSpec,
+    format_table,
+    labeled_points,
+    summarize,
+)
 
 
 def main() -> None:
-    bandwidth = float(sys.argv[1]) if len(sys.argv) > 1 else 16.0
-    explorer = Explorer(bandwidth=bandwidth)
-    points = explorer.explore()
+    bandwidths = tuple(float(a) for a in sys.argv[1:]) or (4.0, 16.0, 64.0)
+    spec = SweepSpec(bandwidths=bandwidths)
 
-    print(f"Design points (matmul @ {bandwidth:g} B/cycle off-chip):\n")
-    header = (
-        f"{'config':>18} {'freq MHz':>9} {'power mW':>9} {'fp mm2':>8} "
-        f"{'runtime s':>10} {'kernels/J':>10}"
-    )
-    print(header)
-    for p in sorted(points, key=lambda p: (p.config.capacity_mib, p.config.flow.value)):
-        print(
-            f"{p.config.name:>18} {p.frequency_mhz:9.0f} {p.power_mw:9.0f} "
-            f"{p.footprint_um2 / 1e6:8.2f} {p.kernel.runtime_s:10.3e} "
-            f"{p.energy_efficiency:10.3e}"
-        )
+    with tempfile.TemporaryDirectory(prefix="sweep-cache-") as cache_dir:
+        cache = ResultCache(cache_dir)
+        executor = SweepExecutor(cache=cache, workers=2)
 
-    for objective in OBJECTIVES:
-        best = explorer.rank(objective, points)[0]
-        print(f"\nBest {objective:>18}: {best.config.name}")
+        outcome = executor.run(spec)
+        print(f"cold sweep of {len(spec)} points:   {outcome.stats.summary()}")
 
-    print("\nPerformance / energy-efficiency Pareto front:")
-    for p in explorer.pareto_front(points):
-        print(
-            f"  {p.config.name:>18}  perf {p.performance:9.3e} /s   "
-            f"eff {p.energy_efficiency:9.3e} /J"
-        )
+        resumed = executor.run(spec)
+        print(f"warm sweep (content-addressed): {resumed.stats.summary()}")
+        assert resumed.stats.evaluated == 0, "second pass must be pure cache hits"
+
+    print(f"\nDesign points (matmul @ {', '.join(f'{b:g}' for b in bandwidths)}"
+          " B/cycle off-chip):\n")
+    print(format_table(labeled_points(outcome.records)))
+
+    print()
+    print(summarize(outcome.records, top=1))
 
 
 if __name__ == "__main__":

@@ -1,2 +1,16 @@
-from setuptools import setup
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-mempool3d",
+    version="1.0.0",
+    description=(
+        "Reproduction of MemPool-3D (DATE 2022): shared-L1 many-core "
+        "cluster models, 2D/Macro-3D physical flows, and a parallel "
+        "cached design-space sweep engine"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["repro=repro.__main__:main"]},
+)

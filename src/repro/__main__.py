@@ -5,6 +5,7 @@ Usage::
     python -m repro implement MemPool-3D-4MiB
     python -m repro simulate --kernel matmul --n 16 --cores 16
     python -m repro explore --bandwidth 16
+    python -m repro sweep --workers 4 --bandwidths 2,4,8,16,32,64,128
     python -m repro experiments [table1 table2 fig6 fig789]
 """
 
@@ -85,6 +86,37 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _csv(cast):
+    """argparse type: comma-separated list of ``cast`` values."""
+
+    def parse(text: str):
+        return tuple(cast(item) for item in text.split(",") if item.strip())
+
+    return parse
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .sweep import ResultCache, ResultStore, SweepExecutor, SweepSpec, summarize
+
+    spec = SweepSpec(
+        capacities_mib=args.capacities,
+        flows=args.flows,
+        bandwidths=args.bandwidths,
+        matrix_dims=args.matrix_dims,
+        core_counts=args.core_counts,
+    )
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    store = ResultStore(args.store) if args.store else None
+    executor = SweepExecutor(cache=cache, workers=args.workers, store=store)
+    print(f"sweeping {len(spec)} design points "
+          f"({args.workers or 1} worker{'s' if args.workers > 1 else ''})...")
+    outcome = executor.run(spec)
+    print(outcome.stats.summary())
+    print()
+    print(summarize(outcome.records, top=args.top))
+    return 1 if outcome.stats.failed else 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments.runner import main as run_experiments
 
@@ -117,6 +149,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--bandwidth", type=float, default=16.0,
                        help="off-chip B/cycle")
     p_exp.set_defaults(func=_cmd_explore)
+
+    p_sw = sub.add_parser(
+        "sweep", help="parallel, cached sweep over the design space"
+    )
+    p_sw.add_argument("--capacities", type=_csv(int), default=(1, 2, 4, 8),
+                      help="comma-separated SPM capacities in MiB")
+    p_sw.add_argument("--flows", type=_csv(str), default=("2D", "3D"),
+                      help="comma-separated flows (2D,3D)")
+    p_sw.add_argument("--bandwidths", type=_csv(float),
+                      default=(2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+                      help="comma-separated off-chip bandwidths in B/cycle")
+    p_sw.add_argument("--matrix-dims", type=_csv(int), default=(326400,),
+                      dest="matrix_dims",
+                      help="comma-separated matrix dimensions")
+    p_sw.add_argument("--core-counts", type=_csv(int), default=(256,),
+                      dest="core_counts",
+                      help="comma-separated compute-core counts")
+    p_sw.add_argument("--workers", type=int, default=0,
+                      help="worker processes (0 = serial in-process)")
+    p_sw.add_argument("--cache-dir", default=".sweep-cache",
+                      help="content-addressed result cache directory")
+    p_sw.add_argument("--no-cache", action="store_true",
+                      help="disable the result cache")
+    p_sw.add_argument("--store", default=None,
+                      help="append-only JSONL log of every result")
+    p_sw.add_argument("--top", type=int, default=3,
+                      help="winners listed per objective")
+    p_sw.set_defaults(func=_cmd_sweep)
 
     p_x = sub.add_parser("experiments", help="regenerate tables/figures")
     p_x.add_argument("names", nargs="*", help="subset of experiments")

@@ -56,6 +56,71 @@ OBJECTIVES: dict[str, tuple[Callable[[DesignPoint], float], bool]] = {
 }
 
 
+def evaluate_point(
+    config: MemPoolConfig,
+    bandwidth: float = DDR_CHANNEL_BYTES_PER_CYCLE,
+    phase_params: PhaseModelParams = DEFAULT_PHASE_PARAMS,
+    tiling: Optional[TilingPlan] = None,
+) -> DesignPoint:
+    """Implement one configuration and attach its kernel metrics.
+
+    This is the single evaluation path shared by the serial
+    :class:`Explorer` and the parallel ``repro.sweep`` executor: a pure,
+    picklable, top-level function of plain inputs, so it can be shipped to
+    worker processes and its results cached by content address.
+
+    Args:
+        config: The MemPool instance to implement.
+        bandwidth: Off-chip bandwidth for the kernel model (B/cycle).
+        phase_params: Phase-model calibration.
+        tiling: Tiling plan; defaults to the paper's for this capacity.
+    """
+    from ..physical.flow3d import implement_group  # local: heavy import
+
+    plan = tiling if tiling is not None else paper_tiling(config.capacity_mib)
+    memory = OffChipMemory(bandwidth_bytes_per_cycle=bandwidth)
+    cycles = matmul_cycles(plan, memory, phase_params).total
+    impl = implement_group(config)
+    result = impl.to_group_result()
+    kernel = KernelMetrics(
+        name=config.name,
+        cycles=cycles,
+        frequency_mhz=result.frequency_mhz,
+        power_mw=result.power_mw,
+    )
+    return DesignPoint(
+        config=config,
+        footprint_um2=result.footprint_um2,
+        combined_area_um2=result.combined_area_um2,
+        frequency_mhz=result.frequency_mhz,
+        power_mw=result.power_mw,
+        kernel=kernel,
+    )
+
+
+def pareto_front(points: Iterable[DesignPoint]) -> list[DesignPoint]:
+    """Performance-vs-efficiency Pareto-optimal points, best-perf last.
+
+    A point is dominated if another point is at least as good on both
+    axes and strictly better on one.
+    """
+    points = list(points)
+    front = []
+    for p in points:
+        dominated = any(
+            (q.performance >= p.performance)
+            and (q.energy_efficiency >= p.energy_efficiency)
+            and (
+                q.performance > p.performance
+                or q.energy_efficiency > p.energy_efficiency
+            )
+            for q in points
+        )
+        if not dominated:
+            front.append(p)
+    return sorted(front, key=lambda p: p.performance)
+
+
 class Explorer:
     """Sweeps capacities and flows, producing ranked design points.
 
@@ -79,37 +144,23 @@ class Explorer:
         self.flows = tuple(flows)
         if not self.capacities or not self.flows:
             raise ValueError("need at least one capacity and one flow")
-        self.memory = OffChipMemory(bandwidth_bytes_per_cycle=bandwidth)
+        self.bandwidth = float(bandwidth)
         self.phase_params = phase_params
         self.tiling_for = tiling_for or paper_tiling
 
     def explore(self) -> list[DesignPoint]:
         """Implement every configuration and attach kernel metrics."""
-        from ..physical.flow3d import implement_group  # local: heavy import
-
         points = []
         for capacity in self.capacities:
-            cycles = matmul_cycles(
-                self.tiling_for(capacity), self.memory, self.phase_params
-            ).total
+            plan = self.tiling_for(capacity)
             for flow in self.flows:
                 config = MemPoolConfig(capacity_mib=capacity, flow=flow)
-                impl = implement_group(config)
-                result = impl.to_group_result()
-                kernel = KernelMetrics(
-                    name=config.name,
-                    cycles=cycles,
-                    frequency_mhz=result.frequency_mhz,
-                    power_mw=result.power_mw,
-                )
                 points.append(
-                    DesignPoint(
-                        config=config,
-                        footprint_um2=result.footprint_um2,
-                        combined_area_um2=result.combined_area_um2,
-                        frequency_mhz=result.frequency_mhz,
-                        power_mw=result.power_mw,
-                        kernel=kernel,
+                    evaluate_point(
+                        config,
+                        bandwidth=self.bandwidth,
+                        phase_params=self.phase_params,
+                        tiling=plan,
                     )
                 )
         return points
@@ -133,23 +184,6 @@ class Explorer:
     def pareto_front(
         self, points: Optional[list[DesignPoint]] = None
     ) -> list[DesignPoint]:
-        """Performance-vs-efficiency Pareto-optimal points.
-
-        A point is dominated if another point is at least as good on both
-        axes and strictly better on one.
-        """
+        """Performance-vs-efficiency Pareto-optimal points."""
         points = points if points is not None else self.explore()
-        front = []
-        for p in points:
-            dominated = any(
-                (q.performance >= p.performance)
-                and (q.energy_efficiency >= p.energy_efficiency)
-                and (
-                    q.performance > p.performance
-                    or q.energy_efficiency > p.energy_efficiency
-                )
-                for q in points
-            )
-            if not dominated:
-                front.append(p)
-        return sorted(front, key=lambda p: p.performance)
+        return pareto_front(points)

@@ -135,6 +135,33 @@ def select_tile_size(
     return tile
 
 
+def fit_tiling(
+    matrix_dim: int, spm_bytes: int, word_bytes: int = 4, granularity: int = 8
+) -> TilingPlan:
+    """Largest aligned tiling of ``matrix_dim`` that fits ``spm_bytes``.
+
+    Generalizes :func:`paper_tiling` to arbitrary matrix dimensions and SPM
+    capacities: the tile edge is the largest multiple of ``granularity``
+    that divides ``matrix_dim`` and whose three-tile working set fits.
+
+    Raises:
+        ValueError: If no aligned divisor fits the capacity.
+    """
+    if matrix_dim <= 0 or spm_bytes <= 0:
+        raise ValueError("dimension and capacity must be positive")
+    limit = math.isqrt(spm_bytes // (TILES_IN_FLIGHT * word_bytes))
+    best = None
+    for t in range(granularity, limit + 1, granularity):
+        if matrix_dim % t == 0:
+            best = t
+    if best is None:
+        raise ValueError(
+            f"no {granularity}-aligned tile divides {matrix_dim} "
+            f"within {spm_bytes} B of SPM"
+        )
+    return TilingPlan(matrix_dim=matrix_dim, tile_size=best, word_bytes=word_bytes)
+
+
 def paper_tiling(capacity_mib: int) -> TilingPlan:
     """The paper's tiling plan for one of the four SPM capacities."""
     if capacity_mib not in TILE_SIZE_BY_CAPACITY:

@@ -1,0 +1,53 @@
+"""Parallel, cached, resumable design-space sweep engine.
+
+The paper's thesis — that SPM capacity and integration flow must be
+co-explored — only bites when the design space gets big.  This package
+scales the serial :class:`repro.core.explorer.Explorer` loop into a sweep
+engine:
+
+* :mod:`~repro.sweep.spec` — declarative :class:`SweepSpec` axes
+  cross-producted into hashable, picklable :class:`Job` records;
+* :mod:`~repro.sweep.cache` — content-addressed on-disk
+  :class:`ResultCache` (job parameters + code-model version), so repeated
+  sweeps are near-free;
+* :mod:`~repro.sweep.executor` — :class:`SweepExecutor`, sharded
+  ``ProcessPoolExecutor`` fan-out with per-job error capture and
+  resume-by-retry of failures;
+* :mod:`~repro.sweep.store` — append-only :class:`ResultStore` audit log
+  plus record/point serialization;
+* :mod:`~repro.sweep.report` — ranking and summaries over the same
+  objectives the serial explorer uses.
+
+Quick start::
+
+    from repro.sweep import ResultCache, SweepExecutor, SweepSpec
+
+    spec = SweepSpec(bandwidths=(4.0, 16.0, 64.0))
+    outcome = SweepExecutor(cache=ResultCache(".sweep-cache"), workers=4).run(spec)
+    print(outcome.stats.summary())
+"""
+
+from .cache import ResultCache
+from .executor import SweepExecutor, SweepOutcome, SweepStats, evaluate_job
+from .report import format_table, labeled_points, rank, summarize
+from .spec import CODE_MODEL_VERSION, Job, SweepSpec
+from .store import ResultStore, failure_record, point_to_record, record_to_point
+
+__all__ = [
+    "CODE_MODEL_VERSION",
+    "Job",
+    "ResultCache",
+    "ResultStore",
+    "SweepExecutor",
+    "SweepOutcome",
+    "SweepSpec",
+    "SweepStats",
+    "evaluate_job",
+    "failure_record",
+    "format_table",
+    "labeled_points",
+    "point_to_record",
+    "rank",
+    "record_to_point",
+    "summarize",
+]

@@ -1,0 +1,78 @@
+"""Content-addressed, on-disk result cache.
+
+Results are keyed by :attr:`repro.sweep.spec.Job.key` — a sha256 over the
+job's parameters and the code-model version — and appended to a JSONL
+file, one record per line.  Appending keeps writes crash-safe (a torn
+final line is skipped on load, everything before it survives) and makes
+repeated or resumed sweeps near-free: any job whose key is already
+present is served from disk instead of re-evaluated.
+
+Only successful records are cached; failures are recorded in the sweep
+outcome (and optionally the :class:`~repro.sweep.store.ResultStore`) but
+stay out of the cache so a later run retries them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator
+
+
+class ResultCache:
+    """Append-only JSONL cache of evaluated sweep results.
+
+    Args:
+        root: Directory holding the cache (created if missing).
+
+    The cache is loaded eagerly; lookups are in-memory dict hits.  For a
+    duplicated key the last record wins, so re-caching after a model-
+    version bump simply shadows the stale line.
+    """
+
+    FILENAME = "results.jsonl"
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.path = self.root / self.FILENAME
+        self._records: dict[str, dict] = {}
+        if self.path.exists():
+            with self.path.open("r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn write from an interrupted run
+                    key = record.get("key")
+                    if key:
+                        self._records[key] = record
+
+    def get(self, key: str) -> dict | None:
+        """The cached record for ``key``, or None."""
+        return self._records.get(key)
+
+    def put(self, record: dict) -> None:
+        """Persist a record (must carry a ``key``) and index it.
+
+        Raises:
+            ValueError: If the record has no key.
+        """
+        key = record.get("key")
+        if not key:
+            raise ValueError("cache records must carry a 'key'")
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._records[key] = record
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._records)

@@ -1,0 +1,182 @@
+"""Sharded parallel sweep execution with caching and resumability.
+
+The executor takes a :class:`~repro.sweep.spec.SweepSpec` (or an explicit
+job list), skips every job already in the cache, and fans the rest out
+over a ``ProcessPoolExecutor`` in deterministic chunks.  Every job is
+evaluated under a per-job error trap, so one diverging configuration
+cannot kill a thousand-point sweep: it becomes a failure record, stays
+out of the cache, and is retried on the next invocation — which is all
+"resume" means here.  With ``workers <= 1`` the same code path runs
+serially in-process, which is bit-identical to the parallel path (same
+:func:`repro.core.explorer.evaluate_point` arithmetic, no accumulation
+reordering).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from ..core.explorer import DesignPoint, evaluate_point
+from .cache import ResultCache
+from .spec import Job, SweepSpec
+from .store import ResultStore, failure_record, point_to_record, record_to_point
+
+#: Chunks handed to each worker per scheduling round; keeping several
+#: chunks per worker balances stragglers against IPC overhead.
+CHUNKS_PER_WORKER = 4
+
+
+def evaluate_job(job: Job) -> DesignPoint:
+    """Evaluate one job (top-level and picklable: safe to ship to workers)."""
+    return evaluate_point(
+        job.to_config(),
+        bandwidth=job.bandwidth,
+        phase_params=job.phase_params(),
+        tiling=job.tiling(),
+    )
+
+
+def _run_one(args: tuple[Callable[[Job], DesignPoint], Job]) -> dict:
+    """Worker body: evaluate one job, trapping any exception into a record."""
+    evaluate, job = args
+    try:
+        return point_to_record(job, evaluate(job))
+    except Exception as exc:  # captured per job; the sweep continues
+        return failure_record(job, exc)
+
+
+@dataclass(frozen=True)
+class SweepStats:
+    """Bookkeeping of one executor run."""
+
+    total: int
+    cached: int
+    evaluated: int
+    failed: int
+    duration_s: float
+
+    def summary(self) -> str:
+        """One-line human-readable form."""
+        return (
+            f"{self.total} jobs: {self.cached} cached, "
+            f"{self.evaluated} evaluated, {self.failed} failed "
+            f"in {self.duration_s:.2f}s"
+        )
+
+
+@dataclass
+class SweepOutcome:
+    """Results of one executor run, in job order."""
+
+    records: list[dict]
+    stats: SweepStats
+    jobs: list[Job] = field(default_factory=list)
+
+    @property
+    def ok_records(self) -> list[dict]:
+        """Successful records only."""
+        return [r for r in self.records if r["status"] == "ok"]
+
+    @property
+    def failures(self) -> list[dict]:
+        """Failure records only."""
+        return [r for r in self.records if r["status"] != "ok"]
+
+    def points(self) -> list[DesignPoint]:
+        """Design points of the successful records, in job order."""
+        return [record_to_point(r) for r in self.ok_records]
+
+
+class SweepExecutor:
+    """Cached, sharded, resumable runner of sweep jobs.
+
+    Args:
+        cache: Result cache; ``None`` disables caching (everything
+            re-evaluates each run).
+        workers: Worker processes. ``0`` or ``1`` runs serially
+            in-process.
+        chunksize: Jobs per worker chunk; defaults to an even split with
+            :data:`CHUNKS_PER_WORKER` chunks per worker.
+        evaluate: Evaluation function (must be a picklable top-level
+            callable when ``workers > 1``).  Injectable for testing and
+            for alternative evaluation models.
+        store: Optional append-only log receiving every record of every
+            run, cache hits included.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        workers: int = 0,
+        chunksize: Optional[int] = None,
+        evaluate: Callable[[Job], DesignPoint] = evaluate_job,
+        store: Optional[ResultStore] = None,
+    ) -> None:
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
+        if chunksize is not None and chunksize <= 0:
+            raise ValueError("chunksize must be positive")
+        self.cache = cache
+        self.workers = workers
+        self.chunksize = chunksize
+        self.evaluate = evaluate
+        self.store = store
+
+    def run(self, spec: SweepSpec | Iterable[Job]) -> SweepOutcome:
+        """Execute a sweep: serve cache hits, evaluate the rest.
+
+        Failed jobs are reported but not cached, so re-running the same
+        spec retries exactly the failures (plus any genuinely new jobs).
+        """
+        jobs = list(spec.jobs() if isinstance(spec, SweepSpec) else spec)
+        t0 = time.perf_counter()
+
+        by_key: dict[str, dict] = {}
+        pending: list[Job] = []
+        pending_keys: set[str] = set()
+        for job in jobs:
+            cached = self.cache.get(job.key) if self.cache is not None else None
+            if cached is not None and cached.get("status") == "ok":
+                by_key[job.key] = {**cached, "source": "cache"}
+            elif job.key not in pending_keys:
+                pending.append(job)
+                pending_keys.add(job.key)
+
+        for record in self._evaluate(pending):
+            if record["status"] == "ok" and self.cache is not None:
+                self.cache.put(record)
+            by_key[record["key"]] = {**record, "source": "evaluated"}
+
+        records = [by_key[job.key] for job in jobs]
+        if self.store is not None:
+            for record in records:
+                self.store.append(record)
+
+        evaluated = sum(1 for r in records if r["source"] == "evaluated")
+        failed = sum(1 for r in records if r["status"] != "ok")
+        stats = SweepStats(
+            total=len(jobs),
+            cached=len(jobs) - evaluated,
+            evaluated=evaluated,
+            failed=failed,
+            duration_s=time.perf_counter() - t0,
+        )
+        return SweepOutcome(records=records, stats=stats, jobs=jobs)
+
+    def _evaluate(self, jobs: list[Job]) -> list[dict]:
+        """Evaluate jobs serially or across the process pool."""
+        if not jobs:
+            return []
+        work = [(self.evaluate, job) for job in jobs]
+        if self.workers <= 1:
+            return [_run_one(item) for item in work]
+        workers = min(self.workers, len(jobs))
+        chunksize = self.chunksize or max(
+            1, math.ceil(len(jobs) / (workers * CHUNKS_PER_WORKER))
+        )
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_run_one, work, chunksize=chunksize))

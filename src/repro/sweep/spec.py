@@ -1,0 +1,188 @@
+"""Declarative sweep specifications and content-addressed jobs.
+
+A :class:`SweepSpec` names the axes of a design-space sweep — SPM
+capacity, implementation flow, off-chip bandwidth, matrix dimension, core
+count, and phase-model calibration knobs — and cross-products them into
+:class:`Job` records.  A job is a plain, hashable, picklable bag of
+primitives: it can be shipped to a worker process, and its
+:attr:`Job.key` content address (parameters + code-model version) is
+stable across processes and sessions, which is what makes the result
+cache and resumability work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from typing import Iterator
+
+from ..core.config import (
+    CAPACITIES_MIB,
+    PAPER_MATRIX_DIM,
+    TILE_SIZE_BY_CAPACITY,
+    Flow,
+    MemPoolConfig,
+)
+from ..kernels.phases import DEFAULT_PHASE_PARAMS, PhaseModelParams
+from ..kernels.tiling import TilingPlan, fit_tiling, paper_tiling
+from ..simulator.memsys import DDR_CHANNEL_BYTES_PER_CYCLE
+
+#: Version of the evaluation models baked into cache keys.  Bump whenever a
+#: change to the physical/kernel models alters results, so stale cached
+#: sweeps are transparently re-evaluated.
+CODE_MODEL_VERSION = "1"
+
+#: Kernels with an analytic phase model the sweep can evaluate.
+KERNELS = ("matmul",)
+
+FLOW_VALUES = tuple(f.value for f in Flow)
+
+
+@dataclass(frozen=True)
+class Job:
+    """One fully-resolved design point to evaluate.
+
+    All fields are JSON-serializable primitives so the job can cross
+    process boundaries and hash stably.
+    """
+
+    capacity_mib: int
+    flow: str
+    bandwidth: float = DDR_CHANNEL_BYTES_PER_CYCLE
+    matrix_dim: int = PAPER_MATRIX_DIM
+    num_cores: int = DEFAULT_PHASE_PARAMS.num_cores
+    cpi_mac: float = DEFAULT_PHASE_PARAMS.cpi_mac
+    phase_overhead_cycles: float = DEFAULT_PHASE_PARAMS.phase_overhead_cycles
+    kernel: str = "matmul"
+
+    def __post_init__(self) -> None:
+        # Normalize numeric types so 16 and 16.0 produce the same key.
+        object.__setattr__(self, "capacity_mib", int(self.capacity_mib))
+        object.__setattr__(self, "flow", str(self.flow).upper())
+        object.__setattr__(self, "bandwidth", float(self.bandwidth))
+        object.__setattr__(self, "matrix_dim", int(self.matrix_dim))
+        object.__setattr__(self, "num_cores", int(self.num_cores))
+        object.__setattr__(self, "cpi_mac", float(self.cpi_mac))
+        object.__setattr__(
+            self, "phase_overhead_cycles", float(self.phase_overhead_cycles)
+        )
+        if self.flow not in FLOW_VALUES:
+            raise ValueError(f"unknown flow {self.flow!r}; pick from {FLOW_VALUES}")
+        if self.kernel not in KERNELS:
+            raise ValueError(f"unknown kernel {self.kernel!r}; pick from {KERNELS}")
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def params(self) -> dict[str, object]:
+        """The job as a plain dict (field order preserved)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @property
+    def key(self) -> str:
+        """Content address: sha256 of parameters + code-model version."""
+        payload = {"model_version": CODE_MODEL_VERSION, **self.params()}
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    @property
+    def label(self) -> str:
+        """Human-readable point label, e.g. ``MemPool-3D-4MiB@16B/c``."""
+        return f"MemPool-{self.flow}-{self.capacity_mib}MiB@{self.bandwidth:g}B/c"
+
+    def to_config(self) -> MemPoolConfig:
+        """The architectural configuration this job evaluates."""
+        return MemPoolConfig(capacity_mib=self.capacity_mib, flow=Flow(self.flow))
+
+    def tiling(self) -> TilingPlan:
+        """Tiling plan: the paper's for paper points, fitted otherwise."""
+        if (
+            self.matrix_dim == PAPER_MATRIX_DIM
+            and self.capacity_mib in TILE_SIZE_BY_CAPACITY
+        ):
+            return paper_tiling(self.capacity_mib)
+        return fit_tiling(self.matrix_dim, self.capacity_mib * (1 << 20))
+
+    def phase_params(self) -> PhaseModelParams:
+        """Phase-model calibration for this job."""
+        return PhaseModelParams(
+            cpi_mac=self.cpi_mac,
+            phase_overhead_cycles=self.phase_overhead_cycles,
+            num_cores=self.num_cores,
+        )
+
+    @classmethod
+    def from_params(cls, params: dict[str, object]) -> "Job":
+        """Rebuild a job from :meth:`params` output (e.g. a store record)."""
+        return cls(**params)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Cross-product specification of a design-space sweep.
+
+    Every axis is a non-empty tuple; :meth:`jobs` yields the full cross
+    product in a deterministic order (capacity outermost, kernel
+    innermost), so job order — and therefore shard assignment — is
+    reproducible.
+    """
+
+    capacities_mib: tuple[int, ...] = CAPACITIES_MIB
+    flows: tuple[str, ...] = FLOW_VALUES
+    bandwidths: tuple[float, ...] = (DDR_CHANNEL_BYTES_PER_CYCLE,)
+    matrix_dims: tuple[int, ...] = (PAPER_MATRIX_DIM,)
+    core_counts: tuple[int, ...] = (DEFAULT_PHASE_PARAMS.num_cores,)
+    cpi_macs: tuple[float, ...] = (DEFAULT_PHASE_PARAMS.cpi_mac,)
+    phase_overheads: tuple[float, ...] = (DEFAULT_PHASE_PARAMS.phase_overhead_cycles,)
+    kernels: tuple[str, ...] = ("matmul",)
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            values = tuple(getattr(self, f.name))
+            if not values:
+                raise ValueError(f"axis {f.name} must be non-empty")
+            object.__setattr__(self, f.name, values)
+
+    def __len__(self) -> int:
+        n = 1
+        for f in fields(self):
+            n *= len(getattr(self, f.name))
+        return n
+
+    def jobs(self) -> Iterator[Job]:
+        """Yield every job of the cross product, deterministically ordered."""
+        for capacity in self.capacities_mib:
+            for flow in self.flows:
+                for bandwidth in self.bandwidths:
+                    for matrix_dim in self.matrix_dims:
+                        for num_cores in self.core_counts:
+                            for cpi_mac in self.cpi_macs:
+                                for overhead in self.phase_overheads:
+                                    for kernel in self.kernels:
+                                        yield Job(
+                                            capacity_mib=capacity,
+                                            flow=flow,
+                                            bandwidth=bandwidth,
+                                            matrix_dim=matrix_dim,
+                                            num_cores=num_cores,
+                                            cpi_mac=cpi_mac,
+                                            phase_overhead_cycles=overhead,
+                                            kernel=kernel,
+                                        )
+
+    def to_dict(self) -> dict[str, list]:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        return {f.name: list(getattr(self, f.name)) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, list]) -> "SweepSpec":
+        """Build a spec from :meth:`to_dict` output.
+
+        Raises:
+            ValueError: On unknown axis names.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown sweep axes: {sorted(unknown)}")
+        return cls(**{name: tuple(values) for name, values in data.items()})

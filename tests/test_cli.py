@@ -20,6 +20,21 @@ class TestParser:
         assert args.kernel == "matmul"
         assert args.cores == 16
 
+    def test_sweep_defaults_span_50_points(self):
+        args = build_parser().parse_args(["sweep"])
+        grid = (len(args.capacities) * len(args.flows) * len(args.bandwidths)
+                * len(args.matrix_dims) * len(args.core_counts))
+        assert grid >= 50
+        assert args.workers == 0
+        assert args.cache_dir == ".sweep-cache"
+
+    def test_sweep_csv_axes(self):
+        args = build_parser().parse_args(
+            ["sweep", "--capacities", "1,8", "--bandwidths", "4,64"]
+        )
+        assert args.capacities == (1, 8)
+        assert args.bandwidths == (4.0, 64.0)
+
 
 class TestCommands:
     def test_implement(self, capsys):
@@ -59,6 +74,22 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "MemPool-3D-8MiB" in out
         assert "best performance" in out
+
+    def test_sweep_and_resume(self, capsys, tmp_path):
+        argv = ["sweep", "--capacities", "1,2", "--bandwidths", "8,32",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--store", str(tmp_path / "results.jsonl")]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "8 jobs: 0 cached, 8 evaluated" in out
+        assert "best performance" in out
+        assert main(argv) == 0
+        assert "8 jobs: 8 cached, 0 evaluated" in capsys.readouterr().out
+
+    def test_sweep_no_cache(self, capsys, tmp_path):
+        assert main(["sweep", "--capacities", "1", "--flows", "3D",
+                     "--bandwidths", "16", "--no-cache"]) == 0
+        assert "1 evaluated" in capsys.readouterr().out
 
     def test_experiments_subset(self, capsys):
         assert main(["experiments", "fig6"]) == 0

@@ -19,7 +19,7 @@ class TestTopLevel:
 @pytest.mark.parametrize(
     "module",
     ["repro.core", "repro.arch", "repro.interconnect", "repro.simulator",
-     "repro.kernels", "repro.physical"],
+     "repro.kernels", "repro.physical", "repro.sweep"],
 )
 def test_subpackage_all_resolves(module):
     import importlib
