@@ -1,65 +1,63 @@
 #!/usr/bin/env python3
-"""Quickstart: implement a MemPool instance and run a kernel on it.
+"""Quickstart: the unified Scenario/Pipeline API.
 
-Implements MemPool-3D-4MiB (the paper's headline configuration) through
-the Macro-3D flow, prints its PPA report, simulates a small verified
-matmul on the cycle-level cluster model, and projects the paper's
-full-size matmul runtime with the phase-level model.
+Builds the paper's headline configuration (MemPool-3D-4MiB) as a
+Scenario, runs it through the Pipeline to get one typed RunResult
+(physical + kernel + derived metrics), cross-checks a small verified
+matmul on the cycle-level simulator, and finally ranks all eight paper
+points by energy-delay product.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core.config import MemPoolConfig, config_by_name
-from repro.core.metrics import KernelMetrics
+from repro.api import Pipeline, Scenario, paper_scenarios
 from repro.kernels.matmul import run_matmul
-from repro.kernels.phases import matmul_cycles
-from repro.kernels.tiling import paper_tiling
-from repro.physical.flow3d import implement_group
-from repro.simulator.memsys import OffChipMemory
 
 
 def main() -> None:
-    # 1. Pick a configuration by its paper-style name.
-    config = config_by_name("MemPool-3D-4MiB")
-    print(f"Configuration: {config.name}")
+    # 1. Describe the design point: architecture x flow x workload.
+    scenario = Scenario(capacity_mib=4, flow="3D", bandwidth=16,
+                        workload="matmul", objective="edp")
+    config = scenario.to_config()
+    print(f"Scenario: {scenario.name}")
     print(f"  cores: {config.arch.num_cores}, tiles: {config.arch.num_tiles}, "
-          f"SPM: {config.capacity_mib} MiB in {config.arch.num_banks} banks")
+          f"SPM: {scenario.capacity_mib} MiB in {config.arch.num_banks} banks")
+    print(f"  workload: {scenario.workload} "
+          f"({scenario.matrix_dim}x{scenario.matrix_dim}, "
+          f"tile {scenario.tiling().tile_size}) @ "
+          f"{scenario.bandwidth:g} B/cycle off-chip")
 
-    # 2. Implement the group through the Macro-3D physical flow.
-    impl = implement_group(config)
-    result = impl.to_group_result()
-    print("\nGroup implementation (Macro-3D, M6M6 BEOL):")
+    # 2. One call: implement the group through the Macro-3D flow and
+    #    evaluate the kernel model on the result.
+    pipeline = Pipeline()
+    result = pipeline.run(scenario)
+    print("\nPipeline result (physical):")
     print(f"  footprint:      {result.footprint_um2 / 1e6:8.2f} mm^2")
     print(f"  combined dies:  {result.combined_area_um2 / 1e6:8.2f} mm^2")
     print(f"  frequency:      {result.frequency_mhz:8.0f} MHz")
     print(f"  power:          {result.power_mw:8.0f} mW")
-    print(f"  wire length:    {result.wire_length_um / 1e6:8.1f} m")
-    print(f"  buffers:        {result.num_buffers:8d}")
-    print(f"  F2F bumps:      {result.num_f2f_bumps:8d}")
-    print(f"  banks on memory die: {impl.tile.partition.spm_banks_on_memory_die}/16")
+    print(f"  wire length:    {result.physical.wire_length_um / 1e6:8.1f} m")
+    print(f"  F2F bumps:      {result.physical.num_f2f_bumps:8d}")
+    print("Pipeline result (kernel):")
+    print(f"  cycles:         {result.cycles:8.3e}")
+    print(f"  runtime:        {result.runtime_s:8.3f} s")
+    print(f"  energy:         {result.energy_j:8.3f} J")
+    print(f"  EDP:            {result.edp:8.4f} J*s")
+    print(f"  objective ({scenario.objective}): {result.objective_value():.4f}")
 
-    # 3. Simulate a small matmul on the instruction-level cluster model
-    #    and verify it against numpy.
+    # 3. Cross-check: a small verified matmul on the cycle-level
+    #    instruction simulator.
     run = run_matmul(config, n=16, num_cores=16)
     print(f"\nSimulated 16x16 matmul on 16 cores: {run.cycles} cycles, "
           f"verified: {run.correct}")
 
-    # 4. Project the paper's full-size kernel with the phase-level model.
-    plan = paper_tiling(config.capacity_mib)
-    memory = OffChipMemory(bandwidth_bytes_per_cycle=16)
-    cycles = matmul_cycles(plan, memory).total
-    metrics = KernelMetrics(
-        name=config.name,
-        cycles=cycles,
-        frequency_mhz=result.frequency_mhz,
-        power_mw=result.power_mw,
-    )
-    print(f"\nFull {plan.matrix_dim}x{plan.matrix_dim} matmul @ 16 B/cycle off-chip:")
-    print(f"  tile size:  {plan.tile_size} ({plan.total_phases} phases)")
-    print(f"  cycles:     {cycles:.3e}")
-    print(f"  runtime:    {metrics.runtime_s:.3f} s")
-    print(f"  energy:     {metrics.energy_j:.3f} J")
-    print(f"  EDP:        {metrics.edp:.4f} J*s")
+    # 4. Rank the paper's eight configurations under the scenario's
+    #    objective — the paper's co-exploration in three lines.
+    results = pipeline.run_many(paper_scenarios(bandwidth=16))
+    print("\nAll eight paper points, best EDP first:")
+    for r in pipeline.rank(results, "edp"):
+        print(f"  {r.name:>18}  EDP {r.edp:9.4f} J*s  "
+              f"{r.frequency_mhz:5.0f} MHz  {r.power_mw:5.0f} mW")
 
 
 if __name__ == "__main__":

@@ -5,6 +5,18 @@ Memory Many-Core Clusters with 3D Integration" (DATE 2022): the MemPool
 architecture and cycle-level simulator, a 28 nm physical-implementation
 model with 2D and Macro-3D flows, the blocked-matmul kernel study, and the
 experiment harness regenerating every table and figure of the paper.
+
+The unified programmatic entry point is the ``repro.api`` façade::
+
+    import repro
+
+    result = repro.run(repro.Scenario(capacity_mib=4, flow="3D"))
+    print(result.frequency_mhz, result.edp)
+
+``Scenario``, ``Pipeline``, ``RunResult``, ``run``, and the plugin
+registry helpers (``register_flow``/``register_workload``/
+``register_objective`` and their lookups) resolve lazily so that
+``import repro`` stays light.
 """
 
 from .core.config import (
@@ -17,7 +29,25 @@ from .core.config import (
 )
 from .core.metrics import GroupResult, KernelMetrics, NormalizedGroupResult, normalize
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
+
+#: Names re-exported lazily from the ``repro.api`` façade.
+_API_EXPORTS = (
+    "Pipeline",
+    "RunResult",
+    "Scenario",
+    "available_flows",
+    "available_objectives",
+    "available_workloads",
+    "get_flow",
+    "get_objective",
+    "get_workload",
+    "paper_scenarios",
+    "register_flow",
+    "register_objective",
+    "register_workload",
+    "run",
+)
 
 __all__ = [
     "ArchParams",
@@ -31,4 +61,19 @@ __all__ = [
     "normalize",
     "paper_configurations",
     "__version__",
+    *_API_EXPORTS,
 ]
+
+
+def __getattr__(name: str):
+    if name in _API_EXPORTS:
+        from . import api
+
+        value = getattr(api, name)
+        globals()[name] = value  # cache for subsequent lookups
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_API_EXPORTS))

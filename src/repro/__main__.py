@@ -4,6 +4,9 @@ Usage::
 
     python -m repro implement MemPool-3D-4MiB
     python -m repro simulate --kernel matmul --n 16 --cores 16
+    python -m repro run --scenario scenario.json
+    python -m repro run --capacity 4 --flow 3D --objective edp
+    python -m repro list [flows|workloads|objectives|experiments]
     python -m repro explore --bandwidth 16
     python -m repro sweep --workers 4 --bandwidths 2,4,8,16,32,64,128
     python -m repro experiments [table1 table2 fig6 fig789]
@@ -12,6 +15,8 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
+import sys
 
 
 def _cmd_implement(args: argparse.Namespace) -> int:
@@ -69,6 +74,79 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if run.correct else 1
 
 
+def _print_run_result(result) -> None:
+    scenario = result.scenario
+    print(f"{result.name}  workload={scenario.workload}  "
+          f"bandwidth={scenario.bandwidth:g} B/cycle  flow={scenario.flow}")
+    print(f"  footprint:       {result.footprint_um2 / 1e6:10.2f} mm^2")
+    print(f"  combined dies:   {result.combined_area_um2 / 1e6:10.2f} mm^2")
+    print(f"  frequency:       {result.frequency_mhz:10.0f} MHz")
+    print(f"  power:           {result.power_mw:10.0f} mW")
+    print(f"  cycles:          {result.cycles:10.3e}")
+    print(f"  runtime:         {result.runtime_s:10.3e} s")
+    print(f"  energy:          {result.energy_j:10.3e} J")
+    print(f"  EDP:             {result.edp:10.3e} J*s")
+    print(f"  objective ({scenario.objective}): {result.objective_value():.4e}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .api import Pipeline, Scenario
+
+    if args.scenario:
+        if args.scenario == "-":
+            data = json.load(sys.stdin)
+        else:
+            with open(args.scenario, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        if isinstance(data, dict):
+            data = [data]
+        scenarios = [Scenario.from_dict(entry) for entry in data]
+    else:
+        if args.capacity is None:
+            print("repro run: need --scenario FILE or --capacity MIB",
+                  file=sys.stderr)
+            return 2
+        scenarios = [
+            Scenario(
+                capacity_mib=args.capacity,
+                flow=args.flow,
+                bandwidth=args.bandwidth,
+                matrix_dim=args.matrix_dim,
+                workload=args.workload,
+                objective=args.objective,
+            )
+        ]
+    pipeline = Pipeline()
+    results = pipeline.run_many(scenarios)
+    for result in results:
+        _print_run_result(result)
+        print()
+    if len(results) > 1:
+        objective = results[0].scenario.objective
+        best = pipeline.rank(results, objective)[0]
+        print(f"best {objective}: {best.name} "
+              f"({best.objective_value(objective):.4e})")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from .api.registry import FLOWS, OBJECTIVES, WORKLOADS
+    from .experiments.runner import EXPERIMENTS
+
+    registries = {
+        "flows": FLOWS,
+        "workloads": WORKLOADS,
+        "objectives": OBJECTIVES,
+        "experiments": EXPERIMENTS,
+    }
+    kinds = [args.kind] if args.kind else list(registries)
+    for kind in kinds:
+        print(f"{kind}:")
+        for name in registries[kind]:
+            print(f"  {name}")
+    return 0
+
+
 def _cmd_explore(args: argparse.Namespace) -> int:
     from .core.explorer import Explorer, OBJECTIVES
 
@@ -104,6 +182,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         bandwidths=args.bandwidths,
         matrix_dims=args.matrix_dims,
         core_counts=args.core_counts,
+        kernels=args.kernels,
     )
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     store = ResultStore(args.store) if args.store else None
@@ -118,7 +197,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
-    from .experiments.runner import main as run_experiments
+    from .experiments.runner import run_experiments
 
     return run_experiments(args.names)
 
@@ -145,6 +224,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="non-blocking-load core model")
     p_sim.set_defaults(func=_cmd_simulate)
 
+    p_run = sub.add_parser(
+        "run", help="evaluate a scenario through the unified pipeline"
+    )
+    p_run.add_argument("--scenario", default=None, metavar="FILE",
+                       help="JSON file holding a scenario (or a list of "
+                            "scenarios); '-' reads stdin")
+    p_run.add_argument("--capacity", type=int, default=None,
+                       help="SPM capacity in MiB (inline scenario)")
+    p_run.add_argument("--flow", default="2D", help="implementation flow")
+    p_run.add_argument("--bandwidth", type=float, default=16.0,
+                       help="off-chip B/cycle")
+    p_run.add_argument("--matrix-dim", type=int, default=326400,
+                       dest="matrix_dim", help="workload problem dimension")
+    p_run.add_argument("--workload", default="matmul",
+                       help="registered workload name")
+    p_run.add_argument("--objective", default="edp",
+                       help="registered objective name")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_list = sub.add_parser("list", help="list registered plugins")
+    p_list.add_argument("kind", nargs="?", default=None,
+                        choices=("flows", "workloads", "objectives",
+                                 "experiments"),
+                        help="plugin kind (default: all)")
+    p_list.set_defaults(func=_cmd_list)
+
     p_exp = sub.add_parser("explore", help="sweep the design space")
     p_exp.add_argument("--bandwidth", type=float, default=16.0,
                        help="off-chip B/cycle")
@@ -166,6 +271,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--core-counts", type=_csv(int), default=(256,),
                       dest="core_counts",
                       help="comma-separated compute-core counts")
+    p_sw.add_argument("--kernels", type=_csv(str), default=("matmul",),
+                      help="comma-separated registered workload names")
     p_sw.add_argument("--workers", type=int, default=0,
                       help="worker processes (0 = serial in-process)")
     p_sw.add_argument("--cache-dir", default=".sweep-cache",

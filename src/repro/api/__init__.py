@@ -1,0 +1,72 @@
+"""Unified Scenario/Pipeline façade with pluggable registries.
+
+The single composable entry point of the reproduction::
+
+    from repro.api import Pipeline, Scenario
+
+    result = Pipeline().run(Scenario(capacity_mib=4, flow="3D"))
+    print(result.frequency_mhz, result.edp)
+
+* :mod:`~repro.api.scenario` — the :class:`Scenario` record (arch x flow
+  x memory system x workload x objective) with strict validation and
+  dict/JSON round-trip serialization;
+* :mod:`~repro.api.pipeline` — the :class:`Pipeline` façade producing
+  typed :class:`RunResult` bundles of physical, kernel, and derived
+  metrics;
+* :mod:`~repro.api.registry` — the ``@register_flow`` /
+  ``@register_workload`` / ``@register_objective`` plugin registries,
+  seeded from the built-in 2D/Macro-3D flows, the kernel zoo, and the
+  classic PPA objectives.
+
+Attributes resolve lazily (PEP 562) so that modules which only need the
+dependency-free registries — the flow and kernel plugins themselves —
+can import them without pulling the whole evaluation stack.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+_EXPORTS = {
+    # scenario
+    "CODE_MODEL_VERSION": "scenario",
+    "Scenario": "scenario",
+    "arch_overrides": "scenario",
+    "paper_scenarios": "scenario",
+    "scenario_schema": "scenario",
+    # pipeline
+    "Pipeline": "pipeline",
+    "RunResult": "pipeline",
+    "run": "pipeline",
+    # registry
+    "FLOWS": "registry",
+    "OBJECTIVES": "registry",
+    "Registry": "registry",
+    "RegistryMapping": "registry",
+    "WORKLOADS": "registry",
+    "available_flows": "registry",
+    "available_objectives": "registry",
+    "available_workloads": "registry",
+    "get_flow": "registry",
+    "get_objective": "registry",
+    "get_workload": "registry",
+    "register_flow": "registry",
+    "register_objective": "registry",
+    "register_workload": "registry",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    value = getattr(importlib.import_module(f".{module_name}", __name__), name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

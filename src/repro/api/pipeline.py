@@ -1,0 +1,208 @@
+"""The Pipeline façade: Scenario in, typed RunResult out.
+
+``Pipeline.run`` resolves the scenario's flow and workload through the
+plugin registries, implements the group, evaluates the kernel, and
+returns one :class:`RunResult` bundling the physical record
+(area/frequency/power and the rest of Table II), the kernel metrics
+(cycles/energy/EDP), and the derived objective score.  It is the single
+evaluation path behind :func:`repro.core.explorer.evaluate_point`, the
+``repro.sweep`` executor, the experiment harness, and the ``repro run``
+CLI, so every consumer produces bit-identical metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..core.config import MemPoolConfig
+from ..core.metrics import GroupResult, KernelMetrics
+from .registry import FLOWS, OBJECTIVES, WORKLOADS
+from .scenario import Scenario
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One evaluated scenario: physical, kernel, and derived metrics."""
+
+    scenario: Scenario
+    physical: GroupResult
+    kernel: KernelMetrics
+
+    # -- physical ----------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Instance name, e.g. ``"MemPool-3D-4MiB"``."""
+        return self.kernel.name
+
+    @property
+    def footprint_um2(self) -> float:
+        """Group footprint (one die outline)."""
+        return self.physical.footprint_um2
+
+    @property
+    def combined_area_um2(self) -> float:
+        """Total silicon across dies (the cost metric)."""
+        return self.physical.combined_area_um2
+
+    @property
+    def frequency_mhz(self) -> float:
+        """Achieved implementation frequency."""
+        return self.physical.frequency_mhz
+
+    @property
+    def power_mw(self) -> float:
+        """Implementation power."""
+        return self.physical.power_mw
+
+    # -- kernel ------------------------------------------------------------
+    @property
+    def cycles(self) -> float:
+        """Kernel cycle count."""
+        return self.kernel.cycles
+
+    @property
+    def runtime_s(self) -> float:
+        """Kernel wall-clock runtime."""
+        return self.kernel.runtime_s
+
+    @property
+    def energy_j(self) -> float:
+        """Energy of one kernel execution."""
+        return self.kernel.energy_j
+
+    # -- derived -----------------------------------------------------------
+    @property
+    def performance(self) -> float:
+        """Kernel executions per second."""
+        return self.kernel.performance
+
+    @property
+    def energy_efficiency(self) -> float:
+        """Kernel executions per joule."""
+        return self.kernel.energy_efficiency
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (lower is better)."""
+        return self.kernel.edp
+
+    def objective_value(self, objective: Optional[str] = None) -> float:
+        """Score under ``objective`` (default: the scenario's own)."""
+        key, _ = OBJECTIVES.get(objective or self.scenario.objective)
+        return key(self)
+
+    def to_design_point(self, config: Optional[MemPoolConfig] = None):
+        """The legacy :class:`~repro.core.explorer.DesignPoint` view."""
+        from ..core.explorer import DesignPoint  # runtime: avoids a cycle
+
+        return DesignPoint(
+            config=config if config is not None else self.scenario.to_config(),
+            footprint_um2=self.physical.footprint_um2,
+            combined_area_um2=self.physical.combined_area_um2,
+            frequency_mhz=self.physical.frequency_mhz,
+            power_mw=self.physical.power_mw,
+            kernel=self.kernel,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (scenario + raw + derived metrics)."""
+        return {
+            "scenario": self.scenario.to_dict(),
+            "physical": {
+                "footprint_um2": self.footprint_um2,
+                "combined_area_um2": self.combined_area_um2,
+                "frequency_mhz": self.frequency_mhz,
+                "power_mw": self.power_mw,
+                "wire_length_um": self.physical.wire_length_um,
+                "num_buffers": self.physical.num_buffers,
+                "num_f2f_bumps": self.physical.num_f2f_bumps,
+            },
+            "kernel": {
+                "cycles": self.cycles,
+                "runtime_s": self.runtime_s,
+                "energy_j": self.energy_j,
+            },
+            "derived": {
+                "performance": self.performance,
+                "energy_efficiency": self.energy_efficiency,
+                "edp": self.edp,
+                "objective": self.scenario.objective,
+                "objective_value": self.objective_value(),
+            },
+        }
+
+
+class Pipeline:
+    """Runs scenarios through the global flow/workload/objective registries.
+
+    Stateless by design: :class:`~repro.api.scenario.Scenario` validates
+    against the same global registries this façade resolves from, so a
+    scenario that constructs is always runnable.  Plugins join via
+    ``@register_flow`` / ``@register_workload`` / ``@register_objective``.
+    """
+
+    def implement(self, scenario: Scenario) -> GroupResult:
+        """Physical stage only: implement the group with the scenario's flow."""
+        impl = FLOWS.get(scenario.flow)(scenario)
+        if hasattr(impl, "to_group_result"):
+            impl = impl.to_group_result()
+        if not isinstance(impl, GroupResult):
+            raise TypeError(
+                f"flow {scenario.flow!r} must return a GroupResult or an "
+                f"object with to_group_result(), got {type(impl).__name__}"
+            )
+        return impl
+
+    def cycles(self, scenario: Scenario) -> float:
+        """Kernel stage only: the scenario's workload cycle count."""
+        cycles = float(WORKLOADS.get(scenario.workload)(scenario))
+        if cycles <= 0:
+            raise ValueError(
+                f"workload {scenario.workload!r} returned non-positive "
+                f"cycles ({cycles})"
+            )
+        return cycles
+
+    def run(self, scenario: Scenario) -> RunResult:
+        """Evaluate one scenario end to end."""
+        physical = self.implement(scenario)
+        kernel = KernelMetrics(
+            name=scenario.name,
+            cycles=self.cycles(scenario),
+            frequency_mhz=physical.frequency_mhz,
+            power_mw=physical.power_mw,
+        )
+        return RunResult(scenario=scenario, physical=physical, kernel=kernel)
+
+    def run_many(self, scenarios: Iterable[Scenario]) -> list[RunResult]:
+        """Evaluate scenarios in order (serial; use ``repro.sweep`` to scale)."""
+        return [self.run(scenario) for scenario in scenarios]
+
+    def rank(
+        self,
+        results: Iterable[RunResult],
+        objective: Optional[str] = None,
+    ) -> list[RunResult]:
+        """Order results by an objective, best first.
+
+        Args:
+            results: Evaluated results.
+            objective: Objective name; defaults to the first result's
+                scenario objective.
+
+        Raises:
+            ValueError: On an unknown objective name.
+        """
+        results = list(results)
+        if not results:
+            return []
+        key, higher_better = OBJECTIVES.get(
+            objective or results[0].scenario.objective
+        )
+        return sorted(results, key=key, reverse=higher_better)
+
+
+def run(scenario: Scenario) -> RunResult:
+    """Evaluate one scenario through a default :class:`Pipeline`."""
+    return Pipeline().run(scenario)

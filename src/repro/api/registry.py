@@ -1,0 +1,248 @@
+"""Plugin registries for flows, workloads, and objectives.
+
+The co-exploration pipeline is assembled from three kinds of plugins:
+
+* a **flow** turns a :class:`~repro.api.scenario.Scenario` into a
+  physical implementation (something with a ``to_group_result()``, or a
+  :class:`~repro.core.metrics.GroupResult` directly);
+* a **workload** turns a scenario into a kernel cycle count;
+* an **objective** is a ``(key_function, higher_is_better)`` pair that
+  ranks evaluated results.
+
+Each kind has a process-global :class:`Registry` seeded lazily from the
+built-in implementations (the 2D/Macro-3D flows, the kernel zoo, and the
+classic PPA objectives), so ``import repro`` stays light and new plugins
+register with a decorator instead of edits to core modules::
+
+    from repro.api import register_workload
+
+    @register_workload("fft")
+    def fft_cycles(scenario):
+        return 42e6
+
+This module is intentionally dependency-free: flow and kernel modules
+import it to self-register without creating import cycles.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Callable, Iterator, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class Registry:
+    """A named plugin table with lazy seeding and duplicate rejection.
+
+    Args:
+        kind: Human-readable plugin kind for error messages.
+        seed: Optional zero-argument callable run once, before the first
+            lookup, to register the built-in plugins (typically by
+            importing the modules that self-register).
+
+    Iteration preserves registration order; :meth:`names` likewise, so
+    listings show built-ins first and plugins after.
+    """
+
+    def __init__(self, kind: str, seed: Optional[Callable[[], None]] = None) -> None:
+        self._kind = kind
+        self._items: dict[str, object] = {}
+        self._seed = seed
+        self._seeded = seed is None
+
+    def _ensure_seeded(self) -> None:
+        if not self._seeded:
+            # Guard before seeding: the seed imports modules whose
+            # decorators call back into this registry.
+            self._seeded = True
+            assert self._seed is not None
+            self._seed()
+
+    def register(self, name: str, obj: T) -> T:
+        """Register ``obj`` under ``name``.
+
+        Raises:
+            ValueError: If the name is empty or already taken by a
+                different object (re-registering the same object is a
+                no-op, so module re-imports stay safe).
+        """
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"{self._kind} name must be a non-empty string")
+        existing = self._items.get(name)
+        if existing is not None and existing is not obj:
+            raise ValueError(f"{self._kind} {name!r} is already registered")
+        self._items[name] = obj
+        return obj
+
+    def decorator(self, name: str) -> Callable[[T], T]:
+        """Decorator form of :meth:`register`."""
+
+        def wrap(obj: T) -> T:
+            self.register(name, obj)
+            return obj
+
+        return wrap
+
+    def get(self, name: str) -> object:
+        """Look up a plugin by name.
+
+        Raises:
+            ValueError: On an unknown name, listing what is available.
+        """
+        self._ensure_seeded()
+        try:
+            return self._items[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown {self._kind} {name!r}; pick from {sorted(self._items)}"
+            ) from None
+
+    def unregister(self, name: str) -> None:
+        """Remove a plugin (mainly for tests un-doing a registration)."""
+        self._ensure_seeded()
+        if name not in self._items:
+            raise ValueError(f"unknown {self._kind} {name!r}")
+        del self._items[name]
+
+    def names(self) -> tuple[str, ...]:
+        """Registered names, registration order preserved."""
+        self._ensure_seeded()
+        return tuple(self._items)
+
+    def __contains__(self, name: object) -> bool:
+        self._ensure_seeded()
+        return name in self._items
+
+    def __iter__(self) -> Iterator[str]:
+        self._ensure_seeded()
+        return iter(tuple(self._items))
+
+    def __len__(self) -> int:
+        self._ensure_seeded()
+        return len(self._items)
+
+
+class RegistryMapping(Mapping):
+    """Read-only live ``Mapping`` view of a :class:`Registry`.
+
+    Lets dict-shaped legacy tables (``repro.core.explorer.OBJECTIVES``)
+    stay importable while the registry remains the single source of
+    truth: plugins registered later appear in the view immediately.
+    """
+
+    def __init__(self, registry: Registry) -> None:
+        self._registry = registry
+
+    def __getitem__(self, name: str) -> object:
+        try:
+            return self._registry.get(name)
+        except ValueError:
+            raise KeyError(name) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._registry)
+
+    def __len__(self) -> int:
+        return len(self._registry)
+
+
+# ---------------------------------------------------------------------------
+# The three global registries, seeded from the built-in implementations.
+
+def _seed_flows() -> None:
+    # Importing the flow modules runs their @register_flow decorators.
+    from ..physical import flow2d, flow3d  # noqa: F401
+
+
+def _seed_workloads() -> None:
+    # Importing the kernel zoo runs its @register_workload decorators.
+    from ..kernels import workloads  # noqa: F401
+
+
+def _seed_objectives() -> None:
+    register_objective("performance", higher_is_better=True)(
+        lambda p: p.performance
+    )
+    register_objective("energy_efficiency", higher_is_better=True)(
+        lambda p: p.energy_efficiency
+    )
+    register_objective("edp", higher_is_better=False)(lambda p: p.edp)
+    register_objective("footprint", higher_is_better=False)(
+        lambda p: p.footprint_um2
+    )
+    register_objective("silicon_cost", higher_is_better=False)(
+        lambda p: p.combined_area_um2
+    )
+
+
+#: Flow registry: name -> ``fn(scenario) -> implementation``.
+FLOWS = Registry("flow", seed=_seed_flows)
+
+#: Workload registry: name -> ``fn(scenario) -> cycles``.
+WORKLOADS = Registry("workload", seed=_seed_workloads)
+
+#: Objective registry: name -> ``(key_fn, higher_is_better)``.
+OBJECTIVES = Registry("objective", seed=_seed_objectives)
+
+
+def register_flow(name: str) -> Callable[[T], T]:
+    """Decorator registering a flow: ``fn(scenario) -> implementation``.
+
+    The callable receives a :class:`~repro.api.scenario.Scenario` and
+    returns either a :class:`~repro.core.metrics.GroupResult` or any
+    object exposing ``to_group_result()``.
+    """
+    return FLOWS.decorator(name)
+
+
+def register_workload(name: str) -> Callable[[T], T]:
+    """Decorator registering a workload: ``fn(scenario) -> cycles``."""
+    return WORKLOADS.decorator(name)
+
+
+def register_objective(
+    name: str, *, higher_is_better: bool
+) -> Callable[[Callable], Callable]:
+    """Decorator registering a ranking objective.
+
+    The decorated function maps an evaluated result (a
+    :class:`~repro.api.pipeline.RunResult` or a
+    :class:`~repro.core.explorer.DesignPoint`) to a score.
+    """
+
+    def wrap(fn: Callable) -> Callable:
+        OBJECTIVES.register(name, (fn, bool(higher_is_better)))
+        return fn
+
+    return wrap
+
+
+def get_flow(name: str) -> Callable:
+    """The registered flow callable for ``name``."""
+    return FLOWS.get(name)  # type: ignore[return-value]
+
+
+def get_workload(name: str) -> Callable:
+    """The registered workload callable for ``name``."""
+    return WORKLOADS.get(name)  # type: ignore[return-value]
+
+
+def get_objective(name: str) -> tuple[Callable, bool]:
+    """The registered ``(key_fn, higher_is_better)`` pair for ``name``."""
+    return OBJECTIVES.get(name)  # type: ignore[return-value]
+
+
+def available_flows() -> tuple[str, ...]:
+    """Names of every registered flow."""
+    return FLOWS.names()
+
+
+def available_workloads() -> tuple[str, ...]:
+    """Names of every registered workload."""
+    return WORKLOADS.names()
+
+
+def available_objectives() -> tuple[str, ...]:
+    """Names of every registered objective."""
+    return OBJECTIVES.names()

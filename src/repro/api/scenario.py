@@ -1,0 +1,333 @@
+"""The Scenario record: one fully-specified co-exploration point.
+
+A :class:`Scenario` bundles everything the pipeline needs to evaluate a
+design point — architectural parameters (SPM capacity, optional
+:class:`~repro.core.config.ArchParams` overrides), the implementation
+flow, the off-chip memory system, the workload and its blocking, and the
+ranking objective — as a frozen, strictly-validated, JSON-round-trippable
+dataclass.  Its canonical dict is the unit of serialization everywhere:
+sweep cache keys, ``repro run --scenario file.json``, and stored results
+all derive from it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields, replace
+from typing import Optional
+
+from ..core.config import (
+    ArchParams,
+    CAPACITIES_MIB,
+    Flow,
+    MemPoolConfig,
+    PAPER_MATRIX_DIM,
+    TILE_SIZE_BY_CAPACITY,
+)
+from ..kernels.phases import DEFAULT_PHASE_PARAMS, PhaseModelParams
+from ..kernels.tiling import TilingPlan, fit_tiling, paper_tiling
+from ..simulator.memsys import DDR_CHANNEL_BYTES_PER_CYCLE, OffChipMemory
+from .registry import FLOWS, OBJECTIVES, WORKLOADS
+
+#: Flow names that map onto the :class:`~repro.core.config.Flow` enum and
+#: therefore onto a :class:`MemPoolConfig`.  Custom registered flows build
+#: their own implementation from the scenario instead.
+_ENUM_FLOWS = tuple(f.value for f in Flow)
+
+_DEFAULT_ARCH = ArchParams()
+
+
+def arch_overrides(arch: ArchParams) -> Optional[dict]:
+    """Canonical override dict of ``arch``: non-default fields only.
+
+    Returns ``None`` when ``arch`` equals the defaults, so default
+    scenarios serialize (and hash) identically whether or not the caller
+    spelled the architecture out.
+    """
+    overrides = {
+        f.name: getattr(arch, f.name)
+        for f in fields(ArchParams)
+        if getattr(arch, f.name) != getattr(_DEFAULT_ARCH, f.name)
+    }
+    return overrides or None
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One co-exploration point: architecture x flow x workload x objective.
+
+    Attributes:
+        capacity_mib: Total cluster L1 SPM capacity in MiB.
+        flow: Registered implementation-flow name (``"2D"``/``"3D"``
+            built in; case-insensitive).
+        bandwidth: Off-chip bandwidth of the memory system in
+            bytes/cycle.
+        matrix_dim: Workload problem dimension (matmul matrix edge; the
+            element/grid count for the simulator-backed kernels).
+        tile_size: Explicit blocking tile edge, or ``None`` to derive it
+            (the paper's tile for paper points, the largest fitting tile
+            otherwise).
+        word_bytes: Workload element size in bytes.
+        num_cores: Compute cores participating in the kernel.
+        cpi_mac: Phase-model cycles per multiply-accumulate.
+        phase_overhead_cycles: Phase-model static cycles per phase pair.
+        workload: Registered workload name.
+        objective: Registered ranking-objective name.
+        arch: Optional :class:`ArchParams` override dict (non-default
+            fields only; ``None`` keeps the paper's architecture).
+        target_frequency_mhz: Implementation frequency target.
+    """
+
+    capacity_mib: int
+    flow: str = "2D"
+    bandwidth: float = DDR_CHANNEL_BYTES_PER_CYCLE
+    matrix_dim: int = PAPER_MATRIX_DIM
+    tile_size: Optional[int] = None
+    word_bytes: int = 4
+    num_cores: int = DEFAULT_PHASE_PARAMS.num_cores
+    cpi_mac: float = DEFAULT_PHASE_PARAMS.cpi_mac
+    phase_overhead_cycles: float = DEFAULT_PHASE_PARAMS.phase_overhead_cycles
+    workload: str = "matmul"
+    objective: str = "edp"
+    arch: Optional[dict] = None
+    target_frequency_mhz: float = 1000.0
+
+    def __post_init__(self) -> None:
+        # Normalize types so equal scenarios serialize (and hash) equally.
+        object.__setattr__(self, "capacity_mib", int(self.capacity_mib))
+        object.__setattr__(self, "flow", str(self.flow))
+        object.__setattr__(self, "bandwidth", float(self.bandwidth))
+        object.__setattr__(self, "matrix_dim", int(self.matrix_dim))
+        object.__setattr__(self, "word_bytes", int(self.word_bytes))
+        object.__setattr__(self, "num_cores", int(self.num_cores))
+        object.__setattr__(self, "cpi_mac", float(self.cpi_mac))
+        object.__setattr__(
+            self, "phase_overhead_cycles", float(self.phase_overhead_cycles)
+        )
+        object.__setattr__(self, "workload", str(self.workload))
+        object.__setattr__(self, "objective", str(self.objective))
+        object.__setattr__(
+            self, "target_frequency_mhz", float(self.target_frequency_mhz)
+        )
+
+        if self.capacity_mib <= 0:
+            raise ValueError("SPM capacity must be positive")
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.matrix_dim <= 0:
+            raise ValueError("matrix_dim must be positive")
+        if self.word_bytes <= 0:
+            raise ValueError("word_bytes must be positive")
+        if self.num_cores <= 0:
+            raise ValueError("num_cores must be positive")
+        if self.cpi_mac <= 0:
+            raise ValueError("cpi_mac must be positive")
+        if self.phase_overhead_cycles < 0:
+            raise ValueError("phase_overhead_cycles must be non-negative")
+        if self.target_frequency_mhz <= 0:
+            raise ValueError("target frequency must be positive")
+
+        if self.arch is not None:
+            object.__setattr__(self, "arch", self._canonical_arch(self.arch))
+        if self.tile_size is not None:
+            tile = int(self.tile_size)
+            if tile <= 0:
+                raise ValueError("tile_size must be positive")
+            if self.matrix_dim % tile:
+                raise ValueError("tile_size must divide matrix_dim")
+            # Canonicalize an explicit tile that matches the derived one
+            # back to None, so "default" scenarios have one spelling.
+            try:
+                if tile == self._auto_tiling().tile_size:
+                    tile = None
+            except ValueError:
+                pass
+            object.__setattr__(self, "tile_size", tile)
+
+        # Canonicalize case only toward a registered name, so the builtin
+        # "2d"/"3d" spellings fold to "2D"/"3D" while custom flows keep
+        # the exact (possibly lowercase) name they registered under.
+        if self.flow not in FLOWS and self.flow.upper() in FLOWS:
+            object.__setattr__(self, "flow", self.flow.upper())
+        if self.flow not in FLOWS:
+            raise ValueError(
+                f"unknown flow {self.flow!r}; pick from {sorted(FLOWS.names())}"
+            )
+        if self.workload not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; "
+                f"pick from {sorted(WORKLOADS.names())}"
+            )
+        if self.objective not in OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {self.objective!r}; "
+                f"pick from {sorted(OBJECTIVES.names())}"
+            )
+        if self.flow in _ENUM_FLOWS:
+            self.to_config()  # surfaces capacity/bank/arch inconsistencies
+
+    def _canonical_arch(self, overrides: object) -> Optional[dict]:
+        if not isinstance(overrides, dict):
+            raise ValueError("arch must be a dict of ArchParams overrides or None")
+        try:
+            params = ArchParams(**overrides)
+        except TypeError as exc:
+            raise ValueError(f"invalid arch overrides: {exc}") from None
+        return arch_overrides(params)
+
+    # -- derived objects ---------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Paper-style instance name, e.g. ``"MemPool-3D-4MiB"``."""
+        return f"MemPool-{self.flow}-{self.capacity_mib}MiB"
+
+    def arch_params(self) -> ArchParams:
+        """The architectural parameters (defaults plus overrides)."""
+        return ArchParams(**(self.arch or {}))
+
+    def to_config(self, flow: Optional[Flow] = None) -> MemPoolConfig:
+        """The :class:`MemPoolConfig` this scenario describes.
+
+        Args:
+            flow: Explicit flow enum for custom-named flows whose
+                adapters still build a standard MemPool instance.
+
+        Raises:
+            ValueError: If the flow name has no enum counterpart and no
+                explicit ``flow`` is given.
+        """
+        if flow is None:
+            if self.flow not in _ENUM_FLOWS:
+                raise ValueError(
+                    f"flow {self.flow!r} has no MemPoolConfig counterpart; "
+                    "pass an explicit Flow"
+                )
+            flow = Flow(self.flow)
+        return MemPoolConfig(
+            capacity_mib=self.capacity_mib,
+            flow=flow,
+            arch=self.arch_params(),
+            target_frequency_mhz=self.target_frequency_mhz,
+        )
+
+    def _auto_tiling(self) -> TilingPlan:
+        if (
+            self.matrix_dim == PAPER_MATRIX_DIM
+            and self.capacity_mib in TILE_SIZE_BY_CAPACITY
+            and self.word_bytes == 4
+        ):
+            return paper_tiling(self.capacity_mib)
+        return fit_tiling(
+            self.matrix_dim,
+            self.capacity_mib * (1 << 20),
+            word_bytes=self.word_bytes,
+        )
+
+    def tiling(self) -> TilingPlan:
+        """Blocking plan: explicit tile, the paper's, or the best fit."""
+        if self.tile_size is not None:
+            return TilingPlan(
+                matrix_dim=self.matrix_dim,
+                tile_size=self.tile_size,
+                word_bytes=self.word_bytes,
+            )
+        return self._auto_tiling()
+
+    def phase_params(self) -> PhaseModelParams:
+        """Phase-model calibration for this scenario."""
+        return PhaseModelParams(
+            cpi_mac=self.cpi_mac,
+            phase_overhead_cycles=self.phase_overhead_cycles,
+            num_cores=self.num_cores,
+        )
+
+    def memory(self) -> OffChipMemory:
+        """The off-chip memory system."""
+        return OffChipMemory(bandwidth_bytes_per_cycle=self.bandwidth)
+
+    def replace(self, **changes) -> "Scenario":
+        """A copy with ``changes`` applied (re-validated)."""
+        return replace(self, **changes)
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """Canonical plain dict (inverse of :meth:`from_dict`)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        """Build a scenario from :meth:`to_dict` output.
+
+        Raises:
+            ValueError: On unknown keys (strict round-trip contract).
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown scenario fields: {sorted(unknown)}")
+        return cls(**data)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """JSON form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    def cache_dict(self) -> dict:
+        """The evaluation-determining subset of :meth:`to_dict`.
+
+        The objective only ranks results — it never changes the metrics —
+        so it stays out of cache keys: one evaluation serves every
+        objective.
+        """
+        data = self.to_dict()
+        del data["objective"]
+        return data
+
+    @property
+    def cache_key(self) -> str:
+        """Content address: sha256 of the canonical evaluation dict."""
+        payload = {
+            "model_version": CODE_MODEL_VERSION,
+            "scenario": self.cache_dict(),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def scenario_schema() -> dict[str, str]:
+    """Field name -> annotated type of the canonical scenario schema."""
+    return {f.name: str(f.type) for f in fields(Scenario)}
+
+
+def _schema_digest() -> str:
+    blob = json.dumps(scenario_schema(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
+
+
+#: Version of the evaluation models baked into sweep cache keys.  The
+#: major number is bumped by hand when model arithmetic changes; the
+#: suffix is derived from the scenario schema itself, so any change to
+#: the job/scenario encoding (added fields, renames, type changes)
+#: automatically invalidates cache entries written under the old
+#: encoding instead of silently reusing them.
+CODE_MODEL_VERSION = f"2.{_schema_digest()}"
+
+
+def paper_scenarios(
+    bandwidth: float = DDR_CHANNEL_BYTES_PER_CYCLE, **overrides
+) -> tuple[Scenario, ...]:
+    """The paper's eight configurations as scenarios, Table II order.
+
+    Extra keyword arguments are forwarded to every :class:`Scenario`
+    (e.g. ``objective="performance"`` or phase-model overrides).
+    """
+    return tuple(
+        Scenario(capacity_mib=cap, flow=flow, bandwidth=bandwidth, **overrides)
+        for cap in CAPACITIES_MIB
+        for flow in ("2D", "3D")
+    )

@@ -12,9 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
-from ..kernels.phases import DEFAULT_PHASE_PARAMS, PhaseModelParams, matmul_cycles
+from ..api.registry import OBJECTIVES as _OBJECTIVE_REGISTRY
+from ..api.registry import RegistryMapping
+from ..kernels.phases import DEFAULT_PHASE_PARAMS, PhaseModelParams
 from ..kernels.tiling import TilingPlan, paper_tiling
-from ..simulator.memsys import DDR_CHANNEL_BYTES_PER_CYCLE, OffChipMemory
+from ..simulator.memsys import DDR_CHANNEL_BYTES_PER_CYCLE
 from .config import CAPACITIES_MIB, Flow, MemPoolConfig
 from .metrics import KernelMetrics
 
@@ -46,14 +48,11 @@ class DesignPoint:
         return self.kernel.edp
 
 
-#: Ranking objectives: name -> (key function, higher_is_better).
-OBJECTIVES: dict[str, tuple[Callable[[DesignPoint], float], bool]] = {
-    "performance": (lambda p: p.performance, True),
-    "energy_efficiency": (lambda p: p.energy_efficiency, True),
-    "edp": (lambda p: p.edp, False),
-    "footprint": (lambda p: p.footprint_um2, False),
-    "silicon_cost": (lambda p: p.combined_area_um2, False),
-}
+#: Ranking objectives: name -> (key function, higher_is_better).  A live
+#: view of the ``repro.api`` objective registry, so objectives added via
+#: ``@register_objective`` become rankable here and in ``repro.sweep``
+#: without touching this module.
+OBJECTIVES: RegistryMapping = RegistryMapping(_OBJECTIVE_REGISTRY)
 
 
 def evaluate_point(
@@ -64,10 +63,11 @@ def evaluate_point(
 ) -> DesignPoint:
     """Implement one configuration and attach its kernel metrics.
 
-    This is the single evaluation path shared by the serial
-    :class:`Explorer` and the parallel ``repro.sweep`` executor: a pure,
-    picklable, top-level function of plain inputs, so it can be shipped to
-    worker processes and its results cached by content address.
+    A thin wrapper over :meth:`repro.api.Pipeline.run` kept as the
+    stable, picklable entry point of the serial :class:`Explorer` and the
+    parallel ``repro.sweep`` executor; the pipeline (flow plugin +
+    workload plugin) performs the same arithmetic the pre-API code did,
+    bit for bit.
 
     Args:
         config: The MemPool instance to implement.
@@ -75,27 +75,24 @@ def evaluate_point(
         phase_params: Phase-model calibration.
         tiling: Tiling plan; defaults to the paper's for this capacity.
     """
-    from ..physical.flow3d import implement_group  # local: heavy import
+    from ..api.pipeline import Pipeline  # local: avoids an import cycle
+    from ..api.scenario import Scenario, arch_overrides
 
     plan = tiling if tiling is not None else paper_tiling(config.capacity_mib)
-    memory = OffChipMemory(bandwidth_bytes_per_cycle=bandwidth)
-    cycles = matmul_cycles(plan, memory, phase_params).total
-    impl = implement_group(config)
-    result = impl.to_group_result()
-    kernel = KernelMetrics(
-        name=config.name,
-        cycles=cycles,
-        frequency_mhz=result.frequency_mhz,
-        power_mw=result.power_mw,
+    scenario = Scenario(
+        capacity_mib=config.capacity_mib,
+        flow=config.flow.value,
+        bandwidth=bandwidth,
+        matrix_dim=plan.matrix_dim,
+        tile_size=plan.tile_size,
+        word_bytes=plan.word_bytes,
+        num_cores=phase_params.num_cores,
+        cpi_mac=phase_params.cpi_mac,
+        phase_overhead_cycles=phase_params.phase_overhead_cycles,
+        arch=arch_overrides(config.arch),
+        target_frequency_mhz=config.target_frequency_mhz,
     )
-    return DesignPoint(
-        config=config,
-        footprint_um2=result.footprint_um2,
-        combined_area_um2=result.combined_area_um2,
-        frequency_mhz=result.frequency_mhz,
-        power_mw=result.power_mw,
-        kernel=kernel,
-    )
+    return Pipeline().run(scenario).to_design_point(config=config)
 
 
 def pareto_front(points: Iterable[DesignPoint]) -> list[DesignPoint]:

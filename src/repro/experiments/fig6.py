@@ -10,10 +10,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..api.scenario import Scenario
 from ..core.config import CAPACITIES_MIB
 from ..kernels.phases import DEFAULT_PHASE_PARAMS, PhaseModelParams, matmul_cycles
-from ..kernels.tiling import paper_tiling
-from ..simulator.memsys import OffChipMemory, PAPER_BANDWIDTH_SWEEP
+from ..simulator.memsys import PAPER_BANDWIDTH_SWEEP
 from . import paper_data
 
 
@@ -30,13 +30,26 @@ class Fig6Point:
 
 
 def run(params: PhaseModelParams = DEFAULT_PHASE_PARAMS) -> list[Fig6Point]:
-    """Compute the full Figure 6 surface."""
+    """Compute the full Figure 6 surface.
+
+    Each point of the sweep is a :class:`~repro.api.Scenario`; the phase
+    breakdown (not just the total the pipeline reports) is kept because
+    the figure also annotates the memory-bound fraction.
+    """
     cycles: dict[tuple[int, int], float] = {}
     memfrac: dict[tuple[int, int], float] = {}
     for bw in PAPER_BANDWIDTH_SWEEP:
-        memory = OffChipMemory(bandwidth_bytes_per_cycle=bw)
         for cap in CAPACITIES_MIB:
-            breakdown = matmul_cycles(paper_tiling(cap), memory, params)
+            scenario = Scenario(
+                capacity_mib=cap,
+                bandwidth=bw,
+                num_cores=params.num_cores,
+                cpi_mac=params.cpi_mac,
+                phase_overhead_cycles=params.phase_overhead_cycles,
+            )
+            breakdown = matmul_cycles(
+                scenario.tiling(), scenario.memory(), scenario.phase_params()
+            )
             cycles[(cap, bw)] = breakdown.total
             memfrac[(cap, bw)] = breakdown.memory_fraction
 

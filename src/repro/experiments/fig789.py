@@ -13,12 +13,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.config import CAPACITIES_MIB
+from ..api.pipeline import Pipeline
+from ..api.scenario import paper_scenarios
 from ..core.metrics import KernelMetrics, gain
-from ..kernels.phases import DEFAULT_PHASE_PARAMS, PhaseModelParams, matmul_cycles
-from ..kernels.tiling import paper_tiling
-from ..simulator.memsys import DDR_CHANNEL_BYTES_PER_CYCLE, OffChipMemory
-from . import paper_data, table2
+from ..kernels.phases import DEFAULT_PHASE_PARAMS, PhaseModelParams
+from ..simulator.memsys import DDR_CHANNEL_BYTES_PER_CYCLE
+from . import paper_data
 
 
 @dataclass(frozen=True)
@@ -38,22 +38,23 @@ def run(
     bandwidth: int = DDR_CHANNEL_BYTES_PER_CYCLE,
     params: PhaseModelParams = DEFAULT_PHASE_PARAMS,
 ) -> list[KernelStudyRow]:
-    """Build the full Figures 7-9 dataset at one off-chip bandwidth."""
-    freq_power = table2.frequency_and_power()
-    memory = OffChipMemory(bandwidth_bytes_per_cycle=bandwidth)
-    cycles = {
-        cap: matmul_cycles(paper_tiling(cap), memory, params).total
-        for cap in CAPACITIES_MIB
-    }
+    """Build the full Figures 7-9 dataset at one off-chip bandwidth.
 
+    The paper's eight points run as :class:`~repro.api.Scenario`
+    instances through the :class:`~repro.api.Pipeline`, which combines
+    each group implementation's frequency/power with the matmul phase
+    model — exactly the combination Section VI-B describes.
+    """
+    pipeline = Pipeline()
     metrics: dict[tuple[str, int], KernelMetrics] = {}
-    for (flow, cap), (freq, power) in freq_power.items():
-        metrics[(flow, cap)] = KernelMetrics(
-            name=f"MemPool-{flow}-{cap}MiB",
-            cycles=cycles[cap],
-            frequency_mhz=freq,
-            power_mw=power,
-        )
+    for scenario in paper_scenarios(
+        bandwidth=bandwidth,
+        num_cores=params.num_cores,
+        cpi_mac=params.cpi_mac,
+        phase_overhead_cycles=params.phase_overhead_cycles,
+    ):
+        result = pipeline.run(scenario)
+        metrics[(scenario.flow, scenario.capacity_mib)] = result.kernel
 
     baseline = metrics[("2D", 1)]
     rows = []

@@ -1,8 +1,11 @@
-"""Run every experiment and print the paper-vs-modeled report.
+"""Shared experiment dispatch for every CLI entry point.
 
-Usage::
+Experiments self-register in a ``repro.api`` :class:`Registry`, and both
+command lines route through the same :func:`run_experiments` dispatch —
+``python -m repro experiments`` is the primary interface and
+``python -m repro.experiments.runner`` remains as a shim::
 
-    python -m repro.experiments.runner            # everything
+    python -m repro experiments                  # everything
     python -m repro.experiments.runner table2 fig6
 """
 
@@ -10,24 +13,32 @@ from __future__ import annotations
 
 import sys
 
+from ..api.registry import Registry
 from . import fig6, fig789, table1, table2
 
+#: Experiment registry: name -> zero-argument callable returning a report.
+EXPERIMENTS = Registry("experiment")
 
+
+@EXPERIMENTS.decorator("table1")
 def run_table1() -> str:
     """Table I: tile implementation results."""
     return "== Table I: tile implementation ==\n" + table1.format_rows(table1.run())
 
 
+@EXPERIMENTS.decorator("table2")
 def run_table2() -> str:
     """Table II: group implementation results."""
     return "== Table II: group implementation ==\n" + table2.format_rows(table2.run())
 
 
+@EXPERIMENTS.decorator("fig6")
 def run_fig6() -> str:
     """Figure 6: cycle-count speedup surface."""
     return "== Figure 6: matmul cycle-count speedup ==\n" + fig6.format_rows(fig6.run())
 
 
+@EXPERIMENTS.decorator("fig789")
 def run_fig789() -> str:
     """Figures 7-9: performance / efficiency / EDP."""
     rows = fig789.run()
@@ -46,26 +57,30 @@ def run_fig789() -> str:
     return "\n".join(lines)
 
 
-EXPERIMENTS = {
-    "table1": run_table1,
-    "table2": run_table2,
-    "fig6": run_fig6,
-    "fig789": run_fig789,
-}
+def run_experiments(names: list[str] | None = None) -> int:
+    """Run experiments by name (all of them by default), printing reports.
 
+    The single dispatch behind ``python -m repro experiments`` and the
+    ``python -m repro.experiments.runner`` shim.
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
-    names = (argv if argv is not None else sys.argv[1:]) or list(EXPERIMENTS)
+    Returns:
+        Process exit code: 0 on success, 2 on unknown experiment names.
+    """
+    names = list(names) if names else list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
     for name in names:
-        print(EXPERIMENTS[name]())
+        print(EXPERIMENTS.get(name)())
         print()
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI shim: forward to the shared dispatch."""
+    return run_experiments(argv if argv is not None else sys.argv[1:])
 
 
 if __name__ == "__main__":

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..api.scenario import Scenario
 from ..core.config import CAPACITIES_MIB, Flow, MemPoolConfig
 from ..physical.flow2d import implement_tile_2d
 from ..physical.flow3d import implement_tile_3d
@@ -44,11 +45,17 @@ def implement_tile(config: MemPoolConfig) -> TileImplementation:
 
 
 def run() -> list[Table1Row]:
-    """Implement all eight tiles and assemble the comparison rows."""
+    """Implement all eight tiles and assemble the comparison rows.
+
+    The paper points are built as :class:`~repro.api.Scenario` instances;
+    Table I is tile-level, so the tiles are implemented directly rather
+    than through the group-level pipeline.
+    """
     impls: dict[tuple[str, int], TileImplementation] = {}
-    for flow in (Flow.FLOW_2D, Flow.FLOW_3D):
+    for flow in ("2D", "3D"):
         for cap in CAPACITIES_MIB:
-            impls[(flow.value, cap)] = implement_tile(MemPoolConfig(cap, flow))
+            scenario = Scenario(capacity_mib=cap, flow=flow)
+            impls[(flow, cap)] = implement_tile(scenario.to_config())
 
     baseline = impls[("2D", 1)].footprint_um2
     rows = []

@@ -8,10 +8,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.config import paper_configurations
-from ..core.metrics import NormalizedGroupResult, normalize
-from ..physical.flow3d import implement_group
-from ..physical.flowbase import GroupImplementation
+from ..api.pipeline import Pipeline
+from ..api.scenario import paper_scenarios
+from ..core.metrics import GroupResult, NormalizedGroupResult, normalize
 from . import paper_data
 
 
@@ -35,15 +34,21 @@ class Table2Row:
 
 
 def run() -> list[Table2Row]:
-    """Implement all eight groups and assemble the comparison rows."""
-    impls: dict[tuple[str, int], GroupImplementation] = {}
-    for config in paper_configurations():
-        impls[(config.flow.value, config.capacity_mib)] = implement_group(config)
+    """Implement all eight groups and assemble the comparison rows.
 
-    baseline = impls[("2D", 1)].to_group_result()
+    Each paper point is a :class:`~repro.api.Scenario` pushed through the
+    physical stage of the :class:`~repro.api.Pipeline`.
+    """
+    pipeline = Pipeline()
+    results: dict[tuple[str, int], GroupResult] = {}
+    for scenario in paper_scenarios():
+        results[(scenario.flow, scenario.capacity_mib)] = pipeline.implement(
+            scenario
+        )
+
+    baseline = results[("2D", 1)]
     rows = []
-    for (flow, cap), impl in impls.items():
-        result = impl.to_group_result()
+    for (flow, cap), result in results.items():
         key = (flow, cap)
         rows.append(
             Table2Row(

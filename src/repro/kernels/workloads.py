@@ -4,7 +4,9 @@ The paper's introduction motivates MemPool with digital-signal-processing
 workloads; matmul is its representative kernel.  These extra kernels
 (dot product, AXPY, 2D convolution) exercise the same public API in the
 examples and broaden the simulator's test coverage.  Each provides an
-SPMD program generator and a verified runner.
+SPMD program generator and a verified runner, and the bottom of the
+module registers every kernel — plus the analytic blocked matmul — as a
+scenario-level workload plugin for :class:`repro.api.Pipeline`.
 """
 
 from __future__ import annotations
@@ -13,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..api.registry import register_workload
 from ..arch.cluster import MemPoolCluster
 from ..arch.isa import Program, ProgramBuilder
 from ..core.config import MemPoolConfig
@@ -419,3 +422,96 @@ def run_conv2d(
     ).reshape(out_h, out_w)
     correct = bool((produced == (expected & 0xFFFFFFFF).astype(np.uint64)).all())
     return WorkloadRun("conv2d", result.cycles, result.instructions, correct)
+
+
+# ---------------------------------------------------------------------------
+# Scenario-level workload plugins (repro.api registry).
+#
+# A workload plugin maps a Scenario to a kernel cycle count.  "matmul" is
+# the paper's analytic phase model (the same arithmetic the legacy
+# evaluate_point used); the rest run the cycle-level simulator at the
+# scenario's problem size and verify the result before reporting cycles,
+# so they are only tractable at small matrix_dim values.
+
+#: Largest scenario ``matrix_dim`` the 1D simulator-backed workloads accept.
+SIM_ELEMENT_LIMIT = 1 << 16
+
+#: Largest scenario ``matrix_dim`` the 2D simulator-backed workloads accept.
+SIM_GRID_LIMIT = 192
+
+
+def _sim_dim(scenario, limit: int, minimum: int = 1) -> int:
+    """The scenario's problem dimension, bounds-checked for simulation."""
+    dim = scenario.matrix_dim
+    if dim > limit:
+        raise ValueError(
+            f"workload {scenario.workload!r} runs on the cycle-level "
+            f"simulator; matrix_dim must be <= {limit} (got {dim})"
+        )
+    if dim < minimum:
+        raise ValueError(
+            f"workload {scenario.workload!r} needs matrix_dim >= {minimum}"
+        )
+    return dim
+
+
+def _sim_cores(scenario, dim: int) -> int:
+    """Participating cores: the scenario's, capped by available work."""
+    return max(1, min(scenario.num_cores, dim))
+
+
+def _verified_cycles(run: WorkloadRun) -> float:
+    """The run's cycle count, provided it verified against numpy."""
+    if not run.correct:
+        raise RuntimeError(f"workload {run.name!r} failed verification")
+    return float(run.cycles)
+
+
+@register_workload("matmul")
+def matmul_workload(scenario) -> float:
+    """Analytic phase-model cycles for the paper's blocked matmul."""
+    from .phases import matmul_cycles
+
+    return matmul_cycles(
+        scenario.tiling(), scenario.memory(), scenario.phase_params()
+    ).total
+
+
+@register_workload("dotp")
+def dotp_workload(scenario) -> float:
+    """Simulated, verified dot product over ``matrix_dim`` elements."""
+    n = _sim_dim(scenario, SIM_ELEMENT_LIMIT)
+    run = run_dotp(scenario.to_config(), n, _sim_cores(scenario, n))
+    return _verified_cycles(run)
+
+
+@register_workload("axpy")
+def axpy_workload(scenario) -> float:
+    """Simulated, verified AXPY over ``matrix_dim`` elements."""
+    n = _sim_dim(scenario, SIM_ELEMENT_LIMIT)
+    run = run_axpy(scenario.to_config(), n, _sim_cores(scenario, n))
+    return _verified_cycles(run)
+
+
+@register_workload("conv2d")
+def conv2d_workload(scenario) -> float:
+    """Simulated, verified 3x3 convolution on a square image."""
+    n = _sim_dim(scenario, SIM_GRID_LIMIT, minimum=3)
+    run = run_conv2d(scenario.to_config(), n, n, _sim_cores(scenario, n - 2))
+    return _verified_cycles(run)
+
+
+@register_workload("matvec")
+def matvec_workload(scenario) -> float:
+    """Simulated, verified square matrix-vector product."""
+    n = _sim_dim(scenario, SIM_GRID_LIMIT)
+    run = run_matvec(scenario.to_config(), n, n, _sim_cores(scenario, n))
+    return _verified_cycles(run)
+
+
+@register_workload("stencil5")
+def stencil5_workload(scenario) -> float:
+    """Simulated, verified 5-point Laplacian stencil on a square image."""
+    n = _sim_dim(scenario, SIM_GRID_LIMIT, minimum=3)
+    run = run_stencil5(scenario.to_config(), n, n, _sim_cores(scenario, n - 2))
+    return _verified_cycles(run)

@@ -8,6 +8,7 @@ behind the steep footprint growth of the 2D column in Table I.
 
 from __future__ import annotations
 
+from ..api.registry import register_flow
 from ..core.config import Flow, MemPoolConfig
 from ..core.partition import TilePartition
 from .calibration import Calibration, DEFAULT_CALIBRATION
@@ -72,3 +73,9 @@ def implement_group_2d(
     tile = implement_tile_2d(config, tech)
     stack = tech.stacks["M8"]
     return implement_group_from_tile(config, tile, stack, tech, calibration)
+
+
+@register_flow("2D")
+def scenario_flow_2d(scenario) -> GroupImplementation:
+    """Flow plugin: implement a scenario's group with the 2D flow."""
+    return implement_group_2d(scenario.to_config(flow=Flow.FLOW_2D))

@@ -15,6 +15,7 @@ die so the 15 remaining macros pack the memory die at ~100 % utilization
 
 from __future__ import annotations
 
+from ..api.registry import register_flow
 from ..core.config import Flow, MemPoolConfig
 from ..core.partition import TilePartition, select_partition
 from .calibration import Calibration, DEFAULT_CALIBRATION
@@ -117,3 +118,9 @@ def implement_group(
     if config.flow is Flow.FLOW_3D:
         return implement_group_3d(config, tech, calibration)
     return implement_group_2d(config, tech, calibration)
+
+
+@register_flow("3D")
+def scenario_flow_3d(scenario) -> GroupImplementation:
+    """Flow plugin: implement a scenario's group with the Macro-3D flow."""
+    return implement_group_3d(scenario.to_config(flow=Flow.FLOW_3D))

@@ -15,12 +15,14 @@ reordering).
 from __future__ import annotations
 
 import math
+import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
-from ..core.explorer import DesignPoint, evaluate_point
+from ..api.registry import FLOWS, WORKLOADS, Registry
+from ..core.explorer import DesignPoint
 from .cache import ResultCache
 from .spec import Job, SweepSpec
 from .store import ResultStore, failure_record, point_to_record, record_to_point
@@ -31,13 +33,15 @@ CHUNKS_PER_WORKER = 4
 
 
 def evaluate_job(job: Job) -> DesignPoint:
-    """Evaluate one job (top-level and picklable: safe to ship to workers)."""
-    return evaluate_point(
-        job.to_config(),
-        bandwidth=job.bandwidth,
-        phase_params=job.phase_params(),
-        tiling=job.tiling(),
-    )
+    """Evaluate one job (top-level and picklable: safe to ship to workers).
+
+    Runs the job's canonical scenario through the ``repro.api`` pipeline,
+    so the sweep engine shares one evaluation path with every other
+    consumer — including workloads registered via ``@register_workload``.
+    """
+    from ..api.pipeline import Pipeline  # local: keeps worker imports lazy
+
+    return Pipeline().run(job.scenario()).to_design_point()
 
 
 def _run_one(args: tuple[Callable[[Job], DesignPoint], Job]) -> dict:
@@ -47,6 +51,43 @@ def _run_one(args: tuple[Callable[[Job], DesignPoint], Job]) -> dict:
         return point_to_record(job, evaluate(job))
     except Exception as exc:  # captured per job; the sweep continues
         return failure_record(job, exc)
+
+
+def _picklable_items(registry: Registry) -> list[tuple[str, object]]:
+    """(name, plugin) pairs of a registry that survive pickling.
+
+    Module-level plugin callables pickle by reference; lambdas and
+    closures do not — those are silently dropped (a job needing one in a
+    worker fails per-job with an "unknown workload" failure record).
+    """
+    items = []
+    for name in registry.names():
+        obj = registry.get(name)
+        try:
+            pickle.dumps(obj)
+        except Exception:
+            continue
+        items.append((name, obj))
+    return items
+
+
+def _init_worker(
+    flow_items: list[tuple[str, object]],
+    workload_items: list[tuple[str, object]],
+) -> None:
+    """Worker initializer: mirror the parent's plugin registrations.
+
+    Under the ``fork`` start method workers inherit the parent's
+    registries and this is a no-op; under ``spawn``/``forkserver`` only
+    the built-in (import-seeded) plugins would exist, so anything the
+    parent registered at runtime is re-registered here.
+    """
+    for name, obj in flow_items:
+        if name not in FLOWS:  # membership check also seeds the builtins
+            FLOWS.register(name, obj)
+    for name, obj in workload_items:
+        if name not in WORKLOADS:
+            WORKLOADS.register(name, obj)
 
 
 @dataclass(frozen=True)
@@ -106,6 +147,9 @@ class SweepExecutor:
             for alternative evaluation models.
         store: Optional append-only log receiving every record of every
             run, cache hits included.
+        mp_context: Optional multiprocessing context for the worker pool
+            (e.g. ``multiprocessing.get_context("spawn")``); defaults to
+            the platform default.
     """
 
     def __init__(
@@ -115,6 +159,7 @@ class SweepExecutor:
         chunksize: Optional[int] = None,
         evaluate: Callable[[Job], DesignPoint] = evaluate_job,
         store: Optional[ResultStore] = None,
+        mp_context=None,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be non-negative")
@@ -125,6 +170,7 @@ class SweepExecutor:
         self.chunksize = chunksize
         self.evaluate = evaluate
         self.store = store
+        self.mp_context = mp_context
 
     def run(self, spec: SweepSpec | Iterable[Job]) -> SweepOutcome:
         """Execute a sweep: serve cache hits, evaluate the rest.
@@ -178,5 +224,10 @@ class SweepExecutor:
         chunksize = self.chunksize or max(
             1, math.ceil(len(jobs) / (workers * CHUNKS_PER_WORKER))
         )
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=self.mp_context,
+            initializer=_init_worker,
+            initargs=(_picklable_items(FLOWS), _picklable_items(WORKLOADS)),
+        ) as pool:
             return list(pool.map(_run_one, work, chunksize=chunksize))

@@ -2,39 +2,27 @@
 
 A :class:`SweepSpec` names the axes of a design-space sweep — SPM
 capacity, implementation flow, off-chip bandwidth, matrix dimension, core
-count, and phase-model calibration knobs — and cross-products them into
-:class:`Job` records.  A job is a plain, hashable, picklable bag of
-primitives: it can be shipped to a worker process, and its
-:attr:`Job.key` content address (parameters + code-model version) is
-stable across processes and sessions, which is what makes the result
+count, phase-model calibration knobs, and workload — and cross-products
+them into :class:`Job` records.  A job is a plain, hashable, picklable
+bag of primitives that serializes to and from a
+:class:`repro.api.Scenario`; its :attr:`Job.key` content address is the
+sha256 of the canonical scenario dict plus the code-model version, which
+is stable across processes and sessions — that is what makes the result
 cache and resumability work.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
 from dataclasses import dataclass, fields
 from typing import Iterator
 
-from ..core.config import (
-    CAPACITIES_MIB,
-    PAPER_MATRIX_DIM,
-    TILE_SIZE_BY_CAPACITY,
-    Flow,
-    MemPoolConfig,
-)
+from ..api.scenario import CODE_MODEL_VERSION, Scenario
+from ..core.config import CAPACITIES_MIB, PAPER_MATRIX_DIM, Flow, MemPoolConfig
 from ..kernels.phases import DEFAULT_PHASE_PARAMS, PhaseModelParams
-from ..kernels.tiling import TilingPlan, fit_tiling, paper_tiling
+from ..kernels.tiling import TilingPlan
 from ..simulator.memsys import DDR_CHANNEL_BYTES_PER_CYCLE
 
-#: Version of the evaluation models baked into cache keys.  Bump whenever a
-#: change to the physical/kernel models alters results, so stale cached
-#: sweeps are transparently re-evaluated.
-CODE_MODEL_VERSION = "1"
-
-#: Kernels with an analytic phase model the sweep can evaluate.
-KERNELS = ("matmul",)
+__all__ = ["CODE_MODEL_VERSION", "FLOW_VALUES", "Job", "SweepSpec"]
 
 FLOW_VALUES = tuple(f.value for f in Flow)
 
@@ -44,7 +32,10 @@ class Job:
     """One fully-resolved design point to evaluate.
 
     All fields are JSON-serializable primitives so the job can cross
-    process boundaries and hash stably.
+    process boundaries and hash stably.  Validation and all derived
+    objects (configuration, tiling, phase parameters, cache key) are
+    delegated to the canonical :class:`~repro.api.Scenario` the job
+    serializes into.
     """
 
     capacity_mib: int
@@ -59,7 +50,7 @@ class Job:
     def __post_init__(self) -> None:
         # Normalize numeric types so 16 and 16.0 produce the same key.
         object.__setattr__(self, "capacity_mib", int(self.capacity_mib))
-        object.__setattr__(self, "flow", str(self.flow).upper())
+        object.__setattr__(self, "flow", str(self.flow))
         object.__setattr__(self, "bandwidth", float(self.bandwidth))
         object.__setattr__(self, "matrix_dim", int(self.matrix_dim))
         object.__setattr__(self, "num_cores", int(self.num_cores))
@@ -67,12 +58,50 @@ class Job:
         object.__setattr__(
             self, "phase_overhead_cycles", float(self.phase_overhead_cycles)
         )
-        if self.flow not in FLOW_VALUES:
-            raise ValueError(f"unknown flow {self.flow!r}; pick from {FLOW_VALUES}")
-        if self.kernel not in KERNELS:
-            raise ValueError(f"unknown kernel {self.kernel!r}; pick from {KERNELS}")
-        if self.bandwidth <= 0:
-            raise ValueError("bandwidth must be positive")
+        object.__setattr__(self, "kernel", str(self.kernel))
+        # Build the canonical scenario once: strict validation (flow and
+        # workload registries, bounds), flow-name canonicalization, and a
+        # memoized cache key.  The memo survives pickling, so a worker
+        # process can emit failure records for a job it cannot itself
+        # validate (e.g. a workload registered only in the parent).
+        scenario = self._build_scenario()
+        object.__setattr__(self, "flow", scenario.flow)
+        object.__setattr__(self, "_scenario", scenario)
+        object.__setattr__(self, "_key", scenario.cache_key)
+
+    def _build_scenario(self, objective: str = "edp") -> Scenario:
+        return Scenario(
+            capacity_mib=self.capacity_mib,
+            flow=self.flow,
+            bandwidth=self.bandwidth,
+            matrix_dim=self.matrix_dim,
+            num_cores=self.num_cores,
+            cpi_mac=self.cpi_mac,
+            phase_overhead_cycles=self.phase_overhead_cycles,
+            workload=self.kernel,
+            objective=objective,
+        )
+
+    def scenario(self, objective: str = "edp") -> Scenario:
+        """The canonical :class:`~repro.api.Scenario` of this job."""
+        cached = self.__dict__.get("_scenario")
+        if cached is not None and cached.objective == objective:
+            return cached
+        return self._build_scenario(objective)
+
+    @classmethod
+    def from_scenario(cls, scenario: Scenario) -> "Job":
+        """The job evaluating ``scenario`` (inverse of :meth:`scenario`)."""
+        return cls(
+            capacity_mib=scenario.capacity_mib,
+            flow=scenario.flow,
+            bandwidth=scenario.bandwidth,
+            matrix_dim=scenario.matrix_dim,
+            num_cores=scenario.num_cores,
+            cpi_mac=scenario.cpi_mac,
+            phase_overhead_cycles=scenario.phase_overhead_cycles,
+            kernel=scenario.workload,
+        )
 
     def params(self) -> dict[str, object]:
         """The job as a plain dict (field order preserved)."""
@@ -80,10 +109,14 @@ class Job:
 
     @property
     def key(self) -> str:
-        """Content address: sha256 of parameters + code-model version."""
-        payload = {"model_version": CODE_MODEL_VERSION, **self.params()}
-        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        """Content address: sha256 of the canonical scenario dict plus
+        :data:`CODE_MODEL_VERSION` (memoized at construction)."""
+        cached = self.__dict__.get("_key")
+        if cached is not None:
+            return cached
+        key = self.scenario().cache_key
+        object.__setattr__(self, "_key", key)
+        return key
 
     @property
     def label(self) -> str:
@@ -92,24 +125,15 @@ class Job:
 
     def to_config(self) -> MemPoolConfig:
         """The architectural configuration this job evaluates."""
-        return MemPoolConfig(capacity_mib=self.capacity_mib, flow=Flow(self.flow))
+        return self.scenario().to_config()
 
     def tiling(self) -> TilingPlan:
         """Tiling plan: the paper's for paper points, fitted otherwise."""
-        if (
-            self.matrix_dim == PAPER_MATRIX_DIM
-            and self.capacity_mib in TILE_SIZE_BY_CAPACITY
-        ):
-            return paper_tiling(self.capacity_mib)
-        return fit_tiling(self.matrix_dim, self.capacity_mib * (1 << 20))
+        return self.scenario().tiling()
 
     def phase_params(self) -> PhaseModelParams:
         """Phase-model calibration for this job."""
-        return PhaseModelParams(
-            cpi_mac=self.cpi_mac,
-            phase_overhead_cycles=self.phase_overhead_cycles,
-            num_cores=self.num_cores,
-        )
+        return self.scenario().phase_params()
 
     @classmethod
     def from_params(cls, params: dict[str, object]) -> "Job":
@@ -124,7 +148,9 @@ class SweepSpec:
     Every axis is a non-empty tuple; :meth:`jobs` yields the full cross
     product in a deterministic order (capacity outermost, kernel
     innermost), so job order — and therefore shard assignment — is
-    reproducible.
+    reproducible.  The ``kernels`` axis accepts any name in the
+    ``repro.api`` workload registry, so a workload registered with
+    ``@register_workload`` sweeps without core changes.
     """
 
     capacities_mib: tuple[int, ...] = CAPACITIES_MIB

@@ -98,3 +98,59 @@ class TestCommands:
     def test_bad_config_name(self):
         with pytest.raises(ValueError):
             main(["implement", "NotAConfig"])
+
+
+class TestRunCommand:
+    def test_run_inline_scenario(self, capsys):
+        assert main(["run", "--capacity", "1", "--flow", "3D"]) == 0
+        out = capsys.readouterr().out
+        assert "MemPool-3D-1MiB" in out
+        assert "EDP" in out
+        assert "objective (edp)" in out
+
+    def test_run_scenario_file(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(
+            {"capacity_mib": 2, "flow": "3D", "objective": "performance"}
+        ))
+        assert main(["run", "--scenario", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "MemPool-3D-2MiB" in out
+        assert "objective (performance)" in out
+
+    def test_run_scenario_list_reports_best(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "scenarios.json"
+        path.write_text(json.dumps([
+            {"capacity_mib": 1, "flow": "2D"},
+            {"capacity_mib": 1, "flow": "3D"},
+        ]))
+        assert main(["run", "--scenario", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "best edp: MemPool-3D-1MiB" in out
+
+    def test_run_without_inputs_errors(self, capsys):
+        assert main(["run"]) == 2
+        assert "need --scenario" in capsys.readouterr().err
+
+
+class TestListCommand:
+    def test_list_workloads(self, capsys):
+        assert main(["list", "workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "matmul" in out
+        assert "dotp" in out
+
+    def test_list_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for heading in ("flows:", "workloads:", "objectives:", "experiments:"):
+            assert heading in out
+        assert "fig789" in out
+
+    def test_sweep_kernels_axis_parses(self):
+        args = build_parser().parse_args(["sweep", "--kernels", "matmul,dotp"])
+        assert args.kernels == ("matmul", "dotp")

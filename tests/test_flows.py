@@ -4,10 +4,9 @@ import pytest
 
 from repro.core.config import CAPACITIES_MIB, Flow, MemPoolConfig, paper_configurations
 from repro.core.metrics import normalize
-from repro.physical.flow2d import implement_group_2d, implement_tile_2d
+from repro.physical.flow2d import implement_tile_2d
 from repro.physical.flow3d import (
     implement_group,
-    implement_group_3d,
     implement_tile_3d,
     memory_die_array,
 )

@@ -1,7 +1,5 @@
 """Tests for repro.physical.netlist."""
 
-import pytest
-
 from repro.core.config import CAPACITIES_MIB, Flow, MemPoolConfig
 from repro.interconnect.butterfly import ButterflyNetwork
 from repro.physical.netlist import (

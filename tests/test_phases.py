@@ -8,7 +8,7 @@ from repro.kernels.phases import (
     matmul_cycles,
     speedup,
 )
-from repro.kernels.tiling import TilingPlan, paper_tiling
+from repro.kernels.tiling import paper_tiling
 from repro.simulator.memsys import OffChipMemory
 
 

@@ -7,7 +7,7 @@ from repro.physical.buffering import (
     insert_buffers,
     optimal_repeater_spacing_um,
 )
-from repro.physical.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.physical.calibration import Calibration
 from repro.physical.cells import CellInventory
 from repro.physical.congestion import analyze_congestion
 from repro.physical.netlist import build_group_netlist

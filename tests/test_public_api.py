@@ -19,7 +19,7 @@ class TestTopLevel:
 @pytest.mark.parametrize(
     "module",
     ["repro.core", "repro.arch", "repro.interconnect", "repro.simulator",
-     "repro.kernels", "repro.physical", "repro.sweep"],
+     "repro.kernels", "repro.physical", "repro.sweep", "repro.api"],
 )
 def test_subpackage_all_resolves(module):
     import importlib
@@ -54,3 +54,31 @@ class TestEndToEndThroughPublicApi:
 
         b = matmul_cycles(paper_tiling(1), OffChipMemory(bandwidth_bytes_per_cycle=16))
         assert b.total > 0
+
+    def test_facade_through_top_level_package(self):
+        import repro
+
+        result = repro.run(repro.Scenario(capacity_mib=1, flow="3D"))
+        assert isinstance(result, repro.RunResult)
+        assert result.name == "MemPool-3D-1MiB"
+        assert result.objective_value() == result.edp
+
+    def test_registry_lookups_through_top_level_package(self):
+        import repro
+
+        assert "3D" in repro.available_flows()
+        assert "matmul" in repro.available_workloads()
+        assert "edp" in repro.available_objectives()
+        key, higher_better = repro.get_objective("performance")
+        assert higher_better is True
+        assert callable(repro.get_flow("2D"))
+        assert callable(repro.get_workload("matmul"))
+
+    def test_legacy_import_paths_still_work(self):
+        from repro.core.explorer import OBJECTIVES, evaluate_point
+        from repro.sweep import CODE_MODEL_VERSION, Job
+
+        assert "edp" in OBJECTIVES
+        assert callable(evaluate_point)
+        assert Job(capacity_mib=1, flow="2D").key
+        assert CODE_MODEL_VERSION.startswith("2.")

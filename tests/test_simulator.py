@@ -3,7 +3,7 @@
 import pytest
 
 from repro.arch.cluster import MemPoolCluster
-from repro.core.config import ArchParams, Flow, MemPoolConfig
+from repro.core.config import Flow, MemPoolConfig
 from repro.simulator.engine import Engine, SimulationTimeout, run_cluster
 from repro.simulator.memsys import (
     DDR_CHANNEL_BYTES_PER_CYCLE,

@@ -1,7 +1,5 @@
 """Tests for repro.arch.snitch — core semantics against a flat memory."""
 
-import pytest
-
 from repro.arch.icache import InstructionCache
 from repro.arch.isa import ProgramBuilder
 from repro.arch.snitch import CoreState, SnitchCore

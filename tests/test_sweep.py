@@ -6,7 +6,6 @@ import sys
 
 import pytest
 
-from repro.core.config import PAPER_MATRIX_DIM
 from repro.core.explorer import Explorer
 from repro.sweep import (
     Job,
@@ -197,6 +196,55 @@ class TestSweepExecutor:
             SweepExecutor(workers=-1)
         with pytest.raises(ValueError):
             SweepExecutor(chunksize=0)
+
+
+def _const_cycles(scenario):
+    """Module-level workload plugin (picklable by reference into workers)."""
+    return 1.0e6 * scenario.capacity_mib
+
+
+class TestPluginSweepAcrossProcesses:
+    """Runtime-registered workloads must survive spawn-started workers."""
+
+    def test_spawn_workers_see_parent_registered_workload(self):
+        import multiprocessing
+
+        from repro.api import WORKLOADS, register_workload
+
+        register_workload("spawned_wl")(_const_cycles)
+        try:
+            jobs = [
+                Job(capacity_mib=1, flow="3D", kernel="spawned_wl"),
+                Job(capacity_mib=2, flow="3D", kernel="spawned_wl"),
+            ]
+            outcome = SweepExecutor(
+                workers=2, mp_context=multiprocessing.get_context("spawn")
+            ).run(jobs)
+            assert outcome.stats.failed == 0
+            assert [r["metrics"]["cycles"] for r in outcome.ok_records] == [
+                1.0e6,
+                2.0e6,
+            ]
+        finally:
+            WORKLOADS.unregister("spawned_wl")
+
+    def test_unpicklable_workload_fails_per_job_not_fatally(self):
+        """A lambda workload cannot reach spawn workers: each job must
+        become a failure record — never a traceback killing the sweep."""
+        import multiprocessing
+
+        from repro.api import WORKLOADS, register_workload
+
+        register_workload("lambda_wl")(lambda scenario: 1.0)
+        try:
+            jobs = [Job(capacity_mib=1, flow="2D", kernel="lambda_wl")]
+            outcome = SweepExecutor(
+                workers=2, mp_context=multiprocessing.get_context("spawn")
+            ).run(jobs)
+            assert outcome.stats.failed == 1
+            assert "unknown workload" in outcome.failures[0]["error"]
+        finally:
+            WORKLOADS.unregister("lambda_wl")
 
 
 class TestRecords:

@@ -7,7 +7,6 @@ from repro.physical.technology import (
     F2FVia,
     MetalLayer,
     MetalStack,
-    Technology,
     make_stack,
 )
 
