@@ -13,6 +13,7 @@ Run:  python examples/design_space_exploration.py [bandwidth_B_per_cycle ...]
 import sys
 import tempfile
 
+from repro.search import Searcher, paper_space
 from repro.sweep import (
     ResultCache,
     SweepExecutor,
@@ -21,6 +22,20 @@ from repro.sweep import (
     labeled_points,
     summarize,
 )
+
+
+def guided_search_demo() -> None:
+    """The same co-exploration, guided: half the budget, same winners."""
+    searcher = Searcher(
+        paper_space(),
+        objectives=("edp", "energy_efficiency"),
+        strategy="evolutionary",
+        budget=28,  # half of the exhaustive 56-point grid
+    )
+    outcome = searcher.run()
+    print("guided search over the 56-point paper space "
+          "(repro.search, evolutionary strategy):")
+    print(outcome.report(top=1))
 
 
 def main() -> None:
@@ -44,6 +59,9 @@ def main() -> None:
 
     print()
     print(summarize(outcome.records, top=1))
+
+    print()
+    guided_search_demo()
 
 
 if __name__ == "__main__":

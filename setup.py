@@ -2,12 +2,13 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-mempool3d",
-    version="2.0.0",
+    version="2.1.0",
     description=(
         "Reproduction of MemPool-3D (DATE 2022): shared-L1 many-core "
         "cluster models, 2D/Macro-3D physical flows, a parallel cached "
-        "design-space sweep engine, and a unified Scenario/Pipeline API "
-        "with pluggable flow/workload/objective registries"
+        "design-space sweep engine, a budgeted multi-objective search "
+        "optimizer, and a unified Scenario/Pipeline API with pluggable "
+        "flow/workload/objective/strategy registries"
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),

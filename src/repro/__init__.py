@@ -29,7 +29,7 @@ from .core.config import (
 )
 from .core.metrics import GroupResult, KernelMetrics, NormalizedGroupResult, normalize
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 #: Names re-exported lazily from the ``repro.api`` façade.
 _API_EXPORTS = (
@@ -49,6 +49,21 @@ _API_EXPORTS = (
     "run",
 )
 
+#: Names re-exported lazily from the ``repro.search`` optimizer.
+_SEARCH_EXPORTS = (
+    "Choice",
+    "FloatRange",
+    "IntRange",
+    "ParetoArchive",
+    "SearchSpace",
+    "Searcher",
+    "Strategy",
+    "available_strategies",
+    "get_strategy",
+    "paper_space",
+    "register_strategy",
+)
+
 __all__ = [
     "ArchParams",
     "CAPACITIES_MIB",
@@ -62,18 +77,21 @@ __all__ = [
     "paper_configurations",
     "__version__",
     *_API_EXPORTS,
+    *_SEARCH_EXPORTS,
 ]
 
 
 def __getattr__(name: str):
     if name in _API_EXPORTS:
-        from . import api
-
-        value = getattr(api, name)
-        globals()[name] = value  # cache for subsequent lookups
-        return value
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+        from . import api as module
+    elif name in _SEARCH_EXPORTS:
+        from . import search as module
+    else:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(module, name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
 
 
 def __dir__():
-    return sorted(set(globals()) | set(_API_EXPORTS))
+    return sorted(set(globals()) | set(_API_EXPORTS) | set(_SEARCH_EXPORTS))

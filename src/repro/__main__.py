@@ -9,6 +9,8 @@ Usage::
     python -m repro list [flows|workloads|objectives|experiments]
     python -m repro explore --bandwidth 16
     python -m repro sweep --workers 4 --bandwidths 2,4,8,16,32,64,128
+    python -m repro search --strategy evolutionary --budget 28
+    python -m repro report results.jsonl --objective edp --pareto
     python -m repro experiments [table1 table2 fig6 fig789]
 """
 
@@ -132,11 +134,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_list(args: argparse.Namespace) -> int:
     from .api.registry import FLOWS, OBJECTIVES, WORKLOADS
     from .experiments.runner import EXPERIMENTS
+    from .search.strategies import STRATEGIES
 
     registries = {
         "flows": FLOWS,
         "workloads": WORKLOADS,
         "objectives": OBJECTIVES,
+        "strategies": STRATEGIES,
         "experiments": EXPERIMENTS,
     }
     kinds = [args.kind] if args.kind else list(registries)
@@ -196,6 +200,100 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if outcome.stats.failed else 0
 
 
+#: The `repro search` archive artifact a fresh (non-`--resume`) search
+#: owns and resets.  User-supplied paths are never deleted.
+DEFAULT_SEARCH_ARCHIVE = ".search-archive.jsonl"
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .search import Choice, ParetoArchive, Searcher, SearchSpace
+    from .sweep import ResultCache, ResultStore
+
+    axes, base = [], {}
+    for name, values in (
+        ("capacity_mib", args.capacities),
+        ("flow", args.flows),
+        ("bandwidth", args.bandwidths),
+        ("matrix_dim", args.matrix_dims),
+        ("num_cores", args.core_counts),
+        ("workload", args.kernels),
+    ):
+        if len(values) > 1:
+            axes.append(Choice(name, values))
+        else:
+            base[name] = values[0]
+    if not axes:
+        print("repro search: need at least one axis with several values",
+              file=sys.stderr)
+        return 2
+    space = SearchSpace(axes, **base)
+
+    archive = None
+    if args.archive:
+        # A fresh search resets only its own default artifact; --resume
+        # keeps it, and user-supplied paths always accumulate (entries
+        # are deduplicated by content address on load).
+        if not args.resume and args.archive == DEFAULT_SEARCH_ARCHIVE:
+            Path(args.archive).unlink(missing_ok=True)
+        archive = ParetoArchive(args.archive)
+
+    searcher = Searcher(
+        space,
+        objectives=args.objectives,
+        strategy=args.strategy,
+        budget=args.budget,
+        generation_size=args.generation,
+        seed=args.seed,
+        cache=None if args.no_cache else ResultCache(args.cache_dir),
+        workers=args.workers,
+        store=ResultStore(args.store) if args.store else None,
+        archive=archive,
+    )
+    size = space.cardinality
+    print(f"searching a {size if size is not None else 'continuous'}-point "
+          f"space: strategy={args.strategy} budget={args.budget} "
+          f"objectives={','.join(searcher.objective_names)} seed={args.seed}")
+    outcome = searcher.run()
+    print(outcome.report(top=args.top))
+    if archive is not None:
+        print(f"archive: {archive.path} "
+              f"({len(archive)} candidates, {len(archive.front())} on front)")
+    return 0 if outcome.ok_candidates else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .sweep import ResultStore, pareto_pairs, rank, summarize
+    from .sweep.report import format_table
+
+    # Reporting is read-only: never let ResultStore create directories
+    # for a mistyped path.
+    if not Path(args.results).is_file():
+        print(f"repro report: no records in {args.results}", file=sys.stderr)
+        return 1
+    records = ResultStore(args.results).load()
+    if not records:
+        print(f"repro report: no records in {args.results}", file=sys.stderr)
+        return 1
+    if args.objective is None and not args.pareto:
+        print(summarize(records, top=args.top))
+        return 0
+    ok_count = sum(1 for r in records if r.get("status") == "ok")
+    if args.objective is not None:
+        ranked = rank(records, args.objective)
+        print(f"top {args.objective} of {len(ranked)} points:")
+        print(format_table(ranked[: args.top]))
+    if args.pareto:
+        front = pareto_pairs(records)
+        print(f"performance / energy-efficiency Pareto front "
+              f"({len(front)} of {ok_count} points):")
+        print(format_table(front))
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments.runner import run_experiments
 
@@ -246,7 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_list = sub.add_parser("list", help="list registered plugins")
     p_list.add_argument("kind", nargs="?", default=None,
                         choices=("flows", "workloads", "objectives",
-                                 "experiments"),
+                                 "strategies", "experiments"),
                         help="plugin kind (default: all)")
     p_list.set_defaults(func=_cmd_list)
 
@@ -284,6 +382,65 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--top", type=int, default=3,
                       help="winners listed per objective")
     p_sw.set_defaults(func=_cmd_sweep)
+
+    p_se = sub.add_parser(
+        "search", help="guided multi-objective design-space optimization"
+    )
+    p_se.add_argument("--strategy", default="evolutionary",
+                      help="registered strategy (see `repro list strategies`)")
+    p_se.add_argument("--budget", type=int, default=32,
+                      help="maximum evaluations (cache hits included)")
+    p_se.add_argument("--objectives", type=_csv(str),
+                      default=("edp", "energy_efficiency"),
+                      help="comma-separated registered objective names")
+    p_se.add_argument("--generation", type=int, default=None,
+                      help="candidates per generation (default: auto)")
+    p_se.add_argument("--seed", type=int, default=0,
+                      help="strategy RNG seed (fixes the trajectory)")
+    p_se.add_argument("--capacities", type=_csv(int), default=(1, 2, 4, 8),
+                      help="capacity axis values in MiB")
+    p_se.add_argument("--flows", type=_csv(str), default=("2D", "3D"),
+                      help="flow axis values")
+    p_se.add_argument("--bandwidths", type=_csv(float),
+                      default=(2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+                      help="off-chip bandwidth axis values in B/cycle")
+    p_se.add_argument("--matrix-dims", type=_csv(int), default=(326400,),
+                      dest="matrix_dims", help="matrix-dimension axis values")
+    p_se.add_argument("--core-counts", type=_csv(int), default=(256,),
+                      dest="core_counts", help="compute-core-count axis values")
+    p_se.add_argument("--kernels", type=_csv(str), default=("matmul",),
+                      help="workload axis values (any registered workload)")
+    p_se.add_argument("--workers", type=int, default=0,
+                      help="worker processes per generation (0 = serial)")
+    p_se.add_argument("--cache-dir", default=".sweep-cache",
+                      help="content-addressed result cache (shared with sweep)")
+    p_se.add_argument("--no-cache", action="store_true",
+                      help="disable the result cache")
+    p_se.add_argument("--store", default=None,
+                      help="append-only JSONL log of every record")
+    p_se.add_argument("--archive", default=DEFAULT_SEARCH_ARCHIVE,
+                      help="persistent Pareto archive JSONL ('' disables; "
+                           "the default file is reset unless --resume, "
+                           "custom paths accumulate)")
+    p_se.add_argument("--resume", action="store_true",
+                      help="keep the existing archive and replay the "
+                           "trajectory (cached candidates are free)")
+    p_se.add_argument("--top", type=int, default=3,
+                      help="winners listed per objective")
+    p_se.set_defaults(func=_cmd_search)
+
+    p_rep = sub.add_parser(
+        "report", help="rank / summarize a results JSONL after the fact"
+    )
+    p_rep.add_argument("results",
+                       help="JSONL from sweep/search --store or the cache")
+    p_rep.add_argument("--objective", default=None,
+                       help="rank by this registered objective")
+    p_rep.add_argument("--pareto", action="store_true",
+                       help="print the performance/efficiency Pareto front")
+    p_rep.add_argument("--top", type=int, default=10,
+                       help="rows shown in ranked tables")
+    p_rep.set_defaults(func=_cmd_report)
 
     p_x = sub.add_parser("experiments", help="regenerate tables/figures")
     p_x.add_argument("names", nargs="*", help="subset of experiments")

@@ -95,27 +95,60 @@ def evaluate_point(
     return Pipeline().run(scenario).to_design_point(config=config)
 
 
-def pareto_front(points: Iterable[DesignPoint]) -> list[DesignPoint]:
-    """Performance-vs-efficiency Pareto-optimal points, best-perf last.
+#: Default ``pareto_front`` objectives: the paper's performance vs
+#: energy-efficiency trade-off, both maximized.
+DEFAULT_FRONT_OBJECTIVES: tuple[tuple[Callable, bool], ...] = (
+    (lambda p: p.performance, True),
+    (lambda p: p.energy_efficiency, True),
+)
 
-    A point is dominated if another point is at least as good on both
-    axes and strictly better on one.
+
+def pareto_front(
+    points: Iterable[DesignPoint],
+    objectives: Optional[Iterable[tuple[Callable, bool]]] = None,
+) -> list[DesignPoint]:
+    """Pareto-optimal points under arbitrary objective tuples.
+
+    A point is dominated if another point is at least as good on every
+    objective and strictly better on one.
+
+    Args:
+        points: The candidate points.
+        objectives: ``(key_fn, higher_is_better)`` pairs, e.g. entries of
+            the ``repro.api`` objective registry.  Defaults to the
+            paper's performance/energy-efficiency pair, preserving the
+            historical behavior (best-performance last).
+
+    Returns:
+        The non-dominated points, sorted ascending by the first
+        objective's key.
+
+    Raises:
+        ValueError: On an empty objective list.
     """
+    objectives = tuple(
+        objectives if objectives is not None else DEFAULT_FRONT_OBJECTIVES
+    )
+    if not objectives:
+        raise ValueError("pareto_front needs at least one objective")
     points = list(points)
-    front = []
-    for p in points:
-        dominated = any(
-            (q.performance >= p.performance)
-            and (q.energy_efficiency >= p.energy_efficiency)
-            and (
-                q.performance > p.performance
-                or q.energy_efficiency > p.energy_efficiency
-            )
-            for q in points
+    # Fold every point into a maximization vector once, so domination
+    # checks are plain tuple comparisons.
+    gains = [
+        tuple(key(p) if higher else -key(p) for key, higher in objectives)
+        for p in points
+    ]
+    front = [
+        p
+        for p, g in zip(points, gains)
+        if not any(
+            all(o >= v for o, v in zip(other, g))
+            and any(o > v for o, v in zip(other, g))
+            for other in gains
         )
-        if not dominated:
-            front.append(p)
-    return sorted(front, key=lambda p: p.performance)
+    ]
+    first_key = objectives[0][0]
+    return sorted(front, key=first_key)
 
 
 class Explorer:
@@ -179,8 +212,10 @@ class Explorer:
         return sorted(points, key=key, reverse=higher_better)
 
     def pareto_front(
-        self, points: Optional[list[DesignPoint]] = None
+        self,
+        points: Optional[list[DesignPoint]] = None,
+        objectives: Optional[Iterable[tuple[Callable, bool]]] = None,
     ) -> list[DesignPoint]:
-        """Performance-vs-efficiency Pareto-optimal points."""
+        """Pareto-optimal points (default: performance vs efficiency)."""
         points = points if points is not None else self.explore()
-        return pareto_front(points)
+        return pareto_front(points, objectives)

@@ -1,0 +1,433 @@
+"""Declarative search spaces over :class:`~repro.api.Scenario` fields.
+
+A :class:`SearchSpace` names the *axes* of a guided design-space search —
+each axis is a :class:`Choice` (categorical/discrete), an
+:class:`IntRange`, or a :class:`FloatRange` over one scenario field (or a
+dotted ``arch.<param>`` architecture override) — plus a set of fixed
+base fields shared by every candidate.  It samples, perturbs, and
+validates full :class:`~repro.api.Scenario` records, so every strategy in
+:mod:`repro.search.strategies` speaks plain ``{axis name: value}`` dicts
+and the driver turns them into cacheable sweep jobs.
+
+Axes share a unit-hypercube interface (:meth:`Axis.from_unit` /
+:meth:`Axis.to_unit`): a value maps to a position in ``[0, 1)`` and back,
+which gives Latin-hypercube stratification and mutation steps one common
+coordinate system across categorical, linear, and logarithmic axes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+from typing import Iterator, Optional
+
+from ..api.scenario import Scenario
+from ..core.config import ArchParams, CAPACITIES_MIB
+from ..simulator.memsys import DDR_CHANNEL_BYTES_PER_CYCLE
+
+#: Scenario fields an axis may target.  ``objective`` only ranks results
+#: (it never changes the evaluation) and ``arch`` is reached through
+#: dotted ``arch.<param>`` names, so neither is a direct axis target.
+SEARCHABLE_FIELDS = tuple(
+    f.name for f in fields(Scenario) if f.name not in ("objective", "arch")
+)
+
+_ARCH_PREFIX = "arch."
+_ARCH_FIELDS = frozenset(f.name for f in fields(ArchParams))
+
+
+def _check_arch_param(param: str) -> None:
+    if param not in _ARCH_FIELDS:
+        raise ValueError(
+            f"unknown arch parameter {param!r}; pick from "
+            f"{sorted(_ARCH_FIELDS)}"
+        )
+
+
+def _check_axis_name(name: str) -> None:
+    if not isinstance(name, str) or not name:
+        raise ValueError("axis name must be a non-empty string")
+    if name.startswith(_ARCH_PREFIX):
+        _check_arch_param(name[len(_ARCH_PREFIX):])
+        return
+    if name not in SEARCHABLE_FIELDS:
+        raise ValueError(
+            f"axis {name!r} is not a searchable scenario field; pick from "
+            f"{SEARCHABLE_FIELDS} or an 'arch.<param>' override"
+        )
+
+
+class Axis:
+    """One searchable dimension (see the concrete subclasses)."""
+
+    name: str
+
+    def sample(self, rng) -> object:
+        """A uniform random value of this axis."""
+        return self.from_unit(rng.random())
+
+    def from_unit(self, u: float) -> object:
+        """The axis value at unit-interval position ``u`` in ``[0, 1)``."""
+        raise NotImplementedError
+
+    def to_unit(self, value) -> float:
+        """The unit-interval position of ``value`` (inverse of from_unit)."""
+        raise NotImplementedError
+
+    def mutate(self, value, rng, scale: float = 0.25) -> object:
+        """A perturbed value: a Gaussian step of ``scale`` in unit space."""
+        u = min(max(self.to_unit(value) + rng.gauss(0.0, scale), 0.0), 1.0 - 1e-9)
+        return self.from_unit(u)
+
+    @property
+    def cardinality(self) -> Optional[int]:
+        """Distinct values, or ``None`` when the axis is continuous."""
+        return None
+
+    def grid(self) -> tuple:
+        """Every value of a discrete axis.
+
+        Raises:
+            ValueError: If the axis is continuous.
+        """
+        raise ValueError(f"axis {self.name!r} is continuous; it has no grid")
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (inverse of :func:`axis_from_dict`)."""
+        data = {"kind": type(self).__name__.lower()}
+        data.update(
+            {f.name: getattr(self, f.name) for f in fields(self)}  # type: ignore[arg-type]
+        )
+        if "values" in data:
+            data["values"] = list(data["values"])
+        return data
+
+
+@dataclass(frozen=True)
+class Choice(Axis):
+    """A categorical or explicitly-enumerated discrete axis."""
+
+    name: str
+    values: tuple
+
+    def __post_init__(self) -> None:
+        _check_axis_name(self.name)
+        object.__setattr__(self, "values", tuple(self.values))
+        if not self.values:
+            raise ValueError(f"axis {self.name!r} needs at least one value")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError(f"axis {self.name!r} has duplicate values")
+
+    def from_unit(self, u: float) -> object:
+        index = min(int(u * len(self.values)), len(self.values) - 1)
+        return self.values[max(index, 0)]
+
+    def to_unit(self, value) -> float:
+        return (self.values.index(value) + 0.5) / len(self.values)
+
+    def mutate(self, value, rng, scale: float = 0.25) -> object:
+        if len(self.values) == 1:
+            return value
+        if all(isinstance(v, (int, float)) for v in self.values):
+            # Ordered numeric choices (capacities, bandwidths) mutate to
+            # a value-order neighbor, so selection can hill-climb the
+            # axis instead of teleporting across it.
+            ordered = sorted(self.values)
+            index = ordered.index(value)
+            step = 1 if rng.random() < 0.5 else -1
+            return ordered[min(max(index + step, 0), len(ordered) - 1)]
+        # True categoricals draw any *other* value uniformly.
+        others = [v for v in self.values if v != value]
+        return others[rng.randrange(len(others))]
+
+    @property
+    def cardinality(self) -> Optional[int]:
+        return len(self.values)
+
+    def grid(self) -> tuple:
+        return self.values
+
+
+@dataclass(frozen=True)
+class IntRange(Axis):
+    """An inclusive integer range, linearly or log2-interpolated."""
+
+    name: str
+    lo: int
+    hi: int
+    log2: bool = False
+
+    def __post_init__(self) -> None:
+        _check_axis_name(self.name)
+        object.__setattr__(self, "lo", int(self.lo))
+        object.__setattr__(self, "hi", int(self.hi))
+        if self.lo > self.hi:
+            raise ValueError(f"axis {self.name!r}: lo must be <= hi")
+        if self.log2 and self.lo <= 0:
+            raise ValueError(f"axis {self.name!r}: log2 needs lo > 0")
+
+    def from_unit(self, u: float) -> int:
+        u = min(max(u, 0.0), 1.0)
+        if self.log2:
+            value = 2.0 ** (
+                math.log2(self.lo) + u * (math.log2(self.hi) - math.log2(self.lo))
+            )
+        else:
+            value = self.lo + u * (self.hi - self.lo)
+        return min(max(round(value), self.lo), self.hi)
+
+    def to_unit(self, value) -> float:
+        if self.hi == self.lo:
+            return 0.5
+        if self.log2:
+            span = math.log2(self.hi) - math.log2(self.lo)
+            return (math.log2(value) - math.log2(self.lo)) / span
+        return (value - self.lo) / (self.hi - self.lo)
+
+    @property
+    def cardinality(self) -> Optional[int]:
+        return self.hi - self.lo + 1
+
+    def grid(self) -> tuple:
+        return tuple(range(self.lo, self.hi + 1))
+
+
+@dataclass(frozen=True)
+class FloatRange(Axis):
+    """A continuous float range, linearly or log-interpolated."""
+
+    name: str
+    lo: float
+    hi: float
+    log: bool = False
+
+    def __post_init__(self) -> None:
+        _check_axis_name(self.name)
+        object.__setattr__(self, "lo", float(self.lo))
+        object.__setattr__(self, "hi", float(self.hi))
+        if self.lo > self.hi:
+            raise ValueError(f"axis {self.name!r}: lo must be <= hi")
+        if self.log and self.lo <= 0:
+            raise ValueError(f"axis {self.name!r}: log needs lo > 0")
+
+    def from_unit(self, u: float) -> float:
+        u = min(max(u, 0.0), 1.0)
+        if self.log:
+            return math.exp(
+                math.log(self.lo) + u * (math.log(self.hi) - math.log(self.lo))
+            )
+        return self.lo + u * (self.hi - self.lo)
+
+    def to_unit(self, value) -> float:
+        if self.hi == self.lo:
+            return 0.5
+        if self.log:
+            span = math.log(self.hi) - math.log(self.lo)
+            return (math.log(value) - math.log(self.lo)) / span
+        return (value - self.lo) / (self.hi - self.lo)
+
+
+_AXIS_KINDS = {"choice": Choice, "intrange": IntRange, "floatrange": FloatRange}
+
+
+def axis_from_dict(data: dict) -> Axis:
+    """Rebuild an axis from :meth:`Axis.to_dict` output."""
+    data = dict(data)
+    kind = data.pop("kind", None)
+    if kind not in _AXIS_KINDS:
+        raise ValueError(
+            f"unknown axis kind {kind!r}; pick from {sorted(_AXIS_KINDS)}"
+        )
+    cls = _AXIS_KINDS[kind]
+    if kind == "choice" and "values" in data:
+        data["values"] = tuple(data["values"])
+    return cls(**data)
+
+
+class SearchSpace:
+    """Axes plus fixed base fields, sampling valid scenarios.
+
+    Args:
+        axes: The searchable dimensions (unique names).
+        **base: Fixed :class:`~repro.api.Scenario` fields shared by every
+            candidate (e.g. ``workload="matmul"``).  ``arch`` accepts a
+            plain override dict; dotted ``arch.<param>`` keys (passed via
+            ``**{"arch.core_kge": 80.0}``) pin single parameters.
+
+    A value assignment is a plain ``{axis name: value}`` dict;
+    :meth:`scenario` merges it over the base fields (routing dotted
+    ``arch.<param>`` axes into the scenario's ``arch`` override dict) and
+    builds the strictly-validated scenario.  Combinations the scenario
+    rejects (e.g. a tile that does not divide the matrix) surface as
+    ``ValueError`` — strategies use :meth:`try_scenario` to
+    rejection-sample around them.
+    """
+
+    def __init__(self, axes, **base) -> None:
+        self.axes: tuple[Axis, ...] = tuple(axes)
+        if not self.axes:
+            raise ValueError("a search space needs at least one axis")
+        names = [axis.name for axis in self.axes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate axis names: {sorted(names)}")
+        # Split the base into plain scenario fields and arch overrides
+        # (from an `arch` dict and/or dotted keys), so every field name
+        # — including every arch parameter — is validated right here,
+        # not mid-search inside a strategy.
+        self.base: dict = {}
+        self._arch_base: dict = {}
+        for key, value in base.items():
+            if key == "arch":
+                if value is None:
+                    continue
+                if not isinstance(value, dict):
+                    raise ValueError("base 'arch' must be a dict of overrides")
+                for param in value:
+                    _check_arch_param(param)
+                self._arch_base.update(value)
+                continue
+            _check_axis_name(key)
+            if key in names:
+                raise ValueError(f"{key!r} is both an axis and a base field")
+            if key.startswith(_ARCH_PREFIX):
+                self._arch_base[key[len(_ARCH_PREFIX):]] = value
+            else:
+                self.base[key] = value
+        for axis_name in names:
+            if (
+                axis_name.startswith(_ARCH_PREFIX)
+                and axis_name[len(_ARCH_PREFIX):] in self._arch_base
+            ):
+                raise ValueError(
+                    f"{axis_name!r} is both an axis and a base arch override"
+                )
+        self._by_name = {axis.name: axis for axis in self.axes}
+
+    def axis(self, name: str) -> Axis:
+        """The axis registered under ``name``.
+
+        Raises:
+            ValueError: On an unknown axis name.
+        """
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown axis {name!r}; pick from {sorted(self._by_name)}"
+            ) from None
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Axis names, declaration order preserved."""
+        return tuple(axis.name for axis in self.axes)
+
+    @property
+    def cardinality(self) -> Optional[int]:
+        """Grid size when every axis is discrete, else ``None``."""
+        total = 1
+        for axis in self.axes:
+            if axis.cardinality is None:
+                return None
+            total *= axis.cardinality
+        return total
+
+    # -- sampling ----------------------------------------------------------
+    def sample_values(self, rng) -> dict:
+        """One uniform random value assignment (not validity-checked)."""
+        return {axis.name: axis.sample(rng) for axis in self.axes}
+
+    def from_unit(self, units: dict) -> dict:
+        """The value assignment at unit-hypercube position ``units``."""
+        return {
+            axis.name: axis.from_unit(units[axis.name]) for axis in self.axes
+        }
+
+    def grid(self) -> Iterator[dict]:
+        """Every value assignment of a fully-discrete space.
+
+        Raises:
+            ValueError: If any axis is continuous.
+        """
+        def product(index: int, partial: dict) -> Iterator[dict]:
+            if index == len(self.axes):
+                yield dict(partial)
+                return
+            axis = self.axes[index]
+            for value in axis.grid():
+                partial[axis.name] = value
+                yield from product(index + 1, partial)
+
+        return product(0, {})
+
+    # -- scenario construction ---------------------------------------------
+    def scenario_kwargs(self, values: dict) -> dict:
+        """The :class:`Scenario` keyword dict for one value assignment.
+
+        Raises:
+            ValueError: On values for axes this space does not declare.
+        """
+        unknown = set(values) - set(self._by_name)
+        if unknown:
+            raise ValueError(f"values for unknown axes: {sorted(unknown)}")
+        kwargs = dict(self.base)
+        arch = dict(self._arch_base)
+        for name, value in values.items():
+            if name.startswith(_ARCH_PREFIX):
+                arch[name[len(_ARCH_PREFIX):]] = value
+            else:
+                kwargs[name] = value
+        if arch:
+            kwargs["arch"] = arch
+        return kwargs
+
+    def scenario(self, values: dict) -> Scenario:
+        """The validated scenario of one value assignment.
+
+        Raises:
+            ValueError: If the assignment is invalid (scenario validation).
+        """
+        return Scenario(**self.scenario_kwargs(values))
+
+    def try_scenario(self, values: dict) -> Optional[Scenario]:
+        """Like :meth:`scenario`, but ``None`` on invalid assignments."""
+        try:
+            return self.scenario(values)
+        except ValueError:
+            return None
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        base = dict(self.base)
+        if self._arch_base:
+            base["arch"] = dict(self._arch_base)
+        return {
+            "axes": [axis.to_dict() for axis in self.axes],
+            "base": base,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SearchSpace":
+        """Rebuild a space from :meth:`to_dict` output."""
+        axes = [axis_from_dict(entry) for entry in data.get("axes", ())]
+        return cls(axes, **data.get("base", {}))
+
+
+def paper_space(**base) -> SearchSpace:
+    """The paper's 56-point design space as a search space.
+
+    Capacity (1/2/4/8 MiB) x flow (2D/Macro-3D) x off-chip bandwidth
+    (2..128 B/cycle, the fig. 7-9 sweep).  Extra keyword arguments become
+    fixed base fields of every candidate.
+    """
+    bandwidths = tuple(
+        DDR_CHANNEL_BYTES_PER_CYCLE * (2.0 ** e) for e in range(-3, 4)
+    )
+    return SearchSpace(
+        (
+            Choice("capacity_mib", CAPACITIES_MIB),
+            Choice("flow", ("2D", "3D")),
+            Choice("bandwidth", bandwidths),
+        ),
+        **base,
+    )

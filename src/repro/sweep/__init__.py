@@ -29,7 +29,7 @@ Quick start::
 
 from .cache import ResultCache
 from .executor import SweepExecutor, SweepOutcome, SweepStats, evaluate_job
-from .report import format_table, labeled_points, rank, summarize
+from .report import format_table, labeled_points, pareto_pairs, rank, summarize
 from .spec import CODE_MODEL_VERSION, Job, SweepSpec
 from .store import ResultStore, failure_record, point_to_record, record_to_point
 
@@ -46,6 +46,7 @@ __all__ = [
     "failure_record",
     "format_table",
     "labeled_points",
+    "pareto_pairs",
     "point_to_record",
     "rank",
     "record_to_point",

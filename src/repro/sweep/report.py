@@ -47,6 +47,19 @@ def rank(
     return _rank_pairs(labeled_points(records), objective)
 
 
+def _pareto_pairs(
+    pairs: list[tuple[str, DesignPoint]]
+) -> list[tuple[str, DesignPoint]]:
+    labels = {id(point): label for label, point in pairs}
+    front = pareto_front([point for _, point in pairs])
+    return [(labels[id(point)], point) for point in front]
+
+
+def pareto_pairs(records: Iterable[dict]) -> list[tuple[str, DesignPoint]]:
+    """(label, point) pairs of the performance/efficiency Pareto front."""
+    return _pareto_pairs(labeled_points(records))
+
+
 def format_table(pairs: list[tuple[str, DesignPoint]]) -> str:
     """Aligned text table of labeled design points."""
     if not pairs:
@@ -80,12 +93,10 @@ def summarize(records: Iterable[dict], top: int = 3) -> str:
         for label, point in ranked[:top]:
             lines.append(f"  {label:>28}  {key(point):.4e}")
     if pairs:
-        by_point = {id(p): label for label, p in pairs}
-        front = pareto_front([p for _, p in pairs])
         lines.append("performance / energy-efficiency Pareto front:")
-        for p in front:
+        for label, p in _pareto_pairs(pairs):
             lines.append(
-                f"  {by_point[id(p)]:>28}  perf {p.performance:9.3e}/s  "
+                f"  {label:>28}  perf {p.performance:9.3e}/s  "
                 f"eff {p.energy_efficiency:9.3e}/J"
             )
     failures = [r for r in records if r.get("status") != "ok"]

@@ -14,7 +14,7 @@ cache and resumability work.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Iterator
+from typing import Iterator, Optional
 
 from ..api.scenario import CODE_MODEL_VERSION, Scenario
 from ..core.config import CAPACITIES_MIB, PAPER_MATRIX_DIM, Flow, MemPoolConfig
@@ -46,6 +46,10 @@ class Job:
     cpi_mac: float = DEFAULT_PHASE_PARAMS.cpi_mac
     phase_overhead_cycles: float = DEFAULT_PHASE_PARAMS.phase_overhead_cycles
     kernel: str = "matmul"
+    tile_size: Optional[int] = None
+    word_bytes: int = 4
+    target_frequency_mhz: float = 1000.0
+    arch: Optional[dict] = None
 
     def __post_init__(self) -> None:
         # Normalize numeric types so 16 and 16.0 produce the same key.
@@ -59,13 +63,22 @@ class Job:
             self, "phase_overhead_cycles", float(self.phase_overhead_cycles)
         )
         object.__setattr__(self, "kernel", str(self.kernel))
+        object.__setattr__(self, "word_bytes", int(self.word_bytes))
+        object.__setattr__(
+            self, "target_frequency_mhz", float(self.target_frequency_mhz)
+        )
         # Build the canonical scenario once: strict validation (flow and
         # workload registries, bounds), flow-name canonicalization, and a
         # memoized cache key.  The memo survives pickling, so a worker
         # process can emit failure records for a job it cannot itself
         # validate (e.g. a workload registered only in the parent).
+        # Scenario-canonicalized fields (flow case, explicit-but-default
+        # tiles, non-default arch overrides) are copied back, so equal
+        # evaluations are equal jobs.
         scenario = self._build_scenario()
         object.__setattr__(self, "flow", scenario.flow)
+        object.__setattr__(self, "tile_size", scenario.tile_size)
+        object.__setattr__(self, "arch", scenario.arch)
         object.__setattr__(self, "_scenario", scenario)
         object.__setattr__(self, "_key", scenario.cache_key)
 
@@ -80,6 +93,10 @@ class Job:
             phase_overhead_cycles=self.phase_overhead_cycles,
             workload=self.kernel,
             objective=objective,
+            tile_size=self.tile_size,
+            word_bytes=self.word_bytes,
+            target_frequency_mhz=self.target_frequency_mhz,
+            arch=self.arch,
         )
 
     def scenario(self, objective: str = "edp") -> Scenario:
@@ -101,6 +118,10 @@ class Job:
             cpi_mac=scenario.cpi_mac,
             phase_overhead_cycles=scenario.phase_overhead_cycles,
             kernel=scenario.workload,
+            tile_size=scenario.tile_size,
+            word_bytes=scenario.word_bytes,
+            target_frequency_mhz=scenario.target_frequency_mhz,
+            arch=scenario.arch,
         )
 
     def params(self) -> dict[str, object]:

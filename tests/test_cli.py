@@ -147,10 +147,107 @@ class TestListCommand:
     def test_list_everything(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        for heading in ("flows:", "workloads:", "objectives:", "experiments:"):
+        for heading in ("flows:", "workloads:", "objectives:", "strategies:",
+                        "experiments:"):
             assert heading in out
         assert "fig789" in out
+
+    def test_list_strategies(self, capsys):
+        assert main(["list", "strategies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("random", "latin-hypercube", "evolutionary",
+                     "successive-halving"):
+            assert name in out
 
     def test_sweep_kernels_axis_parses(self):
         args = build_parser().parse_args(["sweep", "--kernels", "matmul,dotp"])
         assert args.kernels == ("matmul", "dotp")
+
+
+class TestSearchCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["search"])
+        assert args.strategy == "evolutionary"
+        assert args.budget == 32
+        assert args.objectives == ("edp", "energy_efficiency")
+        assert not args.resume
+
+    def test_search_and_resume_share_the_cache(self, capsys, tmp_path):
+        argv = ["search", "--strategy", "random", "--budget", "6",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--archive", str(tmp_path / "archive.jsonl")]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "6 evaluated, 0 cached" in out
+        assert "best edp" in out
+        assert "Pareto front" in out
+        assert main(argv + ["--resume"]) == 0
+        assert "0 evaluated, 6 cached" in capsys.readouterr().out
+
+    def test_search_needs_an_axis(self, capsys):
+        assert main(["search", "--capacities", "4", "--flows", "3D",
+                     "--bandwidths", "16"]) == 2
+        assert "at least one axis" in capsys.readouterr().err
+
+    def test_custom_archive_accumulates_without_resume(self, capsys, tmp_path):
+        # Only the default archive artifact is reset; a user-supplied
+        # path must never be deleted by a fresh search.
+        archive = tmp_path / "overnight.jsonl"
+        argv = ["search", "--strategy", "random", "--budget", "4",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--archive", str(archive)]
+        assert main(argv) == 0
+        lines_after_first = archive.read_text().count("\n")
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert archive.read_text().count("\n") == 2 * lines_after_first
+
+    def test_search_custom_objectives(self, capsys, tmp_path):
+        assert main(["search", "--strategy", "latin-hypercube",
+                     "--budget", "5", "--objectives", "performance",
+                     "--no-cache", "--archive", ""]) == 0
+        assert "best performance" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    @pytest.fixture()
+    def store_path(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        assert main(["sweep", "--capacities", "1,2", "--bandwidths", "8,32",
+                     "--no-cache", "--store", str(path)]) == 0
+        return path
+
+    def test_summary_by_default(self, capsys, store_path):
+        capsys.readouterr()
+        assert main(["report", str(store_path)]) == 0
+        out = capsys.readouterr().out
+        assert "best edp" in out
+        assert "Pareto front" in out
+
+    def test_objective_table(self, capsys, store_path):
+        capsys.readouterr()
+        assert main(["report", str(store_path), "--objective", "edp",
+                     "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "top edp of 8 points" in out
+        assert "EDP Js" in out
+
+    def test_pareto_flag(self, capsys, store_path):
+        capsys.readouterr()
+        assert main(["report", str(store_path), "--pareto"]) == 0
+        assert "Pareto front" in capsys.readouterr().out
+
+    def test_unknown_objective_raises(self, store_path):
+        with pytest.raises(ValueError):
+            main(["report", str(store_path), "--objective", "beauty"])
+
+    def test_missing_file(self, capsys, tmp_path):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 1
+        assert "no records" in capsys.readouterr().err
+
+    def test_report_is_read_only(self, capsys, tmp_path):
+        # A mistyped path must not leave directories behind.
+        target = tmp_path / "not" / "here" / "results.jsonl"
+        assert main(["report", str(target)]) == 1
+        capsys.readouterr()
+        assert not target.parent.exists()

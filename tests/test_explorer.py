@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.config import Flow
-from repro.core.explorer import Explorer, OBJECTIVES
+from repro.core.explorer import Explorer, OBJECTIVES, pareto_front
 from repro.kernels.phases import PhaseModelParams
 
 
@@ -105,6 +105,56 @@ class TestParetoFront:
         front = Explorer().pareto_front(points)
         perfs = [p.performance for p in front]
         assert perfs == sorted(perfs)
+
+
+class TestGeneralizedParetoFront:
+    """pareto_front accepts explicit (key, higher_better) objectives."""
+
+    def test_explicit_default_matches_implicit(self, points):
+        explicit = pareto_front(
+            points,
+            objectives=(
+                (lambda p: p.performance, True),
+                (lambda p: p.energy_efficiency, True),
+            ),
+        )
+        assert explicit == pareto_front(points)
+
+    def test_single_objective_front_is_the_optimum(self, points):
+        front = pareto_front(points, objectives=((lambda p: p.edp, False),))
+        assert len(front) == 1
+        assert front[0].edp == min(p.edp for p in points)
+
+    def test_registry_objective_tuples_plug_in(self, points):
+        # Registry entries are (key, higher_better) pairs — usable as-is.
+        front = pareto_front(
+            points, objectives=[OBJECTIVES["edp"], OBJECTIVES["silicon_cost"]]
+        )
+        for p in front:
+            dominated = any(
+                q.edp <= p.edp
+                and q.combined_area_um2 <= p.combined_area_um2
+                and (q.edp < p.edp or q.combined_area_um2 < p.combined_area_um2)
+                for q in points
+            )
+            assert not dominated
+
+    def test_front_sorted_by_first_objective(self, points):
+        front = pareto_front(
+            points, objectives=[OBJECTIVES["edp"], OBJECTIVES["silicon_cost"]]
+        )
+        edps = [p.edp for p in front]
+        assert edps == sorted(edps)
+
+    def test_rejects_empty_objectives(self, points):
+        with pytest.raises(ValueError):
+            pareto_front(points, objectives=())
+
+    def test_explorer_method_passes_objectives_through(self, points):
+        front = Explorer().pareto_front(
+            points, objectives=((lambda p: p.edp, False),)
+        )
+        assert len(front) == 1
 
 
 class TestCustomPhaseParams:

@@ -19,7 +19,8 @@ class TestTopLevel:
 @pytest.mark.parametrize(
     "module",
     ["repro.core", "repro.arch", "repro.interconnect", "repro.simulator",
-     "repro.kernels", "repro.physical", "repro.sweep", "repro.api"],
+     "repro.kernels", "repro.physical", "repro.sweep", "repro.api",
+     "repro.search"],
 )
 def test_subpackage_all_resolves(module):
     import importlib
@@ -73,6 +74,14 @@ class TestEndToEndThroughPublicApi:
         assert higher_better is True
         assert callable(repro.get_flow("2D"))
         assert callable(repro.get_workload("matmul"))
+
+    def test_search_facade_through_top_level_package(self):
+        import repro
+
+        assert "evolutionary" in repro.available_strategies()
+        space = repro.paper_space()
+        assert space.cardinality == 56
+        assert callable(repro.get_strategy("random"))
 
     def test_legacy_import_paths_still_work(self):
         from repro.core.explorer import OBJECTIVES, evaluate_point

@@ -93,6 +93,40 @@ class TestJob:
         job = Job(capacity_mib=8, flow="3D", bandwidth=4, num_cores=128)
         assert Job.from_params(job.params()) == job
 
+    def test_scenario_surface_fields_distinguish_keys(self):
+        base = Job(capacity_mib=4, flow="3D")
+        assert base.key != Job(capacity_mib=4, flow="3D", tile_size=272).key
+        assert base.key != Job(
+            capacity_mib=4, flow="3D", target_frequency_mhz=800.0
+        ).key
+        assert base.key != Job(
+            capacity_mib=4, flow="3D", arch={"core_kge": 80.0}
+        ).key
+
+    def test_scenario_canonicalization_copied_back(self):
+        # An explicit tile equal to the derived one folds to None, and
+        # all-default arch overrides fold to None: equal evaluations
+        # must be equal jobs.
+        assert Job(capacity_mib=1, flow="2D", tile_size=256) == Job(
+            capacity_mib=1, flow="2D"
+        )
+        assert Job(capacity_mib=1, flow="2D", arch={}) == Job(
+            capacity_mib=1, flow="2D"
+        )
+
+    def test_extended_job_roundtrips_through_records(self):
+        job = Job(
+            capacity_mib=2,
+            flow="3D",
+            tile_size=192,
+            arch={"core_kge": 75.0},
+            target_frequency_mhz=900.0,
+        )
+        point = evaluate_job(job)
+        record = json.loads(json.dumps(point_to_record(job, point)))
+        assert Job.from_params(record["job"]) == job
+        assert record_to_point(record) == point
+
 
 class TestResultCache:
     def test_put_get_and_persistence(self, tmp_path):
