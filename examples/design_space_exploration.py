@@ -13,6 +13,7 @@ Run:  python examples/design_space_exploration.py [bandwidth_B_per_cycle ...]
 import sys
 import tempfile
 
+from repro.engine import Engine
 from repro.search import Searcher, paper_space
 from repro.sweep import (
     ResultCache,
@@ -22,6 +23,17 @@ from repro.sweep import (
     labeled_points,
     summarize,
 )
+
+
+def engine_demo(spec: SweepSpec) -> None:
+    """The execution layer directly: thread backend + in-memory LRU tier."""
+    engine = Engine(backend="thread", workers=4)
+    cold = engine.run(spec.jobs())
+    warm = engine.run(spec.jobs())  # LRU tier: zero evaluations, no disk
+    print("engine directly (thread backend, LRU tier):")
+    print(f"  cold: {cold.stats.summary()}")
+    print(f"  warm: {warm.stats.summary()}")
+    assert warm.stats.evaluated == 0
 
 
 def guided_search_demo() -> None:
@@ -59,6 +71,9 @@ def main() -> None:
 
     print()
     print(summarize(outcome.records, top=1))
+
+    print()
+    engine_demo(spec)
 
     print()
     guided_search_demo()

@@ -29,7 +29,7 @@ from .core.config import (
 )
 from .core.metrics import GroupResult, KernelMetrics, NormalizedGroupResult, normalize
 
-__version__ = "2.1.0"
+__version__ = "2.2.0"
 
 #: Names re-exported lazily from the ``repro.api`` façade.
 _API_EXPORTS = (
@@ -47,6 +47,19 @@ _API_EXPORTS = (
     "register_objective",
     "register_workload",
     "run",
+)
+
+#: Names re-exported lazily from the ``repro.engine`` execution layer.
+_ENGINE_EXPORTS = (
+    "Engine",
+    "EngineOutcome",
+    "EngineStats",
+    "ExecutionBackend",
+    "LRUCache",
+    "TieredCache",
+    "available_backends",
+    "get_backend",
+    "register_backend",
 )
 
 #: Names re-exported lazily from the ``repro.search`` optimizer.
@@ -77,6 +90,7 @@ __all__ = [
     "paper_configurations",
     "__version__",
     *_API_EXPORTS,
+    *_ENGINE_EXPORTS,
     *_SEARCH_EXPORTS,
 ]
 
@@ -84,6 +98,8 @@ __all__ = [
 def __getattr__(name: str):
     if name in _API_EXPORTS:
         from . import api as module
+    elif name in _ENGINE_EXPORTS:
+        from . import engine as module
     elif name in _SEARCH_EXPORTS:
         from . import search as module
     else:
@@ -94,4 +110,9 @@ def __getattr__(name: str):
 
 
 def __dir__():
-    return sorted(set(globals()) | set(_API_EXPORTS) | set(_SEARCH_EXPORTS))
+    return sorted(
+        set(globals())
+        | set(_API_EXPORTS)
+        | set(_ENGINE_EXPORTS)
+        | set(_SEARCH_EXPORTS)
+    )

@@ -8,8 +8,10 @@ Usage::
     python -m repro run --capacity 4 --flow 3D --objective edp
     python -m repro list [flows|workloads|objectives|experiments]
     python -m repro explore --bandwidth 16
-    python -m repro sweep --workers 4 --bandwidths 2,4,8,16,32,64,128
+    python -m repro sweep --workers 4 --backend thread --progress
     python -m repro search --strategy evolutionary --budget 28
+    python -m repro cache stats
+    python -m repro cache gc --keep-version
     python -m repro report results.jsonl --objective edp --pareto
     python -m repro experiments [table1 table2 fig6 fig789]
 """
@@ -133,6 +135,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_list(args: argparse.Namespace) -> int:
     from .api.registry import FLOWS, OBJECTIVES, WORKLOADS
+    from .engine.backends import BACKENDS
     from .experiments.runner import EXPERIMENTS
     from .search.strategies import STRATEGIES
 
@@ -140,6 +143,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "flows": FLOWS,
         "workloads": WORKLOADS,
         "objectives": OBJECTIVES,
+        "backends": BACKENDS,
         "strategies": STRATEGIES,
         "experiments": EXPERIMENTS,
     }
@@ -177,7 +181,32 @@ def _csv(cast):
     return parse
 
 
+def _progress_printer(progress: bool):
+    """A ``(done, total, record)`` callback printing progress lines.
+
+    Lines go to stderr so the default (quiet) stdout report stays
+    machine-parseable; without ``--progress`` this returns ``None`` and
+    the engine stays silent.
+    """
+    if not progress:
+        return None
+
+    def on_result(done: int, total: int, record: dict) -> None:
+        from .sweep import Job
+
+        try:
+            label = Job.from_params(record["job"]).label
+        except Exception:  # e.g. a cache record from an old encoding
+            label = str(record.get("key", "?"))[:12]
+        cached = " [cached]" if record.get("source") == "cache" else ""
+        failed = " FAILED" if record.get("status") != "ok" else ""
+        print(f"{done}/{total} {label}{cached}{failed}", file=sys.stderr)
+
+    return on_result
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .engine import resolve_backend
     from .sweep import ResultCache, ResultStore, SweepExecutor, SweepSpec, summarize
 
     spec = SweepSpec(
@@ -190,9 +219,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     store = ResultStore(args.store) if args.store else None
-    executor = SweepExecutor(cache=cache, workers=args.workers, store=store)
+    # Resolve once so the status line reports what will actually run
+    # (backend default policy and auto-sized worker pools live in
+    # resolve_backend, not here); the instance is handed to the shim.
+    backend = resolve_backend(args.backend, workers=args.workers)
+    executor = SweepExecutor(
+        cache=cache,
+        workers=args.workers,
+        store=store,
+        backend=backend,
+        on_result=_progress_printer(args.progress),
+    )
+    name = getattr(backend, "name", type(backend).__name__)
+    workers = getattr(backend, "workers", 1)
     print(f"sweeping {len(spec)} design points "
-          f"({args.workers or 1} worker{'s' if args.workers > 1 else ''})...")
+          f"({name} backend, {workers} worker{'s' if workers != 1 else ''})...")
     outcome = executor.run(spec)
     print(outcome.stats.summary())
     print()
@@ -250,6 +291,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
         workers=args.workers,
         store=ResultStore(args.store) if args.store else None,
         archive=archive,
+        backend=args.backend,
+        on_result=_progress_printer(args.progress),
     )
     size = space.cardinality
     print(f"searching a {size if size is not None else 'continuous'}-point "
@@ -291,6 +334,35 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"performance / energy-efficiency Pareto front "
               f"({len(front)} of {ok_count} points):")
         print(format_table(front))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .api.scenario import CODE_MODEL_VERSION
+    from .engine.cache import cache_clear, cache_gc, cache_stats
+
+    if args.action == "stats":
+        stats = cache_stats(args.cache_dir)
+        print(f"cache {stats['path']}:")
+        print(f"  entries:   {stats['entries']}")
+        print(f"  bytes:     {stats['bytes']}")
+        for version, count in sorted(stats["versions"].items()):
+            marker = " (current)" if version == CODE_MODEL_VERSION else ""
+            print(f"  version {version}: {count} entries{marker}")
+        hit_rate = stats["hit_rate"]
+        print(f"  lookups:   {stats['memory_hits']} memory hits, "
+              f"{stats['disk_hits']} disk hits, {stats['misses']} misses")
+        print("  hit rate:  "
+              + (f"{hit_rate:.1%}" if hit_rate is not None else "n/a"))
+        return 0
+    if args.action == "clear":
+        removed = cache_clear(args.cache_dir)
+        print(f"cleared {removed} entries from {args.cache_dir}")
+        return 0
+    # gc
+    keep = args.keep_version or CODE_MODEL_VERSION
+    kept, pruned = cache_gc(args.cache_dir, keep_version=keep)
+    print(f"kept {kept} entries under version {keep}, pruned {pruned}")
     return 0
 
 
@@ -344,7 +416,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_list = sub.add_parser("list", help="list registered plugins")
     p_list.add_argument("kind", nargs="?", default=None,
                         choices=("flows", "workloads", "objectives",
-                                 "strategies", "experiments"),
+                                 "backends", "strategies", "experiments"),
                         help="plugin kind (default: all)")
     p_list.set_defaults(func=_cmd_list)
 
@@ -372,7 +444,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--kernels", type=_csv(str), default=("matmul",),
                       help="comma-separated registered workload names")
     p_sw.add_argument("--workers", type=int, default=0,
-                      help="worker processes (0 = serial in-process)")
+                      help="workers (0 = serial, unless --backend is given)")
+    p_sw.add_argument("--backend", default=None,
+                      help="execution backend (see `repro list backends`; "
+                           "default: process when --workers > 1, else serial)")
+    p_sw.add_argument("--progress", action="store_true",
+                      help="print done/total progress lines to stderr")
     p_sw.add_argument("--cache-dir", default=".sweep-cache",
                       help="content-addressed result cache directory")
     p_sw.add_argument("--no-cache", action="store_true",
@@ -411,7 +488,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_se.add_argument("--kernels", type=_csv(str), default=("matmul",),
                       help="workload axis values (any registered workload)")
     p_se.add_argument("--workers", type=int, default=0,
-                      help="worker processes per generation (0 = serial)")
+                      help="workers per generation (0 = serial, unless "
+                           "--backend is given)")
+    p_se.add_argument("--backend", default=None,
+                      help="execution backend (see `repro list backends`; "
+                           "default: process when --workers > 1, else serial)")
+    p_se.add_argument("--progress", action="store_true",
+                      help="print done/budget progress lines to stderr")
     p_se.add_argument("--cache-dir", default=".sweep-cache",
                       help="content-addressed result cache (shared with sweep)")
     p_se.add_argument("--no-cache", action="store_true",
@@ -428,6 +511,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_se.add_argument("--top", type=int, default=3,
                       help="winners listed per objective")
     p_se.set_defaults(func=_cmd_search)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect and maintain the result cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="action", required=True)
+    for action, help_text in (
+        ("stats", "entries, bytes, per-version counts, and hit rate"),
+        ("clear", "delete every cache entry"),
+        ("gc", "prune entries written under old code-model versions"),
+    ):
+        p_action = cache_sub.add_parser(action, help=help_text)
+        p_action.add_argument("--cache-dir", default=".sweep-cache",
+                              help="cache directory (shared with sweep/search)")
+        if action == "gc":
+            p_action.add_argument("--keep-version", nargs="?", default=None,
+                                  const=None, metavar="VERSION",
+                                  help="code-model version whose entries "
+                                       "survive (default: the current one)")
+        p_action.set_defaults(func=_cmd_cache)
 
     p_rep = sub.add_parser(
         "report", help="rank / summarize a results JSONL after the fact"

@@ -18,6 +18,10 @@ The single composable entry point of the reproduction::
   seeded from the built-in 2D/Macro-3D flows, the kernel zoo, and the
   classic PPA objectives.
 
+Batched evaluation (many scenarios, parallel backends, two-tier result
+caching) lives one layer up in :mod:`repro.engine`, which the explorer,
+sweep, search, and experiment layers all share.
+
 Attributes resolve lazily (PEP 562) so that modules which only need the
 dependency-free registries — the flow and kernel plugins themselves —
 can import them without pulling the whole evaluation stack.

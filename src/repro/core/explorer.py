@@ -154,12 +154,19 @@ def pareto_front(
 class Explorer:
     """Sweeps capacities and flows, producing ranked design points.
 
+    A thin batch call into :class:`repro.engine.Engine`: the explorer
+    only enumerates scenarios; batching, caching, and parallelism are
+    the engine's job.
+
     Args:
         capacities_mib: SPM capacities to explore.
         flows: Implementation flows to explore.
         bandwidth: Off-chip bandwidth for the kernel model (B/cycle).
         phase_params: Phase-model calibration.
         tiling_for: Tiling plan per capacity (defaults to the paper's).
+        backend: Execution-backend name or instance (default serial,
+            preserving the historical in-process behavior).
+        workers: Worker count for pool backends (0 = one per core).
     """
 
     def __init__(
@@ -169,6 +176,8 @@ class Explorer:
         bandwidth: float = DDR_CHANNEL_BYTES_PER_CYCLE,
         phase_params: PhaseModelParams = DEFAULT_PHASE_PARAMS,
         tiling_for: Optional[Callable[[int], TilingPlan]] = None,
+        backend: str = "serial",
+        workers: int = 0,
     ) -> None:
         self.capacities = tuple(capacities_mib)
         self.flows = tuple(flows)
@@ -177,23 +186,53 @@ class Explorer:
         self.bandwidth = float(bandwidth)
         self.phase_params = phase_params
         self.tiling_for = tiling_for or paper_tiling
+        self.backend = backend
+        self.workers = workers
 
-    def explore(self) -> list[DesignPoint]:
-        """Implement every configuration and attach kernel metrics."""
-        points = []
+    def _scenarios(self) -> list:
+        """Every configuration as a scenario, in historical sweep order."""
+        from ..api.scenario import Scenario
+
+        scenarios = []
         for capacity in self.capacities:
             plan = self.tiling_for(capacity)
             for flow in self.flows:
-                config = MemPoolConfig(capacity_mib=capacity, flow=flow)
-                points.append(
-                    evaluate_point(
-                        config,
+                scenarios.append(
+                    Scenario(
+                        capacity_mib=capacity,
+                        flow=flow.value,
                         bandwidth=self.bandwidth,
-                        phase_params=self.phase_params,
-                        tiling=plan,
+                        matrix_dim=plan.matrix_dim,
+                        tile_size=plan.tile_size,
+                        word_bytes=plan.word_bytes,
+                        num_cores=self.phase_params.num_cores,
+                        cpi_mac=self.phase_params.cpi_mac,
+                        phase_overhead_cycles=(
+                            self.phase_params.phase_overhead_cycles
+                        ),
                     )
                 )
-        return points
+        return scenarios
+
+    def explore(self) -> list[DesignPoint]:
+        """Implement every configuration and attach kernel metrics."""
+        from ..engine.core import Engine  # runtime: avoids an import cycle
+        from ..sweep.spec import Job
+        from ..sweep.store import record_to_point
+
+        scenarios = self._scenarios()
+        engine = Engine(backend=self.backend, workers=self.workers)
+        outcome = engine.run(scenarios)
+        for record in outcome.failures:
+            raise RuntimeError(
+                f"exploration failed for {record['job']}: {record['error']}"
+            )
+        by_key = dict(zip((j.key for j in outcome.jobs), outcome.records))
+        # One point per requested scenario, even for repeated entries.
+        return [
+            record_to_point(by_key[Job.from_scenario(s).key])
+            for s in scenarios
+        ]
 
     def rank(
         self, objective: str, points: Optional[list[DesignPoint]] = None

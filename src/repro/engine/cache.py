@@ -1,0 +1,280 @@
+"""Two-tier result caching: a bounded in-memory LRU over the disk cache.
+
+The engine consults the memory tier first, then the content-addressed
+on-disk :class:`~repro.sweep.cache.ResultCache`; disk hits are promoted
+into the LRU, so repeated points inside one process — search
+generations, experiment reruns, tests — never go back to the disk tier.
+Keys already embed :data:`~repro.api.scenario.CODE_MODEL_VERSION`, so a
+model-version bump invalidates both tiers at once: old entries simply
+stop being addressed.
+
+The module also owns the cache-maintenance helpers behind the
+``repro cache`` CLI: a sidecar hit/miss counter (flushed batch-wise by
+the engine, never on the per-lookup hot path), ``clear``, and a ``gc``
+that prunes entries written under old code-model versions.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from pathlib import Path
+from typing import Optional
+
+from ..sweep.cache import ResultCache
+from ..sweep.spec import Job
+
+#: Default bound of the in-memory tier.  Records are small dicts (a few
+#: hundred bytes), so the default costs at most a few megabytes.
+DEFAULT_LRU_SIZE = 4096
+
+#: Sidecar file (inside the cache directory) accumulating hit counters.
+STATS_FILENAME = "stats.json"
+
+_COUNTER_KEYS = ("memory_hits", "disk_hits", "misses", "stores")
+
+
+class LRUCache:
+    """A bounded mapping evicting the least-recently-used entry.
+
+    Args:
+        maxsize: Entry bound; ``0`` disables the cache entirely (every
+            ``get`` misses, every ``put`` is dropped).
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_LRU_SIZE) -> None:
+        if maxsize < 0:
+            raise ValueError("maxsize must be non-negative")
+        self.maxsize = maxsize
+        self._data: OrderedDict[str, dict] = OrderedDict()
+
+    def get(self, key: str) -> Optional[dict]:
+        """The cached record for ``key`` (refreshing its recency), or None."""
+        record = self._data.get(key)
+        if record is not None:
+            self._data.move_to_end(key)
+        return record
+
+    def put(self, key: str, record: dict) -> None:
+        """Insert a record, evicting the oldest entry past the bound."""
+        if self.maxsize == 0:
+            return
+        self._data[key] = record
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+class TieredCache:
+    """Memory-over-disk result cache with batch-flushed hit counters.
+
+    Args:
+        disk: The persistent tier; ``None`` keeps the cache purely
+            in-memory (still useful: repeated points in one process).
+        lru_size: Bound of the memory tier; ``0`` disables it, making
+            this a thin counting wrapper over the disk tier.
+    """
+
+    def __init__(
+        self,
+        disk: Optional[ResultCache] = None,
+        lru_size: int = DEFAULT_LRU_SIZE,
+    ) -> None:
+        self.disk = disk
+        self.memory = LRUCache(lru_size)
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.stores = 0
+        self._flushed = dict.fromkeys(_COUNTER_KEYS, 0)
+
+    def get(self, key: str) -> Optional[dict]:
+        """Look up a record: memory tier first, disk promoted on hit."""
+        record = self.memory.get(key)
+        if record is not None:
+            self.memory_hits += 1
+            return record
+        if self.disk is not None:
+            record = self.disk.get(key)
+            if record is not None:
+                self.disk_hits += 1
+                self.memory.put(key, record)
+                return record
+        self.misses += 1
+        return None
+
+    def put(self, record: dict) -> None:
+        """Store a record in both tiers (must carry a ``key``)."""
+        key = record.get("key")
+        if not key:
+            raise ValueError("cache records must carry a 'key'")
+        self.stores += 1
+        self.memory.put(key, record)
+        if self.disk is not None:
+            self.disk.put(record)
+
+    def counters(self) -> dict[str, int]:
+        """The current in-process counter values."""
+        return {name: getattr(self, name) for name in _COUNTER_KEYS}
+
+    def flush_stats(self) -> None:
+        """Merge counter growth since the last flush into the disk sidecar.
+
+        In-process counters stay cumulative (callers diff them across
+        batches); only the delta reaches disk.  A no-op without a disk
+        tier.  Called by the engine once per batch, so the per-lookup
+        hot path never touches the filesystem.
+        """
+        counters = self.counters()
+        delta = {
+            name: counters[name] - self._flushed[name] for name in _COUNTER_KEYS
+        }
+        self._flushed = counters
+        if self.disk is None or not any(delta.values()):
+            return
+        path = self.disk.root / STATS_FILENAME
+        merged = {**_load_sidecar(path)}
+        for name, value in delta.items():
+            merged[name] = merged.get(name, 0) + value
+        # Atomic replace: a concurrent reader never sees a torn file
+        # (simultaneous writers can still lose each other's delta —
+        # acceptable for an advisory counter).
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(merged, sort_keys=True), encoding="utf-8")
+        tmp.replace(path)
+
+
+def _load_sidecar(path: Path) -> dict[str, int]:
+    if not path.exists():
+        return {}
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, OSError):
+        return {}
+    return {k: int(v) for k, v in data.items() if isinstance(v, (int, float))}
+
+
+def _open_existing(root: str | Path) -> Optional[ResultCache]:
+    """The cache at ``root``, or ``None`` — without creating anything.
+
+    Maintenance commands are inspection tools: a mistyped ``--cache-dir``
+    must never leave a directory (or an empty cache file) behind, so the
+    directory-creating :class:`ResultCache` constructor only runs when
+    the directory already exists.
+    """
+    if not Path(root).is_dir():
+        return None
+    return ResultCache(root)
+
+
+def cache_stats(root: str | Path) -> dict:
+    """Summary of an on-disk cache: entries, bytes, and hit counters.
+
+    The hit rate folds both tiers' hits against misses, as accumulated
+    by engine runs into the sidecar counter (absent counters read as 0).
+    Read-only: a missing cache reports zero entries and is not created.
+    """
+    cache = _open_existing(root)
+    counters = (
+        _load_sidecar(cache.root / STATS_FILENAME) if cache is not None else {}
+    )
+    hits = counters.get("memory_hits", 0) + counters.get("disk_hits", 0)
+    lookups = hits + counters.get("misses", 0)
+    versions: dict[str, int] = {}
+    if cache is not None:
+        for key in cache.keys():
+            version = _record_version(cache.get(key))
+            versions[version] = versions.get(version, 0) + 1
+    return {
+        "path": str(Path(root) / ResultCache.FILENAME),
+        "entries": len(cache) if cache is not None else 0,
+        "bytes": (
+            cache.path.stat().st_size
+            if cache is not None and cache.path.exists()
+            else 0
+        ),
+        "versions": versions,
+        **{name: counters.get(name, 0) for name in _COUNTER_KEYS},
+        "hit_rate": (hits / lookups) if lookups else None,
+    }
+
+
+def cache_clear(root: str | Path) -> int:
+    """Delete every cache entry (and the sidecar); returns entries removed.
+
+    A missing cache directory is a no-op, never created.
+    """
+    cache = _open_existing(root)
+    if cache is None:
+        return 0
+    removed = len(cache)
+    cache.path.unlink(missing_ok=True)
+    (cache.root / STATS_FILENAME).unlink(missing_ok=True)
+    return removed
+
+
+def _record_version(record: Optional[dict]) -> str:
+    """The code-model version a cache record was written under.
+
+    Recent records carry it explicitly; legacy records are classified by
+    recomputing the key from the stored job parameters — a match means
+    the record addresses the *current* version (keys embed the version).
+    """
+    from ..api.scenario import CODE_MODEL_VERSION
+
+    if not record:
+        return "unknown"
+    version = record.get("model_version")
+    if version:
+        return str(version)
+    try:
+        if Job.from_params(record["job"]).key == record["key"]:
+            return CODE_MODEL_VERSION
+    except Exception:
+        pass
+    return "unknown"
+
+
+def cache_gc(
+    root: str | Path, keep_version: Optional[str] = None
+) -> tuple[int, int]:
+    """Prune cache entries written under other code-model versions.
+
+    Args:
+        root: Cache directory.
+        keep_version: The version whose entries survive; defaults to the
+            current :data:`~repro.api.scenario.CODE_MODEL_VERSION`.
+
+    Returns:
+        ``(kept, pruned)`` entry counts.  The cache file is rewritten
+        atomically (temp file + rename), deduplicated by key.  A missing
+        cache is a no-op — nothing is created.
+    """
+    from ..api.scenario import CODE_MODEL_VERSION
+
+    keep = keep_version or CODE_MODEL_VERSION
+    cache = _open_existing(root)
+    if cache is None or not cache.path.exists():
+        return 0, 0
+    kept, pruned = [], 0
+    for key in cache.keys():
+        record = cache.get(key)
+        if _record_version(record) == keep:
+            kept.append(record)
+        else:
+            pruned += 1
+    tmp = cache.path.with_suffix(".tmp")
+    with tmp.open("w", encoding="utf-8") as fh:
+        for record in kept:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+    tmp.replace(cache.path)
+    return len(kept), pruned

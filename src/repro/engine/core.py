@@ -1,0 +1,243 @@
+"""The execution engine: one batched evaluation path for every consumer.
+
+:class:`Engine` is where batching, caching, and parallelism live.  The
+serial :class:`~repro.core.explorer.Explorer`, the ``repro.sweep``
+executor, the ``repro.search`` driver, and the experiment harness all
+funnel their evaluations through :meth:`Engine.run_many`, which
+
+* normalizes :class:`~repro.api.Scenario` and
+  :class:`~repro.sweep.spec.Job` inputs onto content-addressed jobs,
+* serves repeats from a two-tier cache (bounded in-memory LRU over the
+  on-disk :class:`~repro.sweep.cache.ResultCache`),
+* fans the rest out through a pluggable :mod:`execution backend
+  <repro.engine.backends>`, and
+* streams ``(job, record)`` pairs back as they complete, each job under
+  a per-item error trap (the sweep's failure-record semantics).
+
+Cache keys, record shapes, and failure handling are exactly the sweep
+engine's, so results are interchangeable across every layer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Optional, Union
+
+from ..api.scenario import Scenario
+from ..sweep.cache import ResultCache
+from ..sweep.spec import Job
+from ..sweep.store import ResultStore
+from .backends import ExecutionBackend, resolve_backend
+from .cache import DEFAULT_LRU_SIZE, TieredCache
+
+#: Anything run_many accepts as one evaluation request.
+RunItem = Union[Scenario, Job]
+
+#: Progress callback: ``(done, total, record)`` per completed item.
+ProgressCallback = Callable[[int, int, dict], None]
+
+
+def evaluate_job(job: Job):
+    """Evaluate one job (top-level and picklable: safe to ship to workers).
+
+    Runs the job's canonical scenario through the ``repro.api`` pipeline,
+    so the engine shares one evaluation path with every other consumer —
+    including workloads registered via ``@register_workload``.
+    """
+    from ..api.pipeline import Pipeline  # local: keeps worker imports lazy
+
+    return Pipeline().run(job.scenario()).to_design_point()
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Bookkeeping of one engine batch."""
+
+    total: int
+    cached: int
+    evaluated: int
+    failed: int
+    duration_s: float
+    memory_hits: int = 0
+    disk_hits: int = 0
+
+    def summary(self) -> str:
+        """One-line human-readable form."""
+        return (
+            f"{self.total} jobs: {self.cached} cached "
+            f"({self.memory_hits} memory, {self.disk_hits} disk), "
+            f"{self.evaluated} evaluated, {self.failed} failed "
+            f"in {self.duration_s:.2f}s"
+        )
+
+
+@dataclass
+class EngineOutcome:
+    """Materialized results of one batch, in (deduplicated) input order."""
+
+    jobs: list[Job]
+    records: list[dict]
+    stats: EngineStats
+
+    @property
+    def ok_records(self) -> list[dict]:
+        """Successful records only."""
+        return [r for r in self.records if r["status"] == "ok"]
+
+    @property
+    def failures(self) -> list[dict]:
+        """Failure records only."""
+        return [r for r in self.records if r["status"] != "ok"]
+
+    def points(self):
+        """Design points of the successful records, in job order."""
+        from ..sweep.store import record_to_point
+
+        return [record_to_point(r) for r in self.ok_records]
+
+
+class Engine:
+    """Batched, cached, backend-pluggable scenario evaluator.
+
+    Args:
+        backend: Registered backend name (``serial``/``thread``/
+            ``process`` built in), an :class:`ExecutionBackend` class or
+            instance, or ``None`` (the default) for ``process`` when
+            ``workers > 1`` and ``serial`` otherwise — so a plain
+            ``Engine(workers=8)`` actually uses its workers.
+        workers: Worker count for pool backends (0 = one per core).
+        cache: Persistent tier — a :class:`ResultCache`, a ready
+            :class:`TieredCache`, or ``None`` for in-memory-only caching.
+        lru_size: Bound of the in-memory tier (0 disables it).
+        evaluate: Evaluation function (must be a picklable top-level
+            callable for process backends).
+        store: Optional append-only audit log receiving every record,
+            cache hits included.
+        on_result: Optional default progress callback, called as
+            ``on_result(done, total, record)`` after every completion.
+        mp_context: Multiprocessing context for process backends.
+        chunksize: Explicit chunk size for chunking backends.
+    """
+
+    def __init__(
+        self,
+        backend: Union[str, ExecutionBackend, None] = None,
+        workers: int = 0,
+        cache: Union[ResultCache, TieredCache, None] = None,
+        lru_size: int = DEFAULT_LRU_SIZE,
+        evaluate: Callable[[Job], object] = evaluate_job,
+        store: Optional[ResultStore] = None,
+        on_result: Optional[ProgressCallback] = None,
+        mp_context=None,
+        chunksize: Optional[int] = None,
+    ) -> None:
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
+        self.backend = resolve_backend(
+            backend, workers=workers, mp_context=mp_context, chunksize=chunksize
+        )
+        if isinstance(cache, TieredCache):
+            self.cache = cache
+        else:
+            self.cache = TieredCache(disk=cache, lru_size=lru_size)
+        self.evaluate = evaluate
+        self.store = store
+        self.on_result = on_result
+
+    @staticmethod
+    def _job_of(item: RunItem) -> Job:
+        if isinstance(item, Job):
+            return item
+        if isinstance(item, Scenario):
+            return Job.from_scenario(item)
+        raise TypeError(
+            f"engine items must be Scenario or Job, got {type(item).__name__}"
+        )
+
+    def run_many(
+        self,
+        items: Iterable[RunItem],
+        on_result: Optional[ProgressCallback] = None,
+    ) -> Iterator[tuple[Job, dict]]:
+        """Stream ``(job, record)`` pairs as evaluations complete.
+
+        Duplicate content addresses are evaluated once.  Cache hits are
+        yielded first (in input order, ``source == "cache"``); the rest
+        stream back in completion order (``source == "evaluated"``).
+        Failures surface as failure records — never exceptions — and
+        stay out of the cache, so a re-run retries exactly them.
+        """
+        jobs: dict[str, Job] = {}
+        for item in items:
+            job = self._job_of(item)
+            jobs.setdefault(job.key, job)
+
+        callback = on_result if on_result is not None else self.on_result
+        total = len(jobs)
+        done = 0
+        pending: list[Job] = []
+        try:
+            for key, job in jobs.items():
+                cached = self.cache.get(key)
+                if cached is not None and cached.get("status") == "ok":
+                    record = {**cached, "source": "cache"}
+                    done += 1
+                    self._emit(record, done, total, callback)
+                    yield job, record
+                else:
+                    pending.append(job)
+
+            for raw in self.backend.run(self.evaluate, pending):
+                if raw["status"] == "ok":
+                    self.cache.put(raw)
+                record = {**raw, "source": "evaluated"}
+                done += 1
+                self._emit(record, done, total, callback)
+                yield jobs[record["key"]], record
+        finally:
+            self.cache.flush_stats()
+
+    def _emit(
+        self,
+        record: dict,
+        done: int,
+        total: int,
+        callback: Optional[ProgressCallback],
+    ) -> None:
+        if self.store is not None:
+            self.store.append(record)
+        if callback is not None:
+            callback(done, total, record)
+
+    def run(
+        self,
+        items: Iterable[RunItem],
+        on_result: Optional[ProgressCallback] = None,
+    ) -> EngineOutcome:
+        """Materialized :meth:`run_many`: records in deduplicated input order."""
+        t0 = time.perf_counter()
+        memory0, disk0 = self.cache.memory_hits, self.cache.disk_hits
+        ordered: list[Job] = []
+        seen: set[str] = set()
+        for item in items:
+            job = self._job_of(item)
+            if job.key not in seen:
+                seen.add(job.key)
+                ordered.append(job)
+        by_key = {
+            job.key: record
+            for job, record in self.run_many(ordered, on_result=on_result)
+        }
+        records = [by_key[job.key] for job in ordered]
+        evaluated = sum(1 for r in records if r["source"] == "evaluated")
+        stats = EngineStats(
+            total=len(records),
+            cached=len(records) - evaluated,
+            evaluated=evaluated,
+            failed=sum(1 for r in records if r["status"] != "ok"),
+            duration_s=time.perf_counter() - t0,
+            memory_hits=self.cache.memory_hits - memory0,
+            disk_hits=self.cache.disk_hits - disk0,
+        )
+        return EngineOutcome(jobs=ordered, records=records, stats=stats)

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..api.pipeline import Pipeline
 from ..api.scenario import paper_scenarios
 from ..core.metrics import KernelMetrics, gain
 from ..kernels.phases import DEFAULT_PHASE_PARAMS, PhaseModelParams
@@ -37,24 +36,39 @@ class KernelStudyRow:
 def run(
     bandwidth: int = DDR_CHANNEL_BYTES_PER_CYCLE,
     params: PhaseModelParams = DEFAULT_PHASE_PARAMS,
+    engine=None,
 ) -> list[KernelStudyRow]:
     """Build the full Figures 7-9 dataset at one off-chip bandwidth.
 
     The paper's eight points run as :class:`~repro.api.Scenario`
-    instances through the :class:`~repro.api.Pipeline`, which combines
-    each group implementation's frequency/power with the matmul phase
-    model — exactly the combination Section VI-B describes.
+    instances through the shared :class:`~repro.engine.Engine` — the
+    same batched evaluation path as the explorer, sweep, and search
+    layers, with per-point error capture and the in-memory cache tier —
+    combining each group implementation's frequency/power with the
+    matmul phase model, exactly the combination Section VI-B describes.
+
+    Args:
+        bandwidth: Off-chip bandwidth in B/cycle.
+        params: Phase-model calibration.
+        engine: Optional shared :class:`~repro.engine.Engine` (e.g. one
+            with a persistent cache); defaults to a fresh serial engine.
     """
-    pipeline = Pipeline()
-    metrics: dict[tuple[str, int], KernelMetrics] = {}
-    for scenario in paper_scenarios(
+    from ..engine.core import Engine
+
+    scenarios = paper_scenarios(
         bandwidth=bandwidth,
         num_cores=params.num_cores,
         cpi_mac=params.cpi_mac,
         phase_overhead_cycles=params.phase_overhead_cycles,
-    ):
-        result = pipeline.run(scenario)
-        metrics[(scenario.flow, scenario.capacity_mib)] = result.kernel
+    )
+    outcome = (engine or Engine(backend="serial")).run(scenarios)
+    for record in outcome.failures:
+        raise RuntimeError(
+            f"figure 7-9 evaluation failed: {record['error']}"
+        )
+    metrics: dict[tuple[str, int], KernelMetrics] = {}
+    for scenario, point in zip(scenarios, outcome.points()):
+        metrics[(scenario.flow, scenario.capacity_mib)] = point.kernel
 
     baseline = metrics[("2D", 1)]
     rows = []

@@ -4,15 +4,16 @@ Where :mod:`repro.sweep` *enumerates* a grid, this package *optimizes*:
 a :class:`SearchSpace` declares axes over any
 :class:`~repro.api.Scenario` field, a registered strategy proposes
 candidate generations, and the :class:`Searcher` evaluates them through
-the sweep executor and cache — so searches are parallel, content-
-addressed, and resumable after a kill for free — while a persistent
-:class:`ParetoArchive` accumulates the non-dominated front.
+the shared :class:`~repro.engine.Engine` — pluggable backends plus the
+two-tier content-addressed cache, so searches are parallel and resumable
+after a kill for free — while a persistent :class:`ParetoArchive`
+accumulates the non-dominated front.
 
 Layer stack::
 
     arch / physical / kernels        the models
       -> repro.api                   Scenario + Pipeline + registries
-        -> repro.sweep               parallel cached evaluation
+        -> repro.engine              backends + two-tier cached execution
           -> repro.search            guided multi-objective optimization
 
 Quick start::

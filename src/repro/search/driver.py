@@ -1,26 +1,27 @@
 """The budgeted multi-objective search driver.
 
 A :class:`Searcher` closes the loop between a strategy plugin and the
-sweep machinery: each generation it asks the strategy for fresh
+shared execution layer: each generation it asks the strategy for fresh
 candidates, turns them into content-addressed sweep jobs, evaluates them
-through a :class:`~repro.sweep.executor.SweepExecutor` (parallel fan-out,
-per-job error capture, and the on-disk result cache — which is what makes
-a killed search resumable with zero re-evaluation), folds the results
-into per-objective cost vectors, feeds them back to the strategy, and
-appends them to a :class:`~repro.search.archive.ParetoArchive`.  The
-budget is counted in *evaluations requested* (cache hits included), so a
-resumed search replays the identical trajectory.
+through the :class:`~repro.engine.Engine` (pluggable backend fan-out,
+per-job error capture, and the two-tier LRU + on-disk result cache —
+which is what makes a killed search resumable with zero re-evaluation),
+folds the results into per-objective cost vectors, feeds them back to
+the strategy, and appends them to a
+:class:`~repro.search.archive.ParetoArchive`.  The budget is counted in
+*evaluations requested* (cache hits included), so a resumed search
+replays the identical trajectory.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Union
 
 from ..api.registry import OBJECTIVES
+from ..engine.core import Engine
 from ..sweep.cache import ResultCache
-from ..sweep.executor import SweepExecutor
 from ..sweep.spec import Job
 from ..sweep.store import ResultStore, record_to_point
 from .archive import ParetoArchive
@@ -203,14 +204,22 @@ class Searcher:
         generation_size: Candidates proposed per generation.
         seed: Strategy RNG seed — fixes the search trajectory.
         cache: Sweep :class:`~repro.sweep.cache.ResultCache` (shared
-            with ``repro sweep``); ``None`` disables caching.
-        workers: Worker processes per generation (0 = serial).
+            with ``repro sweep``); ``None`` keeps caching in-memory only
+            (the engine's LRU tier still dedups within the process).
+        workers: Workers per generation (0 = serial unless ``backend``
+            says otherwise).
         store: Optional append-only :class:`~repro.sweep.store.ResultStore`
             audit log of every record.
         archive: :class:`~repro.search.archive.ParetoArchive` receiving
             every candidate; defaults to a fresh in-memory archive.
         strategy_options: Extra keyword options for the strategy
             (ignored when ``strategy`` is already an instance).
+        backend: Execution-backend name or instance for the engine;
+            ``None`` keeps the historical behavior (``process`` when
+            ``workers > 1``, ``serial`` otherwise).
+        on_result: Optional progress callback, called as
+            ``on_result(done, budget, record)`` after every evaluation
+            across the whole search.
     """
 
     def __init__(
@@ -226,6 +235,8 @@ class Searcher:
         store: Optional[ResultStore] = None,
         archive: Optional[ParetoArchive] = None,
         strategy_options: Optional[dict] = None,
+        backend: Union[str, object, None] = None,
+        on_result: Optional[Callable[[int, int, dict], None]] = None,
     ) -> None:
         if budget <= 0:
             raise ValueError("budget must be positive")
@@ -240,7 +251,12 @@ class Searcher:
         )
         self.seed = int(seed)
         self.archive = archive if archive is not None else ParetoArchive()
-        self.executor = SweepExecutor(cache=cache, workers=workers, store=store)
+        self.on_result = on_result
+        # All parallelism and caching live in the shared engine; the
+        # searcher only proposes, scores, and archives.
+        self.engine = Engine(
+            backend=backend, workers=workers, cache=cache, store=store
+        )
         if isinstance(strategy, Strategy):
             self.strategy = strategy
         else:
@@ -251,6 +267,15 @@ class Searcher:
                 seed=self.seed,
                 **(strategy_options or {}),
             )
+
+    def _progress_callback(self, offset: int):
+        """Adapt the engine's per-batch progress to search-wide counts."""
+
+        def progress(done: int, total: int, record: dict) -> None:
+            del total  # the search-wide denominator is the budget
+            self.on_result(offset + done, self.budget, record)
+
+        return progress
 
     def _candidate(
         self, values: dict, record: dict, generation: int
@@ -315,7 +340,12 @@ class Searcher:
                     break
                 continue
             filtered_streak = 0
-            outcome = self.executor.run([job for _, job in batch])
+            progress = None
+            if self.on_result is not None:
+                progress = self._progress_callback(offset=len(candidates))
+            outcome = self.engine.run(
+                [job for _, job in batch], on_result=progress
+            )
             generation = generations
             generations += 1
             evaluated += outcome.stats.evaluated

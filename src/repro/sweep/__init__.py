@@ -10,9 +10,10 @@ engine:
 * :mod:`~repro.sweep.cache` — content-addressed on-disk
   :class:`ResultCache` (job parameters + code-model version), so repeated
   sweeps are near-free;
-* :mod:`~repro.sweep.executor` — :class:`SweepExecutor`, sharded
-  ``ProcessPoolExecutor`` fan-out with per-job error capture and
-  resume-by-retry of failures;
+* :mod:`~repro.sweep.executor` — :class:`SweepExecutor`, a stable
+  compatibility shim over the shared :class:`repro.engine.Engine`
+  (pluggable serial/thread/process backends, two-tier cache, per-job
+  error capture, resume-by-retry of failures);
 * :mod:`~repro.sweep.store` — append-only :class:`ResultStore` audit log
   plus record/point serialization;
 * :mod:`~repro.sweep.report` — ranking and summaries over the same

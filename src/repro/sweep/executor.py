@@ -1,35 +1,26 @@
-"""Sharded parallel sweep execution with caching and resumability.
+"""Sweep execution: a compatibility shim over :mod:`repro.engine`.
 
-The executor takes a :class:`~repro.sweep.spec.SweepSpec` (or an explicit
-job list), skips every job already in the cache, and fans the rest out
-over a ``ProcessPoolExecutor`` in deterministic chunks.  Every job is
-evaluated under a per-job error trap, so one diverging configuration
-cannot kill a thousand-point sweep: it becomes a failure record, stays
-out of the cache, and is retried on the next invocation — which is all
-"resume" means here.  With ``workers <= 1`` the same code path runs
-serially in-process, which is bit-identical to the parallel path (same
-:func:`repro.core.explorer.evaluate_point` arithmetic, no accumulation
-reordering).
+Historically this module owned its own ``ProcessPoolExecutor``, worker
+initializer, and cache wiring.  That machinery now lives in the shared
+:class:`~repro.engine.Engine` (pluggable backends, two-tier cache,
+streamed results), and :class:`SweepExecutor` is a thin adapter kept for
+its stable surface: same constructor, same :class:`SweepOutcome` with
+records in job order, same cache keys, same failure-record semantics —
+a failed job is reported but never cached, so re-running the same spec
+retries exactly the failures.  ``workers <= 1`` still means the serial
+in-process path, bit-identical to the parallel one.
 """
 
 from __future__ import annotations
 
-import math
-import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from typing import Callable, Iterable, Optional, Union
 
-from ..api.registry import FLOWS, WORKLOADS, Registry
 from ..core.explorer import DesignPoint
 from .cache import ResultCache
 from .spec import Job, SweepSpec
-from .store import ResultStore, failure_record, point_to_record, record_to_point
-
-#: Chunks handed to each worker per scheduling round; keeping several
-#: chunks per worker balances stragglers against IPC overhead.
-CHUNKS_PER_WORKER = 4
+from .store import ResultStore, record_to_point
 
 
 def evaluate_job(job: Job) -> DesignPoint:
@@ -39,55 +30,9 @@ def evaluate_job(job: Job) -> DesignPoint:
     so the sweep engine shares one evaluation path with every other
     consumer — including workloads registered via ``@register_workload``.
     """
-    from ..api.pipeline import Pipeline  # local: keeps worker imports lazy
+    from ..engine.core import evaluate_job as _evaluate
 
-    return Pipeline().run(job.scenario()).to_design_point()
-
-
-def _run_one(args: tuple[Callable[[Job], DesignPoint], Job]) -> dict:
-    """Worker body: evaluate one job, trapping any exception into a record."""
-    evaluate, job = args
-    try:
-        return point_to_record(job, evaluate(job))
-    except Exception as exc:  # captured per job; the sweep continues
-        return failure_record(job, exc)
-
-
-def _picklable_items(registry: Registry) -> list[tuple[str, object]]:
-    """(name, plugin) pairs of a registry that survive pickling.
-
-    Module-level plugin callables pickle by reference; lambdas and
-    closures do not — those are silently dropped (a job needing one in a
-    worker fails per-job with an "unknown workload" failure record).
-    """
-    items = []
-    for name in registry.names():
-        obj = registry.get(name)
-        try:
-            pickle.dumps(obj)
-        except Exception:
-            continue
-        items.append((name, obj))
-    return items
-
-
-def _init_worker(
-    flow_items: list[tuple[str, object]],
-    workload_items: list[tuple[str, object]],
-) -> None:
-    """Worker initializer: mirror the parent's plugin registrations.
-
-    Under the ``fork`` start method workers inherit the parent's
-    registries and this is a no-op; under ``spawn``/``forkserver`` only
-    the built-in (import-seeded) plugins would exist, so anything the
-    parent registered at runtime is re-registered here.
-    """
-    for name, obj in flow_items:
-        if name not in FLOWS:  # membership check also seeds the builtins
-            FLOWS.register(name, obj)
-    for name, obj in workload_items:
-        if name not in WORKLOADS:
-            WORKLOADS.register(name, obj)
+    return _evaluate(job)
 
 
 @dataclass(frozen=True)
@@ -135,21 +80,32 @@ class SweepOutcome:
 class SweepExecutor:
     """Cached, sharded, resumable runner of sweep jobs.
 
+    A stable façade over :class:`repro.engine.Engine`: all parallelism
+    lives in the engine's execution backends, all caching in its
+    two-tier cache.
+
     Args:
-        cache: Result cache; ``None`` disables caching (everything
-            re-evaluates each run).
-        workers: Worker processes. ``0`` or ``1`` runs serially
-            in-process.
-        chunksize: Jobs per worker chunk; defaults to an even split with
-            :data:`CHUNKS_PER_WORKER` chunks per worker.
+        cache: Result cache; ``None`` disables persistent caching
+            (everything re-evaluates on a fresh executor).
+        workers: Worker count. ``0`` or ``1`` runs serially in-process
+            (unless an explicit ``backend`` says otherwise).
+        chunksize: Jobs per worker chunk for chunking backends; defaults
+            to an even split with
+            :data:`~repro.engine.backends.CHUNKS_PER_WORKER` chunks per
+            worker.
         evaluate: Evaluation function (must be a picklable top-level
-            callable when ``workers > 1``).  Injectable for testing and
+            callable for process backends).  Injectable for testing and
             for alternative evaluation models.
         store: Optional append-only log receiving every record of every
             run, cache hits included.
-        mp_context: Optional multiprocessing context for the worker pool
-            (e.g. ``multiprocessing.get_context("spawn")``); defaults to
-            the platform default.
+        mp_context: Optional multiprocessing context for process
+            backends (e.g. ``multiprocessing.get_context("spawn")``);
+            defaults to the platform default.
+        backend: Registered execution-backend name or instance; ``None``
+            keeps the historical behavior (``process`` when
+            ``workers > 1``, ``serial`` otherwise).
+        on_result: Optional progress callback,
+            ``on_result(done, total, record)`` per completed job.
     """
 
     def __init__(
@@ -160,6 +116,8 @@ class SweepExecutor:
         evaluate: Callable[[Job], DesignPoint] = evaluate_job,
         store: Optional[ResultStore] = None,
         mp_context=None,
+        backend: Union[str, object, None] = None,
+        on_result: Optional[Callable[[int, int, dict], None]] = None,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be non-negative")
@@ -171,6 +129,30 @@ class SweepExecutor:
         self.evaluate = evaluate
         self.store = store
         self.mp_context = mp_context
+        self.backend = backend
+        self.on_result = on_result
+
+    def _make_engine(self):
+        """A fresh engine from the *current* attribute values.
+
+        Built per :meth:`run`, not in ``__init__``, so legacy callers
+        that mutate the executor after construction (``ex.workers = 8``,
+        ``ex.evaluate = fake``) keep taking effect, exactly as they did
+        when this module owned the pool.  The store also stays out of
+        the engine: the shim preserves the legacy append contract (job
+        order, duplicates included) rather than completion order.
+        """
+        from ..engine.core import Engine
+
+        return Engine(
+            backend=self.backend,
+            workers=self.workers,
+            cache=self.cache,
+            evaluate=self.evaluate,
+            mp_context=self.mp_context,
+            chunksize=self.chunksize,
+            on_result=self.on_result,
+        )
 
     def run(self, spec: SweepSpec | Iterable[Job]) -> SweepOutcome:
         """Execute a sweep: serve cache hits, evaluate the rest.
@@ -181,22 +163,10 @@ class SweepExecutor:
         jobs = list(spec.jobs() if isinstance(spec, SweepSpec) else spec)
         t0 = time.perf_counter()
 
-        by_key: dict[str, dict] = {}
-        pending: list[Job] = []
-        pending_keys: set[str] = set()
-        for job in jobs:
-            cached = self.cache.get(job.key) if self.cache is not None else None
-            if cached is not None and cached.get("status") == "ok":
-                by_key[job.key] = {**cached, "source": "cache"}
-            elif job.key not in pending_keys:
-                pending.append(job)
-                pending_keys.add(job.key)
-
-        for record in self._evaluate(pending):
-            if record["status"] == "ok" and self.cache is not None:
-                self.cache.put(record)
-            by_key[record["key"]] = {**record, "source": "evaluated"}
-
+        by_key = {
+            job.key: record
+            for job, record in self._make_engine().run_many(jobs)
+        }
         records = [by_key[job.key] for job in jobs]
         if self.store is not None:
             for record in records:
@@ -212,22 +182,3 @@ class SweepExecutor:
             duration_s=time.perf_counter() - t0,
         )
         return SweepOutcome(records=records, stats=stats, jobs=jobs)
-
-    def _evaluate(self, jobs: list[Job]) -> list[dict]:
-        """Evaluate jobs serially or across the process pool."""
-        if not jobs:
-            return []
-        work = [(self.evaluate, job) for job in jobs]
-        if self.workers <= 1:
-            return [_run_one(item) for item in work]
-        workers = min(self.workers, len(jobs))
-        chunksize = self.chunksize or max(
-            1, math.ceil(len(jobs) / (workers * CHUNKS_PER_WORKER))
-        )
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=self.mp_context,
-            initializer=_init_worker,
-            initargs=(_picklable_items(FLOWS), _picklable_items(WORKLOADS)),
-        ) as pool:
-            return list(pool.map(_run_one, work, chunksize=chunksize))

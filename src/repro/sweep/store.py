@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from ..api import scenario as _scenario
 from ..core.explorer import DesignPoint
 from ..core.metrics import KernelMetrics
 from .spec import Job
@@ -23,6 +24,9 @@ def point_to_record(job: Job, point: DesignPoint) -> dict:
     return {
         "key": job.key,
         "job": job.params(),
+        # Read at call time (not import time) so the stamped version
+        # always matches the CODE_MODEL_VERSION the key was hashed with.
+        "model_version": _scenario.CODE_MODEL_VERSION,
         "status": "ok",
         "metrics": {
             "footprint_um2": point.footprint_um2,
@@ -42,6 +46,7 @@ def failure_record(job: Job, exc: BaseException) -> dict:
     return {
         "key": job.key,
         "job": job.params(),
+        "model_version": _scenario.CODE_MODEL_VERSION,
         "status": "error",
         "error": f"{type(exc).__name__}: {exc}",
     }

@@ -91,6 +91,33 @@ class TestCommands:
                      "--bandwidths", "16", "--no-cache"]) == 0
         assert "1 evaluated" in capsys.readouterr().out
 
+    def test_sweep_thread_backend(self, capsys):
+        assert main(["sweep", "--capacities", "1", "--bandwidths", "8,32",
+                     "--backend", "thread", "--workers", "2",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "thread backend" in out
+        assert "4 evaluated" in out
+
+    def test_sweep_progress_lines_on_stderr(self, capsys, tmp_path):
+        argv = ["sweep", "--capacities", "1", "--flows", "3D",
+                "--bandwidths", "8,32", "--progress",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "1/2 MemPool-3D-1MiB@8B/c" in captured.err
+        assert "2/2" in captured.err
+        assert "best performance" in captured.out  # stdout report unchanged
+        # Cached re-run marks every progress line.
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "[cached]" in captured.err
+
+    def test_sweep_quiet_without_progress(self, capsys):
+        assert main(["sweep", "--capacities", "1", "--flows", "3D",
+                     "--bandwidths", "16", "--no-cache"]) == 0
+        assert capsys.readouterr().err == ""
+
     def test_experiments_subset(self, capsys):
         assert main(["experiments", "fig6"]) == 0
         assert "Figure 6" in capsys.readouterr().out
@@ -159,6 +186,12 @@ class TestListCommand:
                      "successive-halving"):
             assert name in out
 
+    def test_list_backends(self, capsys):
+        assert main(["list", "backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("serial", "thread", "process"):
+            assert name in out
+
     def test_sweep_kernels_axis_parses(self):
         args = build_parser().parse_args(["sweep", "--kernels", "matmul,dotp"])
         assert args.kernels == ("matmul", "dotp")
@@ -207,6 +240,66 @@ class TestSearchCommand:
                      "--budget", "5", "--objectives", "performance",
                      "--no-cache", "--archive", ""]) == 0
         assert "best performance" in capsys.readouterr().out
+
+    def test_search_thread_backend_with_progress(self, capsys, tmp_path):
+        assert main(["search", "--strategy", "random", "--budget", "4",
+                     "--backend", "thread", "--workers", "2", "--progress",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--archive", ""]) == 0
+        captured = capsys.readouterr()
+        assert "4 evaluated" in captured.out
+        assert "1/4" in captured.err
+        assert "4/4" in captured.err
+
+
+class TestCacheCommand:
+    def test_stats_clear_gc_roundtrip(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["sweep", "--capacities", "1", "--bandwidths", "8,32",
+                     "--cache-dir", cache_dir]) == 0
+        assert main(["sweep", "--capacities", "1", "--bandwidths", "8,32",
+                     "--cache-dir", cache_dir]) == 0  # all hits
+        capsys.readouterr()
+
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries:   4" in out
+        assert "hit rate:" in out
+        assert "(current)" in out
+
+        assert main(["cache", "gc", "--cache-dir", cache_dir]) == 0
+        assert "kept 4 entries" in capsys.readouterr().out
+
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "cleared 4 entries" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "entries:   0" in capsys.readouterr().out
+
+    def test_gc_prunes_stale_version(self, capsys, tmp_path):
+        import json
+
+        from repro.sweep import ResultCache
+
+        cache_dir = tmp_path / "cache"
+        assert main(["sweep", "--capacities", "1", "--flows", "3D",
+                     "--bandwidths", "16", "--cache-dir", str(cache_dir)]) == 0
+        with ResultCache(cache_dir).path.open("a") as fh:
+            fh.write(json.dumps({"key": "stale", "job": {},
+                                 "model_version": "1.old",
+                                 "status": "ok", "metrics": {}}) + "\n")
+        capsys.readouterr()
+        assert main(["cache", "gc", "--cache-dir", str(cache_dir)]) == 0
+        assert "pruned 1" in capsys.readouterr().out
+        assert ResultCache(cache_dir).get("stale") is None
+
+    def test_gc_explicit_keep_version(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["sweep", "--capacities", "1", "--flows", "3D",
+                     "--bandwidths", "16", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "gc", "--cache-dir", cache_dir,
+                     "--keep-version", "1.old"]) == 0
+        assert "kept 0 entries" in capsys.readouterr().out
 
 
 class TestReportCommand:
