@@ -54,11 +54,20 @@ def _cmd_implement(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_sim_engine(args: argparse.Namespace) -> None:
+    """Honour a ``--sim-engine`` choice (also exported to workers)."""
+    if getattr(args, "sim_engine", None):
+        from .simulator.engine import set_default_sim_engine
+
+        set_default_sim_engine(args.sim_engine)
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from .core.config import config_by_name
     from .kernels.matmul import run_matmul
     from .kernels.workloads import run_axpy, run_conv2d, run_dotp
 
+    _apply_sim_engine(args)
     config = config_by_name(args.config)
     if args.kernel == "matmul":
         run = run_matmul(config, n=args.n, num_cores=args.cores,
@@ -120,10 +129,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 objective=args.objective,
             )
         ]
+    _apply_sim_engine(args)
     pipeline = Pipeline()
-    results = pipeline.run_many(scenarios)
-    for result in results:
+    results = []
+    for scenario in scenarios:
+        result, profile = pipeline.run_profiled(scenario)
+        results.append(result)
         _print_run_result(result)
+        if args.profile:
+            total = profile["implement_s"] + profile["cycles_s"]
+            print(f"  profile:         implement {1e3 * profile['implement_s']:.1f} ms"
+                  f" + cycles {1e3 * profile['cycles_s']:.1f} ms"
+                  f" = {1e3 * total:.1f} ms")
         print()
     if len(results) > 1:
         objective = results[0].scenario.objective
@@ -209,6 +226,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .engine import resolve_backend
     from .sweep import ResultCache, ResultStore, SweepExecutor, SweepSpec, summarize
 
+    _apply_sim_engine(args)
     spec = SweepSpec(
         capacities_mib=args.capacities,
         flows=args.flows,
@@ -252,6 +270,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
     from .search import Choice, ParetoArchive, Searcher, SearchSpace
     from .sweep import ResultCache, ResultStore
 
+    _apply_sim_engine(args)
     axes, base = [], {}
     for name, values in (
         ("capacity_mib", args.capacities),
@@ -354,6 +373,11 @@ def _cmd_cache(args: argparse.Namespace) -> int:
               f"{stats['disk_hits']} disk hits, {stats['misses']} misses")
         print("  hit rate:  "
               + (f"{hit_rate:.1%}" if hit_rate is not None else "n/a"))
+        print(f"  stages:    {stats['stage_entries']} memoized")
+        print(f"    physical: {stats['physical_hits']} hits, "
+              f"{stats['physical_evals']} evaluations")
+        print(f"    cycles:   {stats['cycles_hits']} hits, "
+              f"{stats['cycles_evals']} evaluations")
         return 0
     if args.action == "clear":
         removed = cache_clear(args.cache_dir)
@@ -392,6 +416,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--cores", type=int, default=16)
     p_sim.add_argument("--scoreboard", action="store_true",
                        help="non-blocking-load core model")
+    p_sim.add_argument("--sim-engine", choices=("fast", "reference"),
+                       default=None, dest="sim_engine",
+                       help="cycle-simulator implementation (bit-identical; "
+                            "default: fast, or $REPRO_SIM_ENGINE)")
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_run = sub.add_parser(
@@ -411,6 +439,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="registered workload name")
     p_run.add_argument("--objective", default="edp",
                        help="registered objective name")
+    p_run.add_argument("--profile", action="store_true",
+                       help="print per-stage (implement/cycles) wall times")
+    p_run.add_argument("--sim-engine", choices=("fast", "reference"),
+                       default=None, dest="sim_engine",
+                       help="cycle-simulator implementation (bit-identical; "
+                            "default: fast, or $REPRO_SIM_ENGINE)")
     p_run.set_defaults(func=_cmd_run)
 
     p_list = sub.add_parser("list", help="list registered plugins")
@@ -458,6 +492,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="append-only JSONL log of every result")
     p_sw.add_argument("--top", type=int, default=3,
                       help="winners listed per objective")
+    p_sw.add_argument("--sim-engine", choices=("fast", "reference"),
+                      default=None, dest="sim_engine",
+                      help="cycle-simulator implementation for "
+                           "simulator-backed workloads (bit-identical)")
     p_sw.set_defaults(func=_cmd_sweep)
 
     p_se = sub.add_parser(
@@ -510,6 +548,10 @@ def build_parser() -> argparse.ArgumentParser:
                            "trajectory (cached candidates are free)")
     p_se.add_argument("--top", type=int, default=3,
                       help="winners listed per objective")
+    p_se.add_argument("--sim-engine", choices=("fast", "reference"),
+                      default=None, dest="sim_engine",
+                      help="cycle-simulator implementation for "
+                           "simulator-backed workloads (bit-identical)")
     p_se.set_defaults(func=_cmd_search)
 
     p_cache = sub.add_parser(

@@ -12,6 +12,7 @@ CLI, so every consumer produces bit-identical metrics.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
@@ -140,10 +141,31 @@ class Pipeline:
     against the same global registries this façade resolves from, so a
     scenario that constructs is always runnable.  Plugins join via
     ``@register_flow`` / ``@register_workload`` / ``@register_objective``.
+
+    Args:
+        stage_cache: Optional :class:`~repro.engine.cache.StageCache`
+            memoizing the two independent stages of :meth:`run`: the
+            physical ``implement()`` (keyed by flow/capacity/arch/
+            frequency) and the workload ``cycles()`` (keyed by workload/
+            tiling/arch/bandwidth).  With one attached, a K-kernels x
+            A-archs batch implements each architecture once instead of
+            A x K times, and cycle counts are shared across flow,
+            frequency, and objective variants.  Plugins must honour the
+            stage-key contracts (see
+            :meth:`Scenario.physical_dict`/:meth:`Scenario.cycles_dict`).
     """
+
+    def __init__(self, stage_cache=None) -> None:
+        self.stage_cache = stage_cache
 
     def implement(self, scenario: Scenario) -> GroupResult:
         """Physical stage only: implement the group with the scenario's flow."""
+        cache = self.stage_cache
+        key = scenario.physical_key if cache is not None else None
+        if cache is not None:
+            cached = cache.get_physical(key)
+            if cached is not None:
+                return cached
         impl = FLOWS.get(scenario.flow)(scenario)
         if hasattr(impl, "to_group_result"):
             impl = impl.to_group_result()
@@ -152,28 +174,55 @@ class Pipeline:
                 f"flow {scenario.flow!r} must return a GroupResult or an "
                 f"object with to_group_result(), got {type(impl).__name__}"
             )
+        if cache is not None:
+            cache.put_physical(key, impl)
         return impl
 
     def cycles(self, scenario: Scenario) -> float:
         """Kernel stage only: the scenario's workload cycle count."""
+        cache = self.stage_cache
+        key = scenario.cycles_key if cache is not None else None
+        if cache is not None:
+            cached = cache.get_cycles(key)
+            if cached is not None:
+                return cached
         cycles = float(WORKLOADS.get(scenario.workload)(scenario))
         if cycles <= 0:
             raise ValueError(
                 f"workload {scenario.workload!r} returned non-positive "
                 f"cycles ({cycles})"
             )
+        if cache is not None:
+            cache.put_cycles(key, cycles)
         return cycles
 
     def run(self, scenario: Scenario) -> RunResult:
         """Evaluate one scenario end to end."""
+        return self.run_profiled(scenario)[0]
+
+    def run_profiled(
+        self, scenario: Scenario
+    ) -> tuple[RunResult, dict[str, float]]:
+        """Evaluate one scenario, timing each stage.
+
+        Returns:
+            ``(result, profile)`` where ``profile`` maps stage names
+            (``implement_s``, ``cycles_s``) to wall seconds — the data
+            behind ``repro run --profile``.
+        """
+        t0 = time.perf_counter()
         physical = self.implement(scenario)
+        t1 = time.perf_counter()
+        cycles = self.cycles(scenario)
+        t2 = time.perf_counter()
         kernel = KernelMetrics(
             name=scenario.name,
-            cycles=self.cycles(scenario),
+            cycles=cycles,
             frequency_mhz=physical.frequency_mhz,
             power_mw=physical.power_mw,
         )
-        return RunResult(scenario=scenario, physical=physical, kernel=kernel)
+        result = RunResult(scenario=scenario, physical=physical, kernel=kernel)
+        return result, {"implement_s": t1 - t0, "cycles_s": t2 - t1}
 
     def run_many(self, scenarios: Iterable[Scenario]) -> list[RunResult]:
         """Evaluate scenarios in order (serial; use ``repro.sweep`` to scale)."""

@@ -288,15 +288,68 @@ class Scenario:
         del data["objective"]
         return data
 
+    def physical_dict(self) -> dict:
+        """The fields the physical ``implement()`` stage depends on.
+
+        Flow adapters see only the instance they implement — capacity,
+        architecture, flow, and the frequency target — so two scenarios
+        that agree here share one physical implementation no matter which
+        workload, tiling, bandwidth, or objective they evaluate.  Flow
+        plugins must honour this contract (read nothing else from the
+        scenario) to be stage-cacheable.
+        """
+        return {
+            "flow": self.flow,
+            "capacity_mib": self.capacity_mib,
+            "arch": self.arch,
+            "target_frequency_mhz": self.target_frequency_mhz,
+        }
+
+    def cycles_dict(self) -> dict:
+        """The fields the workload ``cycles()`` stage depends on.
+
+        Everything the kernel models read — problem size, tiling, core
+        count, calibration, bandwidth, capacity, and architecture — but
+        not the flow or the frequency target, which only affect the
+        physical stage: cycle counts are shared across flow and
+        frequency variants.  Workload plugins must honour this contract
+        (read nothing else from the scenario) to be stage-cacheable.
+        """
+        data = self.cache_dict()
+        del data["flow"]
+        del data["target_frequency_mhz"]
+        return data
+
+    @staticmethod
+    def _digest(payload: dict) -> str:
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
     @property
     def cache_key(self) -> str:
         """Content address: sha256 of the canonical evaluation dict."""
-        payload = {
+        return self._digest({
             "model_version": CODE_MODEL_VERSION,
             "scenario": self.cache_dict(),
-        }
-        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        })
+
+    @property
+    def physical_key(self) -> str:
+        """Content address of the physical stage (see :meth:`physical_dict`)."""
+        return self._digest({
+            "model_version": CODE_MODEL_VERSION,
+            "stage": "physical",
+            "params": self.physical_dict(),
+        })
+
+    @property
+    def cycles_key(self) -> str:
+        """Content address of the workload stage (see :meth:`cycles_dict`)."""
+        return self._digest({
+            "model_version": CODE_MODEL_VERSION,
+            "stage": "cycles",
+            "params": self.cycles_dict(),
+        })
 
 
 def scenario_schema() -> dict[str, str]:

@@ -135,17 +135,94 @@ class MemPoolCluster:
             core.barrier_arrive = self.barrier.arrive
             self.cores.append(core)
 
+    # -- array-view accessors (fast simulator) -----------------------------
+    def export_spm(self):
+        """The whole SPM as one word-indexed numpy array.
+
+        Index ``w`` of the result is the word at byte address ``4 * w``
+        under the interleaved :class:`~repro.arch.memory_map.MemoryMap`,
+        so ``export_spm()[address // 4]`` equals ``read_words(address, 1)[0]``.
+        """
+        import numpy as np
+
+        banks = [
+            bank.export_words()
+            for tile in self.tiles
+            for bank in tile.spm.banks
+        ]
+        # banks[flat_tile * banks_per_tile + bank][offset]; word index is
+        # offset-major, then tile, then bank — exactly the transpose.
+        return np.array(banks, dtype=np.int64).T.reshape(-1)
+
+    def import_spm(self, words) -> None:
+        """Inverse of :meth:`export_spm`: bulk-replace the SPM contents."""
+        import numpy as np
+
+        words_per_bank = self.memory_map.words_per_bank
+        num_banks = self.arch.num_banks
+        arr = np.asarray(words, dtype=np.int64).reshape(words_per_bank, num_banks).T
+        flat = 0
+        for tile in self.tiles:
+            for bank in tile.spm.banks:
+                bank.import_words(arr[flat].tolist())
+                flat += 1
+
     # -- memory helpers ----------------------------------------------------
+    def _flat_banks(self) -> list:
+        """All SPM banks by flat bank id (cached: the structure is fixed)."""
+        banks = self.__dict__.get("_flat_banks_cache")
+        if banks is None:
+            banks = [bank for tile in self.tiles for bank in tile.spm.banks]
+            self.__dict__["_flat_banks_cache"] = banks
+        return banks
+
+    def _check_span(self, byte_address: int, count: int) -> None:
+        """Validate a word-aligned span (same errors as ``decode``)."""
+        if byte_address % self.arch.word_bytes:
+            raise ValueError(f"address {byte_address:#x} is not word-aligned")
+        for edge in (byte_address, byte_address + 4 * max(count - 1, 0)):
+            if edge < 0 or edge >= self.memory_map.spm_bytes:
+                raise ValueError(f"address {edge:#x} outside SPM")
+
     def write_words(self, byte_address: int, words: list[int]) -> None:
         """Back-door write into the SPM (test/workload setup)."""
-        for i, word in enumerate(words):
-            loc = self.memory_map.decode(byte_address + 4 * i)
-            self.tile(loc.flat_tile(self.arch)).bank(loc.bank).poke(loc.offset, word)
+        if not words:
+            return
+        if self.arch.word_bytes != 4:  # exotic widths: decode per word
+            for i, word in enumerate(words):
+                loc = self.memory_map.decode(byte_address + 4 * i)
+                self.tile(loc.flat_tile(self.arch)).bank(loc.bank).poke(
+                    loc.offset, word
+                )
+            return
+        self._check_span(byte_address, len(words))
+        banks = self._flat_banks()
+        stride = self.arch.banks_per_tile * self.arch.num_tiles
+        word_index = byte_address // 4
+        for word in words:
+            banks[word_index % stride].poke(word_index // stride, word)
+            word_index += 1
 
     def read_words(self, byte_address: int, count: int) -> list[int]:
         """Back-door read from the SPM."""
+        if count <= 0:
+            return []
+        if self.arch.word_bytes != 4:  # exotic widths: decode per word
+            return [
+                self.tile(loc.flat_tile(self.arch)).bank(loc.bank).peek(
+                    loc.offset
+                )
+                for loc in (
+                    self.memory_map.decode(byte_address + 4 * i)
+                    for i in range(count)
+                )
+            ]
+        self._check_span(byte_address, count)
+        banks = self._flat_banks()
+        stride = self.arch.banks_per_tile * self.arch.num_tiles
+        word_index = byte_address // 4
         out = []
-        for i in range(count):
-            loc = self.memory_map.decode(byte_address + 4 * i)
-            out.append(self.tile(loc.flat_tile(self.arch)).bank(loc.bank).peek(loc.offset))
+        for _ in range(count):
+            out.append(banks[word_index % stride].peek(word_index // stride))
+            word_index += 1
         return out

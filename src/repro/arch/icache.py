@@ -100,6 +100,10 @@ class InstructionCache:
                 self._lines.popitem(last=False)
             self._lines[line] = None
 
+    def resident_lines(self) -> frozenset[int]:
+        """The line indices currently cached (insertion state snapshot)."""
+        return frozenset(self._lines)
+
     def flush(self) -> None:
         """Invalidate all lines (cold-cache setup)."""
         self._lines.clear()

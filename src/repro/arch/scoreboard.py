@@ -83,6 +83,30 @@ class ScoreboardSnitchCore:
         if reg != 0:
             self.regs[reg] = value & 0xFFFFFFFF
 
+    # -- array-view accessors (fast simulator) -------------------------
+    def export_state(self) -> dict:
+        """Mutable execution state as a plain dict (SoA import)."""
+        return {
+            "regs": list(self.regs),
+            "pc": self.pc,
+            "state": self.state,
+            "stall_until": self._stall_until,
+            "pending": [(p.ready_cycle, p.reg, p.data) for p in self._pending],
+            "barrier_release": self._barrier_release,
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Inverse of :meth:`export_state` (SoA write-back)."""
+        self.regs[:] = state["regs"]
+        self.pc = state["pc"]
+        self.state = state["state"]
+        self._stall_until = state["stall_until"]
+        self._pending = [
+            _PendingLoad(reg=reg, ready_cycle=ready, data=data)
+            for ready, reg, data in state["pending"]
+        ]
+        self._barrier_release = state["barrier_release"]
+
     def _commit_arrived(self, cycle: int) -> None:
         """Write back loads whose data has arrived."""
         still_pending = []

@@ -116,6 +116,29 @@ class SnitchCore:
         """Install the barrier-release predicate (set by the cluster)."""
         self._barrier_release = release
 
+    # -- array-view accessors (fast simulator) -------------------------
+    def export_state(self) -> dict:
+        """Mutable execution state as a plain dict (SoA import)."""
+        return {
+            "regs": list(self.regs),
+            "pc": self.pc,
+            "state": self.state,
+            "stall_until": self._stall_until,
+            "pending_load_reg": self._pending_load_reg,
+            "pending_load_data": self._pending_load_data,
+            "barrier_release": self._barrier_release,
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Inverse of :meth:`export_state` (SoA write-back)."""
+        self.regs[:] = state["regs"]
+        self.pc = state["pc"]
+        self.state = state["state"]
+        self._stall_until = state["stall_until"]
+        self._pending_load_reg = state["pending_load_reg"]
+        self._pending_load_data = state["pending_load_data"]
+        self._barrier_release = state["barrier_release"]
+
     # ------------------------------------------------------------------
     def step(self, cycle: int) -> None:
         """Advance the core by one cycle.

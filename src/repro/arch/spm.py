@@ -37,14 +37,27 @@ class SPMBank:
     def __init__(self, words: int) -> None:
         if words <= 0:
             raise ValueError("bank must hold at least one word")
-        self._data = [0] * words
+        # Storage materializes on the first write: an untouched bank
+        # reads as zeros without allocating its word array, so cluster
+        # construction costs scale with the working set, not the SPM
+        # capacity (a 16 MiB instance would otherwise allocate 4M words
+        # up front for every evaluation).
+        self._words = words
+        self._data: list[int] | None = None
         self._busy_cycle = -1
         self.stats = BankStats()
 
     @property
     def words(self) -> int:
         """Bank capacity in words."""
-        return len(self._data)
+        return self._words
+
+    def _storage(self) -> list[int]:
+        """The backing word array, materialized on first use."""
+        data = self._data
+        if data is None:
+            data = self._data = [0] * self._words
+        return data
 
     def try_access(self, cycle: int, offset: int, write: bool, value: int = 0) -> tuple[bool, int]:
         """Attempt a single-cycle access.
@@ -63,26 +76,65 @@ class SPMBank:
         Raises:
             IndexError: If ``offset`` is out of range.
         """
-        if not 0 <= offset < len(self._data):
-            raise IndexError(f"offset {offset} outside bank of {len(self._data)} words")
+        if not 0 <= offset < self._words:
+            raise IndexError(f"offset {offset} outside bank of {self._words} words")
         if cycle == self._busy_cycle:
             self.stats.conflicts += 1
             return False, 0
         self._busy_cycle = cycle
         if write:
-            self._data[offset] = value & 0xFFFFFFFF
+            self._storage()[offset] = value & 0xFFFFFFFF
             self.stats.writes += 1
             return True, 0
         self.stats.reads += 1
-        return True, self._data[offset]
+        data = self._data
+        return True, data[offset] if data is not None else 0
 
     def peek(self, offset: int) -> int:
         """Read a word without simulating a port access (for test setup)."""
-        return self._data[offset]
+        if not 0 <= offset < self._words:
+            raise IndexError(
+                f"offset {offset} outside bank of {self._words} words"
+            )
+        data = self._data
+        return data[offset] if data is not None else 0
 
     def poke(self, offset: int, value: int) -> None:
         """Write a word without simulating a port access (for test setup)."""
-        self._data[offset] = value & 0xFFFFFFFF
+        self._storage()[offset] = value & 0xFFFFFFFF
+
+    # -- array-view accessors (fast simulator) -------------------------
+    def export_words(self) -> list[int]:
+        """A copy of the bank contents (no simulated port traffic)."""
+        data = self._data
+        return list(data) if data is not None else [0] * self._words
+
+    def import_words(self, words) -> None:
+        """Replace the bank contents in bulk (no simulated port traffic).
+
+        Raises:
+            ValueError: If ``words`` does not match the bank depth.
+        """
+        values = [int(v) & 0xFFFFFFFF for v in words]
+        if len(values) != self._words:
+            raise ValueError(
+                f"expected {self._words} words, got {len(values)}"
+            )
+        if self._data is None:
+            if not any(values):
+                return  # all zeros: stay unmaterialized
+            self._data = values
+        else:
+            self._data[:] = values
+
+    @property
+    def busy_cycle(self) -> int:
+        """Cycle of the last granted access (arbitration state)."""
+        return self._busy_cycle
+
+    @busy_cycle.setter
+    def busy_cycle(self, cycle: int) -> None:
+        self._busy_cycle = cycle
 
 
 @dataclass

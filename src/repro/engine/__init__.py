@@ -9,10 +9,11 @@ implemented exactly once:
 * :mod:`~repro.engine.backends` — the :class:`ExecutionBackend` plugin
   registry (``@register_backend``; the fifth registry) seeded with
   ``serial``, ``thread``, and ``process`` backends;
-* :mod:`~repro.engine.cache` — the two-tier result cache: a bounded
-  in-memory :class:`LRUCache` layered over the content-addressed on-disk
-  :class:`~repro.sweep.cache.ResultCache`, with sidecar hit counters and
-  the ``repro cache`` maintenance helpers;
+* :mod:`~repro.engine.cache` — the caching tiers: a bounded in-memory
+  :class:`LRUCache` layered over the content-addressed on-disk
+  :class:`~repro.sweep.cache.ResultCache`, plus the :class:`StageCache`
+  memoizing the pipeline's physical and workload stages independently,
+  with sidecar hit counters and the ``repro cache`` maintenance helpers;
 * :mod:`~repro.engine.core` — :class:`Engine` itself, whose
   :meth:`~Engine.run_many` streams ``(job, record)`` pairs as they
   complete, each evaluation under a per-item error trap.
@@ -51,10 +52,12 @@ from .backends import (
 from .cache import (
     DEFAULT_LRU_SIZE,
     LRUCache,
+    StageCache,
     TieredCache,
     cache_clear,
     cache_gc,
     cache_stats,
+    stage_cache_for,
 )
 from .core import Engine, EngineOutcome, EngineStats, evaluate_job
 
@@ -69,6 +72,7 @@ __all__ = [
     "LRUCache",
     "ProcessBackend",
     "SerialBackend",
+    "StageCache",
     "ThreadBackend",
     "TieredCache",
     "available_backends",
@@ -80,4 +84,5 @@ __all__ = [
     "register_backend",
     "resolve_backend",
     "run_one",
+    "stage_cache_for",
 ]

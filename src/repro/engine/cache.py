@@ -1,4 +1,4 @@
-"""Two-tier result caching: a bounded in-memory LRU over the disk cache.
+"""Result caching tiers: in-memory LRU, disk records, and stage memos.
 
 The engine consults the memory tier first, then the content-addressed
 on-disk :class:`~repro.sweep.cache.ResultCache`; disk hits are promoted
@@ -8,6 +8,17 @@ Keys already embed :data:`~repro.api.scenario.CODE_MODEL_VERSION`, so a
 model-version bump invalidates both tiers at once: old entries simply
 stop being addressed.
 
+The third tier is the :class:`StageCache`: ``Pipeline.run`` factors into
+two independent stages — the physical ``implement()`` (keyed by
+flow/capacity/arch/frequency only) and the workload ``cycles()`` (keyed
+by workload/tiling/arch/bandwidth only) — and each stage result is
+memoized under its own content address
+(:attr:`~repro.api.scenario.Scenario.physical_key` /
+:attr:`~repro.api.scenario.Scenario.cycles_key`).  A sweep of K kernels
+across A architectures therefore performs A physical implementations
+instead of A x K, and cycle counts are shared across flow, frequency,
+and objective variants.
+
 The module also owns the cache-maintenance helpers behind the
 ``repro cache`` CLI: a sidecar hit/miss counter (flushed batch-wise by
 the engine, never on the per-lookup hot path), ``clear``, and a ``gc``
@@ -16,7 +27,10 @@ that prunes entries written under old code-model versions.
 
 from __future__ import annotations
 
+import atexit
 import json
+import os
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Optional
@@ -32,6 +46,11 @@ DEFAULT_LRU_SIZE = 4096
 STATS_FILENAME = "stats.json"
 
 _COUNTER_KEYS = ("memory_hits", "disk_hits", "misses", "stores")
+
+#: Stage-tier counters, merged into the same sidecar.
+STAGE_COUNTER_KEYS = (
+    "physical_hits", "physical_evals", "cycles_hits", "cycles_evals",
+)
 
 
 class LRUCache:
@@ -141,16 +160,190 @@ class TieredCache:
         self._flushed = counters
         if self.disk is None or not any(delta.values()):
             return
-        path = self.disk.root / STATS_FILENAME
-        merged = {**_load_sidecar(path)}
-        for name, value in delta.items():
-            merged[name] = merged.get(name, 0) + value
-        # Atomic replace: a concurrent reader never sees a torn file
-        # (simultaneous writers can still lose each other's delta —
-        # acceptable for an advisory counter).
-        tmp = path.with_suffix(".tmp")
+        _merge_sidecar(self.disk.root / STATS_FILENAME, delta)
+
+
+class StageCache:
+    """Persistent memo of per-stage pipeline results (the third tier).
+
+    Two stages are memoized: ``physical`` maps
+    :attr:`~repro.api.scenario.Scenario.physical_key` to a
+    :class:`~repro.core.metrics.GroupResult`, and ``cycles`` maps
+    :attr:`~repro.api.scenario.Scenario.cycles_key` to a cycle count.
+    Values live in an in-process dict backed by an append-only JSONL
+    file (``stages.jsonl``) inside the cache directory, shared with the
+    record cache; worker processes each load the file once and append
+    their own computations (torn lines are skipped on load, exactly like
+    the record cache).
+
+    Args:
+        root: Cache directory, or ``None`` for a purely in-memory memo.
+    """
+
+    FILENAME = "stages.jsonl"
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else None
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+        self.path = self.root / self.FILENAME if self.root else None
+        self._values: dict[str, object] = {}
+        self._physical: dict[str, object] = {}  # materialized GroupResults
+        self.physical_hits = 0
+        self.physical_evals = 0
+        self.cycles_hits = 0
+        self.cycles_evals = 0
+        self._flushed = dict.fromkeys(STAGE_COUNTER_KEYS, 0)
+        self._flush_lock = threading.Lock()
+        if self.path is not None and self.path.exists():
+            with self.path.open("r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn write from an interrupted run
+                    key = record.get("key")
+                    if key and "value" in record:
+                        self._values[key] = record["value"]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def _append(self, stage: str, key: str, value) -> None:
+        from ..api.scenario import CODE_MODEL_VERSION
+
+        self._values[key] = value
+        if self.path is None:
+            return
+        record = {
+            "stage": stage,
+            "key": key,
+            "value": value,
+            "model_version": CODE_MODEL_VERSION,
+        }
+        try:
+            # One write call per line: concurrent workers appending to
+            # the same memo stay line-atomic in practice; a failed
+            # append only costs a recomputation later.
+            with self.path.open("a", encoding="utf-8") as fh:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+        except OSError:
+            pass
+
+    # -- physical stage -------------------------------------------------
+    def get_physical(self, key: str):
+        """The memoized :class:`GroupResult` for ``key``, or ``None``."""
+        result = self._physical.get(key)
+        if result is not None:
+            self.physical_hits += 1
+            return result
+        raw = self._values.get(key)
+        if raw is None:
+            return None
+        from ..core.metrics import GroupResult
+
+        result = GroupResult(**raw)
+        self._physical[key] = result
+        self.physical_hits += 1
+        return result
+
+    def put_physical(self, key: str, result) -> None:
+        """Memoize a freshly-implemented physical stage result."""
+        from dataclasses import asdict
+
+        self.physical_evals += 1
+        self._physical[key] = result
+        self._append("physical", key, asdict(result))
+
+    # -- cycles stage ---------------------------------------------------
+    def get_cycles(self, key: str) -> Optional[float]:
+        """The memoized workload cycle count for ``key``, or ``None``."""
+        raw = self._values.get(key)
+        if raw is None:
+            return None
+        self.cycles_hits += 1
+        return float(raw)  # type: ignore[arg-type]
+
+    def put_cycles(self, key: str, cycles: float) -> None:
+        """Memoize a freshly-evaluated workload cycle count."""
+        self.cycles_evals += 1
+        self._append("cycles", key, float(cycles))
+
+    # -- counters -------------------------------------------------------
+    def counters(self) -> dict[str, int]:
+        """The current in-process stage counter values."""
+        return {name: getattr(self, name) for name in STAGE_COUNTER_KEYS}
+
+    def flush_stats(self) -> None:
+        """Merge counter growth since the last flush into the sidecar.
+
+        Same delta contract as :meth:`TieredCache.flush_stats`; both
+        tiers share one ``stats.json``, under disjoint counter names.
+        The delta snapshot is taken under a lock, so concurrent flushes
+        (thread-backend engines sharing one process-wide cache) never
+        double-count an increment.
+        """
+        with self._flush_lock:
+            counters = self.counters()
+            delta = {
+                name: counters[name] - self._flushed[name]
+                for name in STAGE_COUNTER_KEYS
+            }
+            self._flushed = counters
+            if self.root is None or not any(delta.values()):
+                return
+            _merge_sidecar(self.root / STATS_FILENAME, delta)
+
+
+#: Process-wide stage caches, one per cache directory: serial runs and
+#: pool workers alike funnel through :func:`stage_cache_for`, so every
+#: evaluation in a process shares one memo per root.
+_STAGE_CACHES: dict[str, StageCache] = {}
+
+
+def stage_cache_for(root: str | Path) -> StageCache:
+    """The process-wide :class:`StageCache` for a cache directory.
+
+    Counter flushing is batch-wise, never per evaluation: the engine
+    flushes after each batch in its own process, and pool workers flush
+    once at process exit, so the per-job hot path never touches the
+    sidecar file.  Multiprocessing children skip ``atexit`` (they leave
+    via ``os._exit``), so the exit hook is registered with
+    ``multiprocessing.util.Finalize`` as well, which their bootstrap
+    does run; the delta-based flush makes running both a no-op.
+    """
+    from multiprocessing import util as mp_util
+
+    key = str(root)
+    cache = _STAGE_CACHES.get(key)
+    if cache is None:
+        cache = StageCache(root)
+        _STAGE_CACHES[key] = cache
+        atexit.register(cache.flush_stats)
+        mp_util.Finalize(None, cache.flush_stats, exitpriority=10)
+    return cache
+
+
+def _merge_sidecar(path: Path, delta: dict[str, int]) -> None:
+    """Fold counter deltas into the sidecar via an atomic replace.
+
+    The temp file is per-process, and a lost race (or any filesystem
+    error) simply drops this delta: simultaneous writers can overwrite
+    each other's increments, which is acceptable for advisory counters —
+    what must never happen is a torn file or a worker failure.
+    """
+    merged = {**_load_sidecar(path)}
+    for name, value in delta.items():
+        merged[name] = merged.get(name, 0) + value
+    tmp = path.with_suffix(f".{os.getpid()}.tmp")
+    try:
         tmp.write_text(json.dumps(merged, sort_keys=True), encoding="utf-8")
         tmp.replace(path)
+    except OSError:
+        tmp.unlink(missing_ok=True)
 
 
 def _load_sidecar(path: Path) -> dict[str, int]:
@@ -194,6 +387,10 @@ def cache_stats(root: str | Path) -> dict:
         for key in cache.keys():
             version = _record_version(cache.get(key))
             versions[version] = versions.get(version, 0) + 1
+    stage_entries = 0
+    stage_path = Path(root) / StageCache.FILENAME
+    if cache is not None and stage_path.exists():
+        stage_entries = len(StageCache(root))
     return {
         "path": str(Path(root) / ResultCache.FILENAME),
         "entries": len(cache) if cache is not None else 0,
@@ -205,6 +402,8 @@ def cache_stats(root: str | Path) -> dict:
         "versions": versions,
         **{name: counters.get(name, 0) for name in _COUNTER_KEYS},
         "hit_rate": (hits / lookups) if lookups else None,
+        "stage_entries": stage_entries,
+        **{name: counters.get(name, 0) for name in STAGE_COUNTER_KEYS},
     }
 
 
@@ -219,6 +418,7 @@ def cache_clear(root: str | Path) -> int:
     removed = len(cache)
     cache.path.unlink(missing_ok=True)
     (cache.root / STATS_FILENAME).unlink(missing_ok=True)
+    (cache.root / StageCache.FILENAME).unlink(missing_ok=True)
     return removed
 
 
@@ -277,4 +477,28 @@ def cache_gc(
         for record in kept:
             fh.write(json.dumps(record, sort_keys=True) + "\n")
     tmp.replace(cache.path)
+    _gc_stage_file(cache.root / StageCache.FILENAME, keep)
     return len(kept), pruned
+
+
+def _gc_stage_file(path: Path, keep: str) -> None:
+    """Rewrite a stage memo file keeping only ``keep``-version entries."""
+    if not path.exists():
+        return
+    kept_lines = []
+    with path.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if record.get("model_version") == keep:
+                kept_lines.append(json.dumps(record, sort_keys=True))
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(
+        "".join(line + "\n" for line in kept_lines), encoding="utf-8"
+    )
+    tmp.replace(path)

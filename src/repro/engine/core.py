@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Iterable, Iterator, Optional, Union
 
 from ..api.scenario import Scenario
@@ -29,7 +30,7 @@ from ..sweep.cache import ResultCache
 from ..sweep.spec import Job
 from ..sweep.store import ResultStore
 from .backends import ExecutionBackend, resolve_backend
-from .cache import DEFAULT_LRU_SIZE, TieredCache
+from .cache import DEFAULT_LRU_SIZE, TieredCache, stage_cache_for
 
 #: Anything run_many accepts as one evaluation request.
 RunItem = Union[Scenario, Job]
@@ -38,16 +39,31 @@ RunItem = Union[Scenario, Job]
 ProgressCallback = Callable[[int, int, dict], None]
 
 
-def evaluate_job(job: Job):
+def evaluate_job(job: Job, stage_root: Optional[str] = None):
     """Evaluate one job (top-level and picklable: safe to ship to workers).
 
     Runs the job's canonical scenario through the ``repro.api`` pipeline,
     so the engine shares one evaluation path with every other consumer —
     including workloads registered via ``@register_workload``.
+
+    Args:
+        job: The design point to evaluate.
+        stage_root: Cache directory of the process-wide
+            :class:`~repro.engine.cache.StageCache` memoizing the
+            physical and workload stages (``None`` disables stage
+            memoization).  Passed as a plain string so the engine can
+            ship it to pool workers via :func:`functools.partial`; each
+            worker then shares one memo per cache directory.
     """
     from ..api.pipeline import Pipeline  # local: keeps worker imports lazy
 
-    return Pipeline().run(job.scenario()).to_design_point()
+    cache = stage_cache_for(stage_root) if stage_root is not None else None
+    return Pipeline(stage_cache=cache).run(job.scenario()).to_design_point()
+
+
+#: Marks evaluate functions that accept the engine's ``stage_root``
+#: keyword; wrappers (e.g. the sweep shim's) opt in by setting it too.
+evaluate_job.supports_stage_root = True  # type: ignore[attr-defined]
 
 
 @dataclass(frozen=True)
@@ -118,6 +134,13 @@ class Engine:
             ``on_result(done, total, record)`` after every completion.
         mp_context: Multiprocessing context for process backends.
         chunksize: Explicit chunk size for chunking backends.
+        stage_cache: Memoize the pipeline's physical and workload stages
+            in a :class:`~repro.engine.cache.StageCache` rooted at the
+            disk cache's directory (the default).  Only applies to the
+            default :func:`evaluate_job` with a persistent cache — a K
+            kernels x A archs sweep then implements each architecture
+            exactly once.  Pass ``False`` to evaluate both stages per
+            job.
     """
 
     def __init__(
@@ -131,6 +154,7 @@ class Engine:
         on_result: Optional[ProgressCallback] = None,
         mp_context=None,
         chunksize: Optional[int] = None,
+        stage_cache: bool = True,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be non-negative")
@@ -142,8 +166,29 @@ class Engine:
         else:
             self.cache = TieredCache(disk=cache, lru_size=lru_size)
         self.evaluate = evaluate
+        self.stage_root: Optional[str] = None
+        if (
+            stage_cache
+            and getattr(evaluate, "supports_stage_root", False)
+            and self.cache.disk is not None
+        ):
+            # partial() keeps the evaluate picklable: pool workers get
+            # the root as a string and build their own process-wide memo.
+            self.stage_root = str(self.cache.disk.root)
+            self.evaluate = partial(evaluate, stage_root=self.stage_root)
         self.store = store
         self.on_result = on_result
+
+    def stage_counters(self) -> Optional[dict[str, int]]:
+        """This process's stage-cache counters, or ``None`` if disabled.
+
+        Pool workers keep their own counters; each evaluation batch
+        flushes its deltas into the cache directory's ``stats.json``
+        sidecar, which ``repro cache stats`` aggregates.
+        """
+        if self.stage_root is None:
+            return None
+        return stage_cache_for(self.stage_root).counters()
 
     @staticmethod
     def _job_of(item: RunItem) -> Job:
@@ -197,6 +242,8 @@ class Engine:
                 yield jobs[record["key"]], record
         finally:
             self.cache.flush_stats()
+            if self.stage_root is not None:
+                stage_cache_for(self.stage_root).flush_stats()
 
     def _emit(
         self,

@@ -65,6 +65,23 @@ class FabricRouter:
         """The topology used for latency classification."""
         return self._topology
 
+    # -- arbitration-state accessors (fast simulator) -------------------
+    def export_port_state(self) -> tuple[int, dict[int, int]]:
+        """Remote-port occupancy as ``(current_cycle, {tile: claims})``."""
+        use = {
+            tile: count
+            for (tile, cycle), count in self._remote_port_use.items()
+            if cycle == self._current_cycle
+        }
+        return self._current_cycle, use
+
+    def import_port_state(self, cycle: int, use: dict[int, int]) -> None:
+        """Inverse of :meth:`export_port_state`."""
+        self._current_cycle = cycle
+        self._remote_port_use = {
+            (tile, cycle): count for tile, count in use.items()
+        }
+
     def _remote_port_available(self, cycle: int, tile: int) -> bool:
         """Check and claim one of the tile's remote request ports."""
         if cycle != self._current_cycle:
@@ -113,9 +130,16 @@ class FabricRouter:
         return True, latency, data
 
     def port_for_core(self, core_id: int):
-        """Bind a :data:`repro.arch.snitch.MemoryPort` for one core."""
+        """Bind a :data:`repro.arch.snitch.MemoryPort` for one core.
+
+        The returned closure is tagged with the router and core id so the
+        fast simulator can recognize a standard fabric port and route the
+        access through its own arbitration arrays instead.
+        """
 
         def port(cycle: int, address: int, is_store: bool, value: int):
             return self.access(cycle, core_id, address, is_store, value)
 
+        port.fabric_router = self
+        port.fabric_core_id = core_id
         return port

@@ -111,6 +111,7 @@ def run_blocked_matmul(
     num_cores: int = 16,
     seed: int = 23,
     scoreboard: bool = True,
+    sim_engine: str | None = None,
 ) -> BlockedMatmulResult:
     """Execute the full blocked matmul schedule and verify it.
 
@@ -123,6 +124,8 @@ def run_blocked_matmul(
         num_cores: Cores running the compute phases.
         seed: RNG seed for the operand matrices.
         scoreboard: Use the non-blocking-load core model.
+        sim_engine: Simulation engine override (``"fast"``/
+            ``"reference"``; ``None`` uses the process default).
 
     Returns:
         The measured decomposition and a correctness flag.
@@ -159,7 +162,7 @@ def run_blocked_matmul(
                 cluster.write_words(base_b, [int(v) & 0xFFFFFFFF for v in b_tile.flat])
                 # Compute phase: accumulate on the simulated cluster.
                 cluster.load_program(program, num_cores=num_cores, scoreboard=scoreboard)
-                result = run_cluster(cluster)
+                result = run_cluster(cluster, engine=sim_engine)
                 compute_cycles += result.cycles
                 phases += 1
             # Write the finished output tile back.

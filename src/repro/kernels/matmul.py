@@ -201,6 +201,7 @@ def run_matmul(
     seed: int = 7,
     max_cycles: int = 5_000_000,
     scoreboard: bool = False,
+    sim_engine: str | None = None,
 ) -> MatmulRun:
     """Simulate an ``n x n`` matmul on the cluster and verify it.
 
@@ -213,6 +214,8 @@ def run_matmul(
         max_cycles: Simulation safety limit.
         scoreboard: Use the non-blocking-load core model (hides SPM
             latency, approaching the paper's ~3-cycle-per-MAC kernels).
+        sim_engine: Simulation engine override (``"fast"``/
+            ``"reference"``; ``None`` uses the process default).
 
     Returns:
         Cycle count, correctness flag, and measured per-core MAC CPI.
@@ -237,7 +240,7 @@ def run_matmul(
     else:
         program = matmul_program_simple(layout, num_cores)
     cluster.load_program(program, num_cores=num_cores, scoreboard=scoreboard)
-    result = run_cluster(cluster, max_cycles=max_cycles)
+    result = run_cluster(cluster, max_cycles=max_cycles, engine=sim_engine)
 
     produced = np.array(
         cluster.read_words(layout.base_c, n * n), dtype=np.uint64

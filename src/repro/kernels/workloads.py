@@ -284,7 +284,12 @@ def stencil5_program(
 
 
 def run_matvec(
-    config: MemPoolConfig, rows: int, cols: int, num_cores: int, seed: int = 19
+    config: MemPoolConfig,
+    rows: int,
+    cols: int,
+    num_cores: int,
+    seed: int = 19,
+    sim_engine: str | None = None,
 ) -> WorkloadRun:
     """Simulate and verify a matrix-vector product."""
     rng = np.random.default_rng(seed)
@@ -301,7 +306,7 @@ def run_matvec(
         matvec_program(rows, cols, num_cores, base_m, base_x, base_y),
         num_cores=num_cores,
     )
-    result = run_cluster(cluster)
+    result = run_cluster(cluster, engine=sim_engine)
     produced = np.array(cluster.read_words(base_y, rows), dtype=np.uint64)
     expected = ((m @ x) & 0xFFFFFFFF).astype(np.uint64)
     correct = bool((produced == expected).all())
@@ -309,7 +314,12 @@ def run_matvec(
 
 
 def run_stencil5(
-    config: MemPoolConfig, width: int, height: int, num_cores: int, seed: int = 29
+    config: MemPoolConfig,
+    width: int,
+    height: int,
+    num_cores: int,
+    seed: int = 29,
+    sim_engine: str | None = None,
 ) -> WorkloadRun:
     """Simulate and verify a 5-point Laplacian stencil."""
     rng = np.random.default_rng(seed)
@@ -333,7 +343,7 @@ def run_stencil5(
         stencil5_program(width, height, num_cores, base_in, base_out),
         num_cores=num_cores,
     )
-    result = run_cluster(cluster)
+    result = run_cluster(cluster, engine=sim_engine)
     produced = np.array(
         cluster.read_words(base_out, out_h * out_w), dtype=np.uint64
     ).reshape(out_h, out_w)
@@ -342,7 +352,11 @@ def run_stencil5(
 
 
 def run_dotp(
-    config: MemPoolConfig, num_elements: int, num_cores: int, seed: int = 11
+    config: MemPoolConfig,
+    num_elements: int,
+    num_cores: int,
+    seed: int = 11,
+    sim_engine: str | None = None,
 ) -> WorkloadRun:
     """Simulate and verify a dot product."""
     rng = np.random.default_rng(seed)
@@ -358,7 +372,7 @@ def run_dotp(
         dotp_program(num_elements, num_cores, base_a, base_b, base_out),
         num_cores=num_cores,
     )
-    result = run_cluster(cluster)
+    result = run_cluster(cluster, engine=sim_engine)
     partials = cluster.read_words(base_out, num_cores)
     total = sum(p - 0x100000000 if p & 0x80000000 else p for p in partials)
     correct = (total & 0xFFFFFFFF) == (int(a @ b) & 0xFFFFFFFF)
@@ -371,6 +385,7 @@ def run_axpy(
     num_cores: int,
     scalar: int = 3,
     seed: int = 13,
+    sim_engine: str | None = None,
 ) -> WorkloadRun:
     """Simulate and verify an AXPY."""
     rng = np.random.default_rng(seed)
@@ -385,7 +400,7 @@ def run_axpy(
         axpy_program(num_elements, num_cores, scalar, base_x, base_y),
         num_cores=num_cores,
     )
-    result = run_cluster(cluster)
+    result = run_cluster(cluster, engine=sim_engine)
     produced = np.array(cluster.read_words(base_y, num_elements), dtype=np.uint64)
     expected = ((y + scalar * x) & 0xFFFFFFFF).astype(np.uint64)
     correct = bool((produced == expected).all())
@@ -393,7 +408,12 @@ def run_axpy(
 
 
 def run_conv2d(
-    config: MemPoolConfig, width: int, height: int, num_cores: int, seed: int = 17
+    config: MemPoolConfig,
+    width: int,
+    height: int,
+    num_cores: int,
+    seed: int = 17,
+    sim_engine: str | None = None,
 ) -> WorkloadRun:
     """Simulate and verify a 3x3 valid convolution."""
     rng = np.random.default_rng(seed)
@@ -416,7 +436,7 @@ def run_conv2d(
         conv2d_3x3_program(width, height, num_cores, base_in, base_kernel, base_out),
         num_cores=num_cores,
     )
-    result = run_cluster(cluster)
+    result = run_cluster(cluster, engine=sim_engine)
     produced = np.array(
         cluster.read_words(base_out, out_h * out_w), dtype=np.uint64
     ).reshape(out_h, out_w)

@@ -1,7 +1,16 @@
 """Cycle-driven simulation engine and off-chip memory model."""
 
 from .dma import DMACore, DMARequest, dma_fill
-from .engine import Engine, SimulationResult, SimulationTimeout, run_cluster
+from .engine import (
+    Engine,
+    SIM_ENGINES,
+    SimulationResult,
+    SimulationTimeout,
+    default_sim_engine,
+    run_cluster,
+    set_default_sim_engine,
+)
+from .fast import FastEngine
 from .memsys import (
     DDR_CHANNEL_BYTES_PER_CYCLE,
     OffChipMemory,
@@ -11,6 +20,7 @@ from .trace import ClusterTrace, collect_trace
 
 __all__ = [
     "ClusterTrace", "DDR_CHANNEL_BYTES_PER_CYCLE", "DMACore", "DMARequest",
-    "Engine", "OffChipMemory", "PAPER_BANDWIDTH_SWEEP", "SimulationResult",
-    "SimulationTimeout", "collect_trace", "dma_fill", "run_cluster",
+    "Engine", "FastEngine", "OffChipMemory", "PAPER_BANDWIDTH_SWEEP",
+    "SIM_ENGINES", "SimulationResult", "SimulationTimeout", "collect_trace",
+    "default_sim_engine", "dma_fill", "run_cluster", "set_default_sim_engine",
 ]

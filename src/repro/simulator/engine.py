@@ -4,14 +4,28 @@ Steps every core of a :class:`repro.arch.cluster.MemPoolCluster` once per
 cycle until all cores halt (or a cycle limit trips).  The engine also keeps
 the cluster barrier's population consistent when cores halt, so barriers
 cannot deadlock on already-finished cores.
+
+This reference :class:`Engine` is the oracle; :func:`run_cluster`
+dispatches between it and the bit-identical fast path in
+:mod:`repro.simulator.fast` (see :func:`set_default_sim_engine` and the
+``REPRO_SIM_ENGINE`` environment variable).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from typing import Optional
 
 from ..arch.cluster import MemPoolCluster
 from ..arch.snitch import CoreState
+
+#: Selectable simulation engines: the fast SoA path (with automatic
+#: fallback) and the reference cycle-by-cycle stepper.
+SIM_ENGINES = ("fast", "reference")
+
+#: Environment variable seeding the default engine choice.
+SIM_ENGINE_ENV = "REPRO_SIM_ENGINE"
 
 
 class SimulationTimeout(RuntimeError):
@@ -64,21 +78,23 @@ class Engine:
         """
         cores = self.cluster.cores
         barrier = self.cluster.barrier
-        halted_seen = 0
+        halted = CoreState.HALTED
         active = list(cores)
         while active:
             if self.cycle >= self.max_cycles:
                 raise SimulationTimeout(
                     f"{len(active)} cores still running after {self.cycle} cycles"
                 )
+            newly_halted = 0
             for core in active:
                 core.step(self.cycle)
-            still_active = [c for c in active if c.state is not CoreState.HALTED]
-            newly_halted = len(active) - len(still_active)
+                if core.state is halted:
+                    newly_halted += 1
+            # Only rebuild the active list on the (rare) cycles where a
+            # core actually halted; most cycles skip the list churn.
             if newly_halted:
-                halted_seen += newly_halted
+                active = [c for c in active if c.state is not halted]
                 barrier.reduce_parties(newly_halted)
-            active = still_active
             self.cycle += 1
 
         return SimulationResult(
@@ -88,6 +104,61 @@ class Engine:
         )
 
 
-def run_cluster(cluster: MemPoolCluster, max_cycles: int = 5_000_000) -> SimulationResult:
-    """Convenience wrapper: build an :class:`Engine` and run it."""
+_default_sim_engine = os.environ.get(SIM_ENGINE_ENV, "fast")
+
+
+def default_sim_engine() -> str:
+    """The engine :func:`run_cluster` uses when none is requested."""
+    return _default_sim_engine
+
+
+def set_default_sim_engine(name: str) -> str:
+    """Set the default simulation engine; returns the previous default.
+
+    Also exports :data:`SIM_ENGINE_ENV` so spawned worker processes
+    inherit the choice.
+
+    Raises:
+        ValueError: On an unknown engine name.
+    """
+    global _default_sim_engine
+    if name not in SIM_ENGINES:
+        raise ValueError(
+            f"unknown simulation engine {name!r}; pick from {SIM_ENGINES}"
+        )
+    previous = _default_sim_engine
+    _default_sim_engine = name
+    os.environ[SIM_ENGINE_ENV] = name
+    return previous
+
+
+def run_cluster(
+    cluster: MemPoolCluster,
+    max_cycles: int = 5_000_000,
+    engine: Optional[str] = None,
+) -> SimulationResult:
+    """Simulate a loaded cluster to completion.
+
+    Args:
+        cluster: A cluster with a program loaded.
+        max_cycles: Safety limit.
+        engine: ``"fast"`` (SoA stepper with event fast-forward, falling
+            back to the reference for unsupported setups) or
+            ``"reference"`` (the cycle-by-cycle oracle).  ``None`` uses
+            :func:`default_sim_engine`.  Both produce bit-identical
+            results; the choice only affects wall-clock time.
+
+    Raises:
+        ValueError: On an unknown engine name.
+    """
+    name = engine if engine is not None else _default_sim_engine
+    if name not in SIM_ENGINES:
+        raise ValueError(
+            f"unknown simulation engine {name!r}; pick from {SIM_ENGINES}"
+        )
+    if name == "fast":
+        from .fast import FastEngine  # local: keeps the oracle import-light
+
+        if FastEngine.supports(cluster):
+            return FastEngine(cluster, max_cycles=max_cycles).run()
     return Engine(cluster, max_cycles=max_cycles).run()

@@ -23,16 +23,21 @@ from .spec import Job, SweepSpec
 from .store import ResultStore, record_to_point
 
 
-def evaluate_job(job: Job) -> DesignPoint:
+def evaluate_job(job: Job, stage_root: Optional[str] = None) -> DesignPoint:
     """Evaluate one job (top-level and picklable: safe to ship to workers).
 
     Runs the job's canonical scenario through the ``repro.api`` pipeline,
     so the sweep engine shares one evaluation path with every other
     consumer — including workloads registered via ``@register_workload``.
+    ``stage_root`` keys the per-process stage memo (see
+    :func:`repro.engine.core.evaluate_job`).
     """
     from ..engine.core import evaluate_job as _evaluate
 
-    return _evaluate(job)
+    return _evaluate(job, stage_root=stage_root)
+
+
+evaluate_job.supports_stage_root = True  # type: ignore[attr-defined]
 
 
 @dataclass(frozen=True)

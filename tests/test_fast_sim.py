@@ -1,0 +1,372 @@
+"""Fast-engine equivalence: bit-for-bit against the reference oracle.
+
+Every workload the evaluation stack simulates must produce *identical*
+results — cycles, instructions, barrier episodes, per-core stall
+breakdowns, fabric counters, and SPM contents — on the fast SoA engine
+and the reference cycle-by-cycle engine.  These tests run both engines
+on fresh clusters and diff everything observable.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.cluster import MemPoolCluster
+from repro.arch.isa import ProgramBuilder
+from repro.core.config import Flow, MemPoolConfig
+from repro.kernels.blocked import run_blocked_matmul
+from repro.kernels.tiling import TilingPlan
+from repro.kernels.workloads import (
+    run_axpy,
+    run_conv2d,
+    run_dotp,
+    run_matvec,
+    run_stencil5,
+)
+from repro.simulator.engine import (
+    Engine,
+    SimulationTimeout,
+    default_sim_engine,
+    run_cluster,
+    set_default_sim_engine,
+)
+from repro.simulator.fast import FastEngine
+from repro.simulator.memsys import OffChipMemory
+from repro.simulator.trace import collect_trace
+
+WORKLOADS = {
+    "dotp": lambda config, cores, engine: run_dotp(
+        config, 96, cores, sim_engine=engine
+    ),
+    "axpy": lambda config, cores, engine: run_axpy(
+        config, 96, cores, sim_engine=engine
+    ),
+    "conv2d": lambda config, cores, engine: run_conv2d(
+        config, 10, 10, cores, sim_engine=engine
+    ),
+    "matvec": lambda config, cores, engine: run_matvec(
+        config, 20, 20, cores, sim_engine=engine
+    ),
+    "stencil5": lambda config, cores, engine: run_stencil5(
+        config, 10, 10, cores, sim_engine=engine
+    ),
+}
+
+
+def _config(flow: str) -> MemPoolConfig:
+    return MemPoolConfig(capacity_mib=1, flow=Flow(flow))
+
+
+class TestWorkloadEquivalence:
+    """Bit-for-bit over every simulator workload x cores x flows."""
+
+    @pytest.mark.parametrize("flow", ["2D", "3D"])
+    @pytest.mark.parametrize("cores", [1, 4, 16])
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    def test_bit_for_bit(self, workload, cores, flow):
+        runner = WORKLOADS[workload]
+        ref = runner(_config(flow), cores, "reference")
+        fast = runner(_config(flow), cores, "fast")
+        assert ref.correct and fast.correct
+        assert fast.cycles == ref.cycles
+        assert fast.instructions == ref.instructions
+
+    @pytest.mark.parametrize("scoreboard", [False, True])
+    def test_blocked_matmul_bit_for_bit(self, scoreboard):
+        plan = TilingPlan(matrix_dim=8, tile_size=4, word_bytes=4)
+        outcomes = {}
+        for engine in ("reference", "fast"):
+            outcomes[engine] = run_blocked_matmul(
+                _config("2D"), plan, OffChipMemory(), num_cores=4,
+                scoreboard=scoreboard, sim_engine=engine,
+            )
+        ref, fast = outcomes["reference"], outcomes["fast"]
+        assert ref.correct and fast.correct
+        assert fast.compute_cycles == ref.compute_cycles
+        assert fast.total_cycles == ref.total_cycles
+
+
+def _diff_clusters(build, load, max_cycles=5_000_000):
+    """Run the same program under both engines; diff everything."""
+    results = {}
+    for engine_name in ("reference", "fast"):
+        cluster = build()
+        load(cluster)
+        if engine_name == "reference":
+            result = Engine(cluster, max_cycles=max_cycles).run()
+        else:
+            assert FastEngine.supports(cluster)
+            result = FastEngine(cluster, max_cycles=max_cycles).run()
+        results[engine_name] = (cluster, result)
+    ref_cluster, ref = results["reference"]
+    fast_cluster, fast = results["fast"]
+
+    assert fast.cycles == ref.cycles
+    assert fast.instructions == ref.instructions
+    assert fast.barrier_episodes == ref.barrier_episodes
+    # per-core architectural + microarchitectural state
+    for ref_core, fast_core in zip(ref_cluster.cores, fast_cluster.cores):
+        assert fast_core.regs == ref_core.regs
+        assert fast_core.pc == ref_core.pc
+        assert fast_core.state == ref_core.state
+        assert vars(fast_core.stats) == vars(ref_core.stats)
+    # fabric and cache counters
+    assert vars(fast_cluster.router.stats) == vars(ref_cluster.router.stats)
+    for ref_tile, fast_tile in zip(ref_cluster.tiles, fast_cluster.tiles):
+        assert vars(fast_tile.port_stats) == vars(ref_tile.port_stats)
+        assert vars(fast_tile.icache.stats) == vars(ref_tile.icache.stats)
+        for ref_bank, fast_bank in zip(
+            ref_tile.spm.banks, fast_tile.spm.banks
+        ):
+            assert vars(fast_bank.stats) == vars(ref_bank.stats)
+    # full SPM image
+    assert (
+        fast_cluster.export_spm() == ref_cluster.export_spm()
+    ).all()
+    trace_ref = collect_trace(ref_cluster, ref.cycles)
+    trace_fast = collect_trace(fast_cluster, fast.cycles)
+    assert trace_fast == trace_ref
+    return ref
+
+
+class TestEngineStateEquivalence:
+    """Deep diffs: stats, traces, and memory images match exactly."""
+
+    @pytest.mark.parametrize("scoreboard", [False, True])
+    @pytest.mark.parametrize("cores", [1, 4, 16])
+    def test_matmul_full_state(self, cores, scoreboard):
+        from repro.kernels.matmul import MatmulLayout, matmul_program_blocked
+
+        layout = MatmulLayout(n=8)
+        program = matmul_program_blocked(layout, cores)
+
+        def load(cluster):
+            cluster.write_words(layout.base_a, list(range(1, 65)))
+            cluster.write_words(layout.base_b, list(range(101, 165)))
+            cluster.load_program(
+                program, num_cores=cores, scoreboard=scoreboard
+            )
+
+        _diff_clusters(lambda: MemPoolCluster(_config("2D")), load)
+
+    @pytest.mark.parametrize("scoreboard", [False, True])
+    def test_cold_icache_full_state(self, scoreboard):
+        """hot_icache=False exercises the simulated-fetch path."""
+        from repro.simulator.program import vector_add_program
+
+        program = vector_add_program(64, 8, 0, 512, 1024)
+
+        def load(cluster):
+            cluster.write_words(0, list(range(64)))
+            cluster.write_words(512, list(range(64)))
+            cluster.load_program(
+                program, num_cores=8, hot_icache=False, scoreboard=scoreboard
+            )
+
+        _diff_clusters(lambda: MemPoolCluster(_config("2D")), load)
+
+    def test_timeout_equivalence(self):
+        """Both engines raise the same timeout at the same limit, leaving
+        identical per-core state — including a core deadlocked on a
+        barrier (asleep, fast-forwarded past) at the moment of timeout."""
+        builder = ProgramBuilder()
+        builder.csrr_hartid(1)
+        builder.li(2, 1)
+        builder.blt(1, 2, "spin")  # hart 0 spins; hart 1+ joins a barrier
+        builder.barrier()          # never releases: hart 0 never arrives
+        builder.halt()
+        builder.label("spin")
+        builder.j("spin")
+        program = builder.build()
+        observed = {}
+        for engine in ("reference", "fast"):
+            cluster = MemPoolCluster(_config("2D"))
+            cluster.load_program(program, num_cores=4)
+            with pytest.raises(SimulationTimeout) as excinfo:
+                run_cluster(cluster, max_cycles=200, engine=engine)
+            observed[engine] = (
+                str(excinfo.value),
+                [vars(core.stats) for core in cluster.cores],
+                [core.state for core in cluster.cores],
+            )
+        assert observed["fast"] == observed["reference"]
+
+    def test_fault_mirrors_progress_like_reference(self):
+        """A wild address aborts the run but leaves prior progress
+        (SPM writes, retired-instruction counts) on the cluster, as the
+        in-place reference engine does."""
+        builder = ProgramBuilder()
+        builder.li(1, 42)
+        builder.li(2, 4)
+        builder.sw(1, 2, 0)
+        builder.li(3, 0x7FFFFFF0)
+        builder.lw(4, 3, 0)  # wild load: outside the SPM
+        builder.halt()
+        program = builder.build()
+        observed = {}
+        for engine in (Engine, FastEngine):
+            cluster = MemPoolCluster(_config("2D"))
+            cluster.load_program(program, num_cores=1)
+            with pytest.raises(ValueError, match="outside SPM"):
+                engine(cluster).run()
+            observed[engine] = (
+                cluster.read_words(4, 1)[0],
+                cluster.cores[0].stats.instructions,
+                cluster.cores[0].stats.cycles,
+            )
+        assert observed[FastEngine] == observed[Engine]
+
+    def test_barrier_deadlock_timeout(self):
+        """A never-released barrier times out identically (fast-forward)."""
+        builder = ProgramBuilder()
+        builder.csrr_hartid(1)
+        builder.li(2, 2)
+        builder.blt(1, 2, "wait")  # only harts 0 and 1 join the barrier
+        builder.halt()
+        builder.label("wait")
+        builder.barrier()
+        builder.halt()
+        program = builder.build()
+        for engine in ("reference", "fast"):
+            cluster = MemPoolCluster(_config("2D"))
+            cluster.load_program(program, num_cores=2)
+            # with all participants arriving this terminates...
+            result = run_cluster(cluster, max_cycles=500, engine=engine)
+            assert result.barrier_episodes == 1
+
+
+class TestDispatchAndFallback:
+    def test_default_engine_is_fast(self):
+        assert default_sim_engine() in ("fast", "reference")
+
+    def test_set_default_round_trips(self):
+        previous = set_default_sim_engine("reference")
+        try:
+            assert default_sim_engine() == "reference"
+        finally:
+            set_default_sim_engine(previous)
+
+    def test_unknown_engine_rejected(self):
+        cluster = MemPoolCluster(_config("2D"))
+        cluster.load_program(ProgramBuilder().halt().build(), num_cores=1)
+        with pytest.raises(ValueError, match="unknown simulation engine"):
+            run_cluster(cluster, engine="warp")
+
+    def test_unsupported_cluster_falls_back(self):
+        """A subclassed core model silently uses the reference engine."""
+        from repro.arch.snitch import SnitchCore
+
+        class TracingCore(SnitchCore):
+            pass
+
+        cluster = MemPoolCluster(_config("2D"))
+        cluster.load_program(ProgramBuilder().halt().build(), num_cores=2)
+        plain = cluster.cores[0]
+        traced = TracingCore(
+            core_id=0, program=plain.program, memory_port=plain.memory_port
+        )
+        traced.barrier_arrive = cluster.barrier.arrive
+        cluster.cores[0] = traced
+        assert not FastEngine.supports(cluster)
+        result = run_cluster(cluster, engine="fast")  # falls back, still runs
+        assert result.cycles >= 1
+        assert result.instructions == 2
+
+    def test_supports_standard_cluster(self):
+        cluster = MemPoolCluster(_config("2D"))
+        cluster.load_program(ProgramBuilder().halt().build(), num_cores=2)
+        assert FastEngine.supports(cluster)
+
+    def test_spm_export_import_roundtrip(self):
+        import numpy as np
+
+        cluster = MemPoolCluster(_config("2D"))
+        cluster.write_words(0, [7, 11, 13])
+        cluster.write_words(4096, [0xDEADBEEF])
+        image = cluster.export_spm()
+        assert image[0:3].tolist() == [7, 11, 13]
+        assert image[1024] == 0xDEADBEEF
+        image = np.array(image)
+        image[2] = 99
+        cluster.import_spm(image)
+        assert cluster.read_words(0, 3) == [7, 11, 99]
+
+
+# ---------------------------------------------------------------------------
+# Randomized differential testing: straight-line SPMD programs with
+# arithmetic, (conflicting) memory traffic, and barriers.
+
+reg = st.integers(min_value=1, max_value=7)
+imm = st.integers(min_value=-64, max_value=64)
+offset = st.integers(min_value=0, max_value=47)
+
+operation = st.one_of(
+    st.tuples(st.just("li"), reg, imm),
+    st.tuples(st.just("add"), reg, reg, reg),
+    st.tuples(st.just("sub"), reg, reg, reg),
+    st.tuples(st.just("addi"), reg, reg, imm),
+    st.tuples(st.just("mul"), reg, reg, reg),
+    st.tuples(st.just("mac"), reg, reg, reg),
+    st.tuples(st.just("lw"), reg, offset),
+    st.tuples(st.just("lw_post"), reg, offset),
+    st.tuples(st.just("sw"), reg, offset),
+    st.tuples(st.just("barrier")),
+)
+
+
+def _build_spmd(ops):
+    """A straight-line SPMD program; addresses salt with the hart id."""
+    b = ProgramBuilder()
+    b.csrr_hartid(1)
+    b.li(9, 4)
+    b.mul(9, 1, 9)  # x9 = 4 * hartid: per-core address salt
+    for op in ops:
+        name = op[0]
+        if name == "li":
+            b.li(op[1], op[2])
+        elif name == "add":
+            b.add(op[1], op[2], op[3])
+        elif name == "sub":
+            b.sub(op[1], op[2], op[3])
+        elif name == "addi":
+            b.addi(op[1], op[2], op[3])
+        elif name == "mul":
+            b.mul(op[1], op[2], op[3])
+        elif name == "mac":
+            b.mac(op[1], op[2], op[3])
+        elif name == "lw":
+            b.li(8, op[2] * 4)
+            b.lw(op[1], 8, 0)
+        elif name == "lw_post":
+            b.li(8, op[2] * 4)
+            b.add(8, 8, 9)
+            b.lw_postinc(op[1], 8, 4)
+        elif name == "sw":
+            b.li(8, op[2] * 4)
+            b.add(8, 8, 9)
+            b.sw(op[1], 8, 0)
+        elif name == "barrier":
+            b.barrier()
+    b.barrier()
+    b.halt()
+    return b.build()
+
+
+class TestRandomizedDifferential:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ops=st.lists(operation, min_size=1, max_size=24),
+        cores=st.integers(min_value=1, max_value=8),
+        scoreboard=st.booleans(),
+    )
+    def test_random_programs_match(self, ops, cores, scoreboard):
+        program = _build_spmd(ops)
+
+        def load(cluster):
+            cluster.write_words(0, [(i * 2654435761) & 0xFFFFFFFF
+                                    for i in range(128)])
+            cluster.load_program(
+                program, num_cores=cores, scoreboard=scoreboard
+            )
+
+        _diff_clusters(lambda: MemPoolCluster(_config("2D")), load)
