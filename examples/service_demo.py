@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Service demo: the async job API end to end, in one process.
+
+Starts a :class:`repro.service.ReproService` on an ephemeral port (the
+same server ``repro serve`` runs), then drives it through the typed
+:class:`repro.client.ServiceClient`: submits the paper's 56-point
+capacity x flow x bandwidth grid as a sweep job, streams the records
+back live over chunked NDJSON, re-submits the grid to show the shared
+cache answering without a single re-evaluation, and finishes with a
+synchronous single-scenario request and the `/v1/cache` document.
+
+Run:  python examples/service_demo.py
+"""
+
+import time
+
+from repro.client import ServiceClient
+from repro.service import ReproService
+from repro.sweep import SweepSpec
+
+#: 4 capacities x 2 flows x 7 bandwidths = the paper's 56-point grid.
+GRID = SweepSpec(bandwidths=(2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0))
+
+
+def main() -> None:
+    service = ReproService(port=0)  # memory-only cache; pass cache_dir=
+    with service.run_in_thread() as url:  # ...to persist across restarts
+        client = ServiceClient(url)
+        health = client.health()
+        print(f"service {health['version']} at {url}: {health['status']}")
+
+        # 1. Submit the grid and follow the stream as points complete.
+        job_id = client.submit_sweep(GRID)
+        print(f"\nsubmitted sweep {job_id}: {len(GRID)} design points")
+        t0 = time.perf_counter()
+        best = None
+        for record in client.iter_results(job_id):
+            edp = record["metrics"]["edp"]
+            if best is None or edp < best[0]:
+                best = (edp, record["job"])
+        cold_s = time.perf_counter() - t0
+        status = client.status(job_id)
+        print(f"cold sweep: {status['done']} records in {cold_s:.2f}s "
+              f"({status['cached']} cached)")
+        job = best[1]
+        print(f"best EDP {best[0]:.3e} Js: {job['capacity_mib']} MiB "
+              f"{job['flow']} @ {job['bandwidth']:g} B/cycle")
+
+        # 2. The same grid again: every record comes from the shared
+        #    tiered cache, nothing is re-evaluated.
+        t0 = time.perf_counter()
+        warm_id = client.submit_sweep(GRID)
+        records = list(client.iter_results(warm_id))
+        warm_s = time.perf_counter() - t0
+        sources = {record["source"] for record in records}
+        print(f"\nwarm sweep: {len(records)} records in {warm_s:.2f}s, "
+              f"sources={sorted(sources)}")
+
+        # 3. Ad-hoc synchronous evaluation: one request, records in-band.
+        scenario = {"capacity_mib": 4, "flow": "3D", "bandwidth": 16}
+        (record,) = client.run([scenario])
+        print(f"\nsync run {scenario}: edp={record['metrics']['edp']:.3e} "
+              f"Js (source: {record['source']})")
+
+        # 4. The cache document -- same shape as `repro cache stats --json`.
+        stats = client.cache_stats()
+        print(f"\ncache: {stats['entries']} entries, "
+              f"{stats['memory_hits']} memory hits, "
+              f"{stats['misses']} misses")
+
+
+if __name__ == "__main__":
+    main()

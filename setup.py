@@ -2,7 +2,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-mempool3d",
-    version="2.3.0",
+    version="2.4.0",
     description=(
         "Reproduction of MemPool-3D (DATE 2022): shared-L1 many-core "
         "cluster models, 2D/Macro-3D physical flows, a parallel cached "

@@ -29,7 +29,7 @@ from .core.config import (
 )
 from .core.metrics import GroupResult, KernelMetrics, NormalizedGroupResult, normalize
 
-__version__ = "2.2.0"
+__version__ = "2.4.0"
 
 #: Names re-exported lazily from the ``repro.api`` façade.
 _API_EXPORTS = (
@@ -62,6 +62,18 @@ _ENGINE_EXPORTS = (
     "register_backend",
 )
 
+#: Names re-exported lazily from the ``repro.service`` serving layer.
+_SERVICE_EXPORTS = (
+    "RemoteBackend",
+    "ReproService",
+)
+
+#: Names re-exported lazily from the ``repro.client`` SDK.
+_CLIENT_EXPORTS = (
+    "ServiceClient",
+    "ServiceError",
+)
+
 #: Names re-exported lazily from the ``repro.search`` optimizer.
 _SEARCH_EXPORTS = (
     "Choice",
@@ -92,6 +104,8 @@ __all__ = [
     *_API_EXPORTS,
     *_ENGINE_EXPORTS,
     *_SEARCH_EXPORTS,
+    *_SERVICE_EXPORTS,
+    *_CLIENT_EXPORTS,
 ]
 
 
@@ -102,6 +116,10 @@ def __getattr__(name: str):
         from . import engine as module
     elif name in _SEARCH_EXPORTS:
         from . import search as module
+    elif name in _SERVICE_EXPORTS:
+        from . import service as module
+    elif name in _CLIENT_EXPORTS:
+        from . import client as module
     else:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
     value = getattr(module, name)
@@ -115,4 +133,6 @@ def __dir__():
         | set(_API_EXPORTS)
         | set(_ENGINE_EXPORTS)
         | set(_SEARCH_EXPORTS)
+        | set(_SERVICE_EXPORTS)
+        | set(_CLIENT_EXPORTS)
     )

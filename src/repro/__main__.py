@@ -10,10 +10,12 @@ Usage::
     python -m repro explore --bandwidth 16
     python -m repro sweep --workers 4 --backend thread --progress
     python -m repro search --strategy evolutionary --budget 28
-    python -m repro cache stats
+    python -m repro cache stats [--json]
     python -m repro cache gc --keep-version
+    python -m repro cache merge worker-cache --cache-dir .sweep-cache
     python -m repro report results.jsonl --objective edp --pareto
     python -m repro experiments [table1 table2 fig6 fig789]
+    python -m repro serve --port 8787 --cache-dir .sweep-cache
 """
 
 from __future__ import annotations
@@ -252,11 +254,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     workers = getattr(backend, "workers", 1)
     print(f"sweeping {len(spec)} design points "
           f"({name} backend, {workers} worker{'s' if workers != 1 else ''})...")
-    outcome = executor.run(spec)
+    try:
+        outcome = executor.run(spec)
+    except KeyboardInterrupt:
+        return _interrupted("sweep", cached=not args.no_cache)
     print(outcome.stats.summary())
     print()
     print(summarize(outcome.records, top=args.top))
     return 1 if outcome.stats.failed else 0
+
+
+def _interrupted(command: str, cached: bool) -> int:
+    """Report a Ctrl-C cleanly: what survived, how to pick it back up."""
+    if cached:
+        print(f"\nrepro {command}: interrupted — completed evaluations are "
+              f"in the cache; resume with the same command.", file=sys.stderr)
+    else:
+        print(f"\nrepro {command}: interrupted (--no-cache: completed "
+              f"evaluations were not preserved).", file=sys.stderr)
+    return 130  # the conventional 128 + SIGINT exit status
 
 
 #: The `repro search` archive artifact a fresh (non-`--resume`) search
@@ -317,7 +333,10 @@ def _cmd_search(args: argparse.Namespace) -> int:
     print(f"searching a {size if size is not None else 'continuous'}-point "
           f"space: strategy={args.strategy} budget={args.budget} "
           f"objectives={','.join(searcher.objective_names)} seed={args.seed}")
-    outcome = searcher.run()
+    try:
+        outcome = searcher.run()
+    except KeyboardInterrupt:
+        return _interrupted("search", cached=not args.no_cache)
     print(outcome.report(top=args.top))
     if archive is not None:
         print(f"archive: {archive.path} "
@@ -358,10 +377,29 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_cache(args: argparse.Namespace) -> int:
     from .api.scenario import CODE_MODEL_VERSION
-    from .engine.cache import cache_clear, cache_gc, cache_stats
+    from .engine.cache import (
+        cache_clear,
+        cache_gc,
+        cache_stats,
+        merge_cache_dirs,
+    )
 
+    if args.action == "merge":
+        try:
+            merged = merge_cache_dirs(args.source, args.cache_dir)
+        except FileNotFoundError as exc:
+            print(f"repro cache merge: {exc}", file=sys.stderr)
+            return 1
+        print(f"merged {merged['records']} records and {merged['stages']} "
+              f"stage memos from {args.source} into {args.cache_dir}")
+        return 0
     if args.action == "stats":
+        # One code path for every consumer: this dict is exactly what
+        # the service serves on GET /v1/cache.
         stats = cache_stats(args.cache_dir)
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+            return 0
         print(f"cache {stats['path']}:")
         print(f"  entries:   {stats['entries']}")
         print(f"  bytes:     {stats['bytes']}")
@@ -394,6 +432,38 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments.runner import run_experiments
 
     return run_experiments(args.names)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import ReproService
+
+    _apply_sim_engine(args)
+    service = ReproService(
+        host=args.host,
+        port=args.port,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        backend=args.backend,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        max_active=args.max_active,
+    )
+
+    async def _serve() -> None:
+        url = await service.start()
+        cache = service.cache_dir or "memory-only"
+        print(f"serving on {url} (cache: {cache}; "
+              f"SIGTERM drains, Ctrl-C stops)", flush=True)
+        await service.serve_until_stopped()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nrepro serve: interrupted — active jobs cancelled; every "
+              "completed evaluation is in the cache.", file=sys.stderr)
+        return 130
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -562,15 +632,25 @@ def build_parser() -> argparse.ArgumentParser:
         ("stats", "entries, bytes, per-version counts, and hit rate"),
         ("clear", "delete every cache entry"),
         ("gc", "prune entries written under old code-model versions"),
+        ("merge", "fold another cache directory into this one"),
     ):
         p_action = cache_sub.add_parser(action, help=help_text)
         p_action.add_argument("--cache-dir", default=".sweep-cache",
                               help="cache directory (shared with sweep/search)")
+        if action == "stats":
+            p_action.add_argument("--json", action="store_true",
+                                  help="machine-readable output (the same "
+                                       "document the service serves on "
+                                       "GET /v1/cache)")
         if action == "gc":
             p_action.add_argument("--keep-version", nargs="?", default=None,
                                   const=None, metavar="VERSION",
                                   help="code-model version whose entries "
                                        "survive (default: the current one)")
+        if action == "merge":
+            p_action.add_argument("source", metavar="SRC_DIR",
+                                  help="cache directory to merge from "
+                                       "(e.g. a worker's private cache)")
         p_action.set_defaults(func=_cmd_cache)
 
     p_rep = sub.add_parser(
@@ -589,6 +669,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_x = sub.add_parser("experiments", help="regenerate tables/figures")
     p_x.add_argument("names", nargs="*", help="subset of experiments")
     p_x.set_defaults(func=_cmd_experiments)
+
+    p_srv = sub.add_parser(
+        "serve", help="run the async job API over the shared cache"
+    )
+    p_srv.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: loopback)")
+    p_srv.add_argument("--port", type=int, default=8787,
+                       help="bind port (0 picks a free one)")
+    p_srv.add_argument("--cache-dir", default=".sweep-cache",
+                       help="shared result cache (multi-writer safe; other "
+                            "sweeps and services may use it concurrently)")
+    p_srv.add_argument("--no-cache", action="store_true",
+                       help="serve from memory only (no disk cache)")
+    p_srv.add_argument("--backend", default=None,
+                       help="execution backend for evaluations "
+                            "(see `repro list backends`)")
+    p_srv.add_argument("--workers", type=int, default=0,
+                       help="workers for pool backends (0 = one per core)")
+    p_srv.add_argument("--queue-limit", type=int, default=64,
+                       dest="queue_limit",
+                       help="queued jobs before submissions get 429")
+    p_srv.add_argument("--max-active", type=int, default=2,
+                       dest="max_active",
+                       help="jobs executing concurrently")
+    p_srv.add_argument("--sim-engine", choices=("fast", "reference"),
+                       default=None, dest="sim_engine",
+                       help="cycle-simulator implementation (bit-identical)")
+    p_srv.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -1,0 +1,307 @@
+"""Client SDK for the repro service (stdlib ``http.client`` only).
+
+:class:`ServiceClient` speaks to a :class:`~repro.service.ReproService`
+(local or remote) and hands back the same typed record dicts the engine
+produces — a streamed search over HTTP yields exactly what
+:meth:`repro.engine.Engine.run_many` would have yielded in-process::
+
+    from repro.client import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8787")
+    job = client.submit_sweep(spec)
+    for record in client.iter_results(job):   # live NDJSON stream
+        ...
+    final = client.wait(job)                  # terminal snapshot
+
+Connection failures retry with exponential backoff (the service may be
+restarting behind us); :meth:`iter_results` additionally resumes a
+dropped stream from the last record it saw instead of replaying.
+HTTP-level errors surface as :class:`ServiceError` carrying the status
+code and the server's message.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Iterator, Optional
+from urllib.parse import urlsplit
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+DEFAULT_TIMEOUT_S = 30.0
+DEFAULT_RETRIES = 3
+DEFAULT_BACKOFF_S = 0.2
+
+#: Exceptions that mean "the connection died", not "the request failed".
+_RETRYABLE = (
+    ConnectionError,
+    socket.timeout,
+    socket.gaierror,
+    http.client.NotConnected,
+    http.client.BadStatusLine,
+    http.client.CannotSendRequest,
+    http.client.ResponseNotReady,
+    OSError,
+)
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level failure from the service."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+    @property
+    def retry_after_s(self) -> Optional[float]:
+        """Parsed ``Retry-After`` hint, if the server sent one."""
+        return getattr(self, "_retry_after_s", None)
+
+
+class ServiceClient:
+    """A connection-per-client handle on a running repro service.
+
+    Args:
+        url: Base URL, e.g. ``http://127.0.0.1:8787``.
+        timeout_s: Per-request socket timeout.
+        retries: Connection-failure retries per request (each rebuilds
+            the connection; HTTP error statuses are never retried).
+        backoff_s: Base of the exponential retry backoff.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        retries: int = DEFAULT_RETRIES,
+        backoff_s: float = DEFAULT_BACKOFF_S,
+    ) -> None:
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if parts.scheme not in ("", "http"):
+            raise ValueError(f"unsupported scheme {parts.scheme!r}")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 80
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str, body: Optional[dict] = None):
+        """One JSON request/response with connection retry."""
+        payload = None
+        if body is not None:
+            payload = json.dumps(body, sort_keys=True).encode("utf-8")
+        last: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self.backoff_s * 2 ** (attempt - 1))
+            try:
+                conn = self._connect()
+                conn.request(
+                    method,
+                    path,
+                    body=payload,
+                    headers={"Content-Type": "application/json"}
+                    if payload
+                    else {},
+                )
+                response = conn.getresponse()
+                raw = response.read()
+            except _RETRYABLE as exc:
+                self.close()
+                last = exc
+                continue
+            document = json.loads(raw) if raw else {}
+            if response.status >= 400:
+                error = ServiceError(
+                    response.status, document.get("error", raw.decode())
+                )
+                retry_after = response.getheader("Retry-After")
+                if retry_after is not None:
+                    try:
+                        error._retry_after_s = float(retry_after)
+                    except ValueError:
+                        pass
+                raise error
+            return document
+        raise ConnectionError(
+            f"cannot reach {self.host}:{self.port} "
+            f"after {self.retries + 1} attempts"
+        ) from last
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit_sweep(self, spec) -> str:
+        """Submit a sweep; returns the job id.
+
+        ``spec`` is a :class:`~repro.sweep.SweepSpec` or its
+        ``to_dict()`` form.
+        """
+        if hasattr(spec, "to_dict"):
+            spec = spec.to_dict()
+        return self._request("POST", "/v1/sweeps", {"spec": spec})["id"]
+
+    def submit_search(self, space, **options) -> str:
+        """Submit a search; returns the job id.
+
+        ``space`` is a :class:`~repro.search.SearchSpace` or its
+        ``to_dict()`` form; keyword options (``strategy``, ``budget``,
+        ``generation_size``, ``seed``, ``objectives``,
+        ``strategy_options``) pass through to the server's
+        :class:`~repro.search.Searcher`.
+        """
+        if hasattr(space, "to_dict"):
+            space = space.to_dict()
+        body = {"space": space, **options}
+        return self._request("POST", "/v1/searches", body)["id"]
+
+    def submit_runs(self, scenarios) -> str:
+        """Submit ad-hoc scenarios as an async job; returns the job id."""
+        return self._request(
+            "POST", "/v1/runs", {"scenarios": _scenario_dicts(scenarios)}
+        )["id"]
+
+    def run(self, scenarios) -> list[dict]:
+        """Evaluate scenarios synchronously; returns their records."""
+        return self._request(
+            "POST",
+            "/v1/runs",
+            {"scenarios": _scenario_dicts(scenarios), "sync": True},
+        )["records"]
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+    def status(self, job_id: str) -> dict:
+        """The job's status snapshot."""
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        """Snapshots of every job the service knows."""
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        """Request cancellation; returns the post-cancel snapshot."""
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def results(self, job_id: str, start: int = 0) -> list[dict]:
+        """Records accumulated so far (non-blocking), from ``start``."""
+        return self._request(
+            "GET", f"/v1/jobs/{job_id}/results?from={start}"
+        )["records"]
+
+    def health(self) -> dict:
+        return self._request("GET", "/v1/health")
+
+    def cache_stats(self) -> dict:
+        """The service's cache-tier statistics."""
+        return self._request("GET", "/v1/cache")
+
+    def iter_results(self, job_id: str) -> Iterator[dict]:
+        """Stream a job's records live until it reaches a terminal state.
+
+        Yields each record dict exactly once, in completion order.  If
+        the stream connection drops, reconnects (with backoff) and
+        resumes from the last record seen.
+        """
+        seen = 0
+        attempt = 0
+        while True:
+            try:
+                conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout_s
+                )
+                conn.request(
+                    "GET", f"/v1/jobs/{job_id}/results?stream=1&from={seen}"
+                )
+                response = conn.getresponse()
+                if response.status >= 400:
+                    raw = response.read()
+                    try:
+                        message = json.loads(raw).get("error", "")
+                    except json.JSONDecodeError:
+                        message = raw.decode("utf-8", "replace")
+                    raise ServiceError(response.status, message)
+                # http.client decodes the chunked framing; each line is
+                # one record, the final line the job summary sentinel.
+                while True:
+                    line = response.readline()
+                    if not line:
+                        raise ConnectionError("stream ended early")
+                    document = json.loads(line)
+                    if "job" in document and "key" not in document:
+                        conn.close()
+                        return
+                    attempt = 0  # progress resets the retry budget
+                    seen += 1
+                    yield document
+            except ServiceError:
+                raise
+            except _RETRYABLE as exc:
+                attempt += 1
+                if attempt > self.retries:
+                    raise ConnectionError(
+                        f"result stream for {job_id} kept failing"
+                    ) from exc
+                time.sleep(self.backoff_s * 2 ** (attempt - 1))
+
+    def wait(
+        self,
+        job_id: str,
+        timeout_s: Optional[float] = None,
+        poll_s: float = 0.1,
+    ) -> dict:
+        """Block until the job is terminal; returns the final snapshot.
+
+        Raises:
+            TimeoutError: If ``timeout_s`` elapses first.
+        """
+        deadline = None if timeout_s is None else time.time() + timeout_s
+        while True:
+            snapshot = self.status(job_id)
+            if snapshot["state"] in ("done", "failed", "cancelled"):
+                return snapshot
+            if deadline is not None and time.time() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {snapshot['state']} "
+                    f"after {timeout_s}s"
+                )
+            time.sleep(poll_s)
+
+
+def _scenario_dicts(scenarios) -> list[dict]:
+    """Normalize scenarios/jobs/dicts into scenario dicts for the wire."""
+    documents = []
+    for item in scenarios:
+        if hasattr(item, "scenario"):  # a Job
+            item = item.scenario()
+        if hasattr(item, "to_dict"):  # a Scenario
+            item = item.to_dict()
+        documents.append(item)
+    return documents

@@ -57,6 +57,7 @@ from .cache import (
     cache_clear,
     cache_gc,
     cache_stats,
+    merge_cache_dirs,
     stage_cache_for,
 )
 from .core import Engine, EngineOutcome, EngineStats, evaluate_job
@@ -81,6 +82,7 @@ __all__ = [
     "cache_stats",
     "evaluate_job",
     "get_backend",
+    "merge_cache_dirs",
     "register_backend",
     "resolve_backend",
     "run_one",

@@ -233,6 +233,15 @@ class ProcessBackend:
                     yield from future.result()
 
 
+# The fourth built-in backend ships with the serving layer (it needs
+# the wire protocol); importing it here registers ``remote`` so the
+# name resolves everywhere backends do.  No cycle: the pool only
+# imports this module lazily, inside functions.
+from ..service.pool import RemoteBackend  # noqa: E402
+
+BACKENDS.register("remote", RemoteBackend)
+
+
 def resolve_backend(
     backend, workers: int = 0, mp_context=None, chunksize=None
 ) -> ExecutionBackend:

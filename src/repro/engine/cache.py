@@ -31,11 +31,12 @@ import atexit
 import json
 import os
 import threading
+import time
 from collections import OrderedDict
 from pathlib import Path
 from typing import Optional
 
-from ..sweep.cache import ResultCache
+from ..sweep.cache import ResultCache, _FileLock, atomic_append
 from ..sweep.spec import Job
 
 #: Default bound of the in-memory tier.  Records are small dicts (a few
@@ -101,64 +102,101 @@ class TieredCache:
             in-memory (still useful: repeated points in one process).
         lru_size: Bound of the memory tier; ``0`` disables it, making
             this a thin counting wrapper over the disk tier.
+        stats_flush_interval_s: Minimum seconds between sidecar merges.
+            ``0`` (the default) persists counter growth on every
+            :meth:`flush_stats` call.  A service handling thousands of
+            small batches per second sets this to coalesce the locked
+            read-modify-write of ``stats.json`` (a ~0.3 ms serialised
+            disk rename per call otherwise); deltas accumulate
+            in-process and ``flush_stats(force=True)`` drains them.
     """
 
     def __init__(
         self,
         disk: Optional[ResultCache] = None,
         lru_size: int = DEFAULT_LRU_SIZE,
+        stats_flush_interval_s: float = 0.0,
     ) -> None:
         self.disk = disk
+        self.stats_flush_interval_s = stats_flush_interval_s
+        self._last_sidecar_merge = -float("inf")
         self.memory = LRUCache(lru_size)
         self.memory_hits = 0
         self.disk_hits = 0
         self.misses = 0
         self.stores = 0
         self._flushed = dict.fromkeys(_COUNTER_KEYS, 0)
+        # One engine per thread is the common case, but the service
+        # shares a cache across concurrent request handlers; the LRU's
+        # OrderedDict is not safe under concurrent mutation, so tier
+        # operations serialize on a short critical section.
+        self._lock = threading.Lock()
 
     def get(self, key: str) -> Optional[dict]:
         """Look up a record: memory tier first, disk promoted on hit."""
-        record = self.memory.get(key)
-        if record is not None:
-            self.memory_hits += 1
-            return record
-        if self.disk is not None:
-            record = self.disk.get(key)
+        with self._lock:
+            record = self.memory.get(key)
             if record is not None:
-                self.disk_hits += 1
-                self.memory.put(key, record)
+                self.memory_hits += 1
                 return record
-        self.misses += 1
-        return None
+            if self.disk is not None:
+                record = self.disk.get(key)
+                if record is not None:
+                    self.disk_hits += 1
+                    self.memory.put(key, record)
+                    return record
+            self.misses += 1
+            return None
 
     def put(self, record: dict) -> None:
         """Store a record in both tiers (must carry a ``key``)."""
         key = record.get("key")
         if not key:
             raise ValueError("cache records must carry a 'key'")
-        self.stores += 1
-        self.memory.put(key, record)
+        with self._lock:
+            self.stores += 1
+            self.memory.put(key, record)
         if self.disk is not None:
             self.disk.put(record)
+
+    def refresh(self) -> int:
+        """Fold other writers' disk appends into the persistent tier."""
+        if self.disk is None:
+            return 0
+        return self.disk.refresh()
 
     def counters(self) -> dict[str, int]:
         """The current in-process counter values."""
         return {name: getattr(self, name) for name in _COUNTER_KEYS}
 
-    def flush_stats(self) -> None:
+    def flush_stats(self, force: bool = False) -> None:
         """Merge counter growth since the last flush into the disk sidecar.
 
         In-process counters stay cumulative (callers diff them across
         batches); only the delta reaches disk.  A no-op without a disk
         tier.  Called by the engine once per batch, so the per-lookup
-        hot path never touches the filesystem.
+        hot path never touches the filesystem.  With a nonzero
+        ``stats_flush_interval_s`` the delta keeps accumulating until
+        the interval elapses (or ``force=True`` drains it), so per-batch
+        callers never serialise on the sidecar lock.
         """
+        if self.disk is None:
+            self._flushed = self.counters()
+            return
+        now = time.monotonic()
+        if (
+            not force
+            and self.stats_flush_interval_s > 0
+            and now - self._last_sidecar_merge < self.stats_flush_interval_s
+        ):
+            return
         counters = self.counters()
         delta = {
             name: counters[name] - self._flushed[name] for name in _COUNTER_KEYS
         }
         self._flushed = counters
-        if self.disk is None or not any(delta.values()):
+        self._last_sidecar_merge = now
+        if not any(delta.values()):
             return
         _merge_sidecar(self.disk.root / STATS_FILENAME, delta)
 
@@ -181,6 +219,7 @@ class StageCache:
     """
 
     FILENAME = "stages.jsonl"
+    LOCKNAME = "stages.lock"
 
     def __init__(self, root: str | Path | None = None) -> None:
         self.root = Path(root) if root is not None else None
@@ -188,35 +227,77 @@ class StageCache:
             self.root.mkdir(parents=True, exist_ok=True)
         self.path = self.root / self.FILENAME if self.root else None
         self._values: dict[str, object] = {}
+        self._stages: dict[str, str] = {}  # key -> stage name (for merges)
         self._physical: dict[str, object] = {}  # materialized GroupResults
+        self._offset = 0
         self.physical_hits = 0
         self.physical_evals = 0
         self.cycles_hits = 0
         self.cycles_evals = 0
         self._flushed = dict.fromkeys(STAGE_COUNTER_KEYS, 0)
         self._flush_lock = threading.Lock()
-        if self.path is not None and self.path.exists():
-            with self.path.open("r", encoding="utf-8") as fh:
-                for line in fh:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        record = json.loads(line)
-                    except json.JSONDecodeError:
-                        continue  # torn write from an interrupted run
-                    key = record.get("key")
-                    if key and "value" in record:
-                        self._values[key] = record["value"]
+        self._read_tail()
 
     def __len__(self) -> int:
         return len(self._values)
 
+    def _read_tail(self) -> int:
+        """Parse memo lines appended since the last read (see ResultCache).
+
+        Only complete lines advance the offset; a trailing fragment may
+        be another writer's append in flight and is retried next call.
+        """
+        if self.path is None or not self.path.exists():
+            return 0
+        with self.path.open("rb") as fh:
+            fh.seek(self._offset)
+            data = fh.read()
+        if not data:
+            return 0
+        end = data.rfind(b"\n")
+        if end < 0:
+            return 0
+        added = 0
+        for raw in data[: end + 1].splitlines():
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write from an interrupted run
+            key = record.get("key")
+            if key and "value" in record:
+                if key not in self._values:
+                    added += 1
+                self._values[key] = record["value"]
+                self._stages[key] = record.get("stage", "cycles")
+        self._offset += end + 1
+        return added
+
+    def items(self):
+        """Snapshot of ``(key, raw value)`` pairs (counters untouched)."""
+        return list(self._values.items())
+
+    def peek(self, key: str):
+        """The raw memoized value for ``key`` (counters untouched)."""
+        return self._values.get(key)
+
+    def stage_of(self, key: str) -> str:
+        """Which stage (``physical``/``cycles``) a memo key belongs to."""
+        return self._stages.get(key, "cycles")
+
+    def refresh(self) -> int:
+        """Fold memos appended by other writers into the in-process view."""
+        with self._flush_lock:
+            return self._read_tail()
+
     def _append(self, stage: str, key: str, value) -> None:
         from ..api.scenario import CODE_MODEL_VERSION
 
-        self._values[key] = value
         if self.path is None:
+            self._values[key] = value
+            self._stages[key] = stage
             return
         record = {
             "stage": stage,
@@ -225,13 +306,22 @@ class StageCache:
             "model_version": CODE_MODEL_VERSION,
         }
         try:
-            # One write call per line: concurrent workers appending to
-            # the same memo stay line-atomic in practice; a failed
-            # append only costs a recomputation later.
-            with self.path.open("a", encoding="utf-8") as fh:
-                fh.write(json.dumps(record, sort_keys=True) + "\n")
+            # Locked read-check-append: the tail another worker wrote is
+            # folded in first, so a stage memoized concurrently is not
+            # appended twice, and the single O_APPEND write keeps lines
+            # whole under concurrency.  A failed append only costs a
+            # recomputation later.
+            with self._flush_lock, _FileLock(self.root / self.LOCKNAME):
+                self._read_tail()
+                if self._values.get(key) != value:
+                    atomic_append(
+                        self.path, json.dumps(record, sort_keys=True) + "\n"
+                    )
+                    self._read_tail()
         except OSError:
             pass
+        self._values[key] = value
+        self._stages[key] = stage
 
     # -- physical stage -------------------------------------------------
     def get_physical(self, key: str):
@@ -328,22 +418,64 @@ def stage_cache_for(root: str | Path) -> StageCache:
 
 
 def _merge_sidecar(path: Path, delta: dict[str, int]) -> None:
-    """Fold counter deltas into the sidecar via an atomic replace.
+    """Fold counter deltas into the sidecar via a locked atomic replace.
 
-    The temp file is per-process, and a lost race (or any filesystem
-    error) simply drops this delta: simultaneous writers can overwrite
-    each other's increments, which is acceptable for advisory counters —
-    what must never happen is a torn file or a worker failure.
+    The read-modify-write runs under an advisory lockfile, so concurrent
+    writers (engines, service workers, cache merges) each land their
+    increments instead of overwriting each other's.  The temp file is
+    per-process and the final step an atomic rename, so a reader never
+    sees a torn file; where locking is unavailable a lost race drops a
+    delta, which is acceptable for advisory counters.
     """
-    merged = {**_load_sidecar(path)}
-    for name, value in delta.items():
-        merged[name] = merged.get(name, 0) + value
-    tmp = path.with_suffix(f".{os.getpid()}.tmp")
-    try:
-        tmp.write_text(json.dumps(merged, sort_keys=True), encoding="utf-8")
-        tmp.replace(path)
-    except OSError:
-        tmp.unlink(missing_ok=True)
+    from ..sweep.cache import _FileLock
+
+    with _FileLock(path.with_suffix(".lock")):
+        merged = {**_load_sidecar(path)}
+        for name, value in delta.items():
+            merged[name] = merged.get(name, 0) + value
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        try:
+            tmp.write_text(
+                json.dumps(merged, sort_keys=True), encoding="utf-8"
+            )
+            tmp.replace(path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+
+
+def merge_cache_dirs(src: str | Path, dst: str | Path) -> dict[str, int]:
+    """Fold one cache directory into another (a worker's into the shared root).
+
+    Copies every result record and stage memo ``dst`` does not already
+    hold (locked, atomic appends — safe while engines are actively using
+    either directory) and adds ``src``'s counter sidecar into ``dst``'s.
+    Returns ``{"records": n, "stages": n}`` — how many entries were new.
+
+    Raises:
+        FileNotFoundError: If ``src`` is not a directory.
+    """
+    src, dst = Path(src), Path(dst)
+    if not src.is_dir():
+        raise FileNotFoundError(f"no cache directory at {src}")
+    src_cache = ResultCache(src)
+    dst_cache = ResultCache(dst)
+    records = 0
+    for key in src_cache.keys():
+        if key not in dst_cache:
+            dst_cache.put(src_cache.get(key))
+            records += 1
+    stages = 0
+    src_stages = StageCache(src)
+    if len(src_stages):
+        dst_stages = StageCache(dst)
+        for key, value in src_stages.items():
+            if dst_stages.peek(key) != value:
+                dst_stages._append(src_stages.stage_of(key), key, value)
+                stages += 1
+    counters = _load_sidecar(src / STATS_FILENAME)
+    if counters:
+        _merge_sidecar(dst / STATS_FILENAME, counters)
+    return {"records": records, "stages": stages}
 
 
 def _load_sidecar(path: Path) -> dict[str, int]:

@@ -218,6 +218,10 @@ class Engine:
             job = self._job_of(item)
             jobs.setdefault(job.key, job)
 
+        # Adopt anything other writers (parallel engines, service
+        # workers, cache merges) appended to the shared disk tier since
+        # we last looked, so their evaluations serve as cache hits here.
+        self.cache.refresh()
         callback = on_result if on_result is not None else self.on_result
         total = len(jobs)
         done = 0

@@ -1,0 +1,54 @@
+"""repro as a service: an async job API over the shared engine.
+
+The serving layer turns the batch-oriented evaluation stack into a
+long-running system:
+
+* :mod:`~repro.service.server` — :class:`ReproService`, a stdlib-asyncio
+  HTTP+JSON server (``repro serve``) accepting sweep/search/run jobs,
+  streaming results as NDJSON, applying backpressure when full, and
+  draining gracefully on SIGTERM;
+* :mod:`~repro.service.jobs` — the in-memory job table (states,
+  progress, cancellation, result buffers);
+* :mod:`~repro.service.pool` — :class:`RemoteBackend`, the ``remote``
+  execution backend sharding jobs across worker subprocesses or hosts
+  with per-job timeouts, bounded retries, and worker-death recovery;
+* :mod:`~repro.service.worker` — the worker process serving the
+  NDJSON wire protocol (:mod:`~repro.service.protocol`) over stdio or
+  TCP.
+
+The matching client SDK lives in :mod:`repro.client`.
+
+Quick start::
+
+    from repro.service import ReproService
+
+    with ReproService(cache_dir=".sweep-cache").run_in_thread() as url:
+        ...  # point repro.client.ServiceClient (or curl) at `url`
+"""
+
+# Lazy exports (PEP 562), mirroring the top-level package: the engine
+# imports this package to register the ``remote`` backend, and eagerly
+# importing the server here (which itself builds on the engine) would
+# close an import cycle.
+_EXPORTS = {
+    "JobState": "jobs",
+    "ServiceJob": "jobs",
+    "RemoteBackend": "pool",
+    "PROTOCOL_VERSION": "protocol",
+    "ReproService": "server",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    return getattr(import_module(f".{module}", __name__), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,197 @@
+"""The service's in-memory job table: states, progress, result buffers.
+
+A :class:`ServiceJob` is one submitted unit of work (a sweep, a search,
+or a batch of runs).  Its lifecycle is::
+
+    queued -> running -> done | failed | cancelled
+       \\__________________________/
+            cancel() at any point
+
+Result records accumulate in an append-only buffer guarded by a
+condition variable, so any number of streaming consumers can block on
+:meth:`ServiceJob.wait_records` while the runner thread appends — the
+HTTP layer streams from here without ever touching engine internals.
+All mutation happens through methods; the HTTP layer only reads
+snapshots.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class JobState:
+    """Job lifecycle states (plain strings, JSON-friendly)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    #: States a job never leaves.
+    TERMINAL = frozenset({DONE, FAILED, CANCELLED})
+
+
+@dataclass
+class ServiceJob:
+    """One submitted job and everything observable about it."""
+
+    id: str
+    kind: str  # "sweep" | "search" | "run"
+    spec: dict
+    state: str = JobState.QUEUED
+    total: Optional[int] = None
+    done: int = 0
+    cached: int = 0
+    failed: int = 0
+    error: Optional[str] = None
+    submitted_s: float = field(default_factory=time.time)
+    started_s: Optional[float] = None
+    finished_s: Optional[float] = None
+    _records: list = field(default_factory=list, repr=False)
+    _cond: threading.Condition = field(
+        default_factory=threading.Condition, repr=False
+    )
+    _cancel: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    # -- runner side ----------------------------------------------------
+    def start(self) -> None:
+        with self._cond:
+            self.state = JobState.RUNNING
+            self.started_s = time.time()
+            self._cond.notify_all()
+
+    def set_total(self, total: int) -> None:
+        with self._cond:
+            self.total = int(total)
+            self._cond.notify_all()
+
+    def append(self, record: dict) -> None:
+        """Record one completed evaluation (runner thread)."""
+        with self._cond:
+            self._records.append(record)
+            self.done += 1
+            if record.get("source") == "cache":
+                self.cached += 1
+            if record.get("status") != "ok":
+                self.failed += 1
+            self._cond.notify_all()
+
+    def finish(self, state: str, error: Optional[str] = None) -> None:
+        with self._cond:
+            if self.state not in JobState.TERMINAL:
+                self.state = state
+                self.error = error
+                self.finished_s = time.time()
+            self._cond.notify_all()
+
+    # -- control --------------------------------------------------------
+    def cancel(self) -> bool:
+        """Request cancellation; returns False once the job is terminal.
+
+        A queued job is cancelled immediately; a running one stops at
+        its next completed record (the runner polls the flag).
+        """
+        with self._cond:
+            if self.state in JobState.TERMINAL:
+                return False
+            self._cancel.set()
+            if self.state == JobState.QUEUED:
+                self.state = JobState.CANCELLED
+                self.finished_s = time.time()
+            self._cond.notify_all()
+            return True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancel.is_set()
+
+    # -- observer side --------------------------------------------------
+    def snapshot(self) -> dict:
+        """The job's JSON status document (records excluded)."""
+        with self._cond:
+            return {
+                "id": self.id,
+                "kind": self.kind,
+                "state": self.state,
+                "total": self.total,
+                "done": self.done,
+                "cached": self.cached,
+                "failed": self.failed,
+                "error": self.error,
+                "submitted_s": self.submitted_s,
+                "started_s": self.started_s,
+                "finished_s": self.finished_s,
+                "results": len(self._records),
+            }
+
+    def records_since(self, index: int) -> tuple[list, bool]:
+        """``(new records, finished)`` past ``index`` (non-blocking)."""
+        with self._cond:
+            return (
+                list(self._records[index:]),
+                self.state in JobState.TERMINAL,
+            )
+
+    def wait_records(
+        self, index: int, timeout: Optional[float] = None
+    ) -> tuple[list, bool]:
+        """Block until records exist past ``index`` or the job finishes.
+
+        Returns ``(new records, finished)``; an empty list with
+        ``finished=False`` means the wait timed out (callers loop).
+        """
+        with self._cond:
+            self._cond.wait_for(
+                lambda: len(self._records) > index
+                or self.state in JobState.TERMINAL,
+                timeout=timeout,
+            )
+            return (
+                list(self._records[index:]),
+                self.state in JobState.TERMINAL,
+            )
+
+
+class JobTable:
+    """Thread-safe registry of every job the service has accepted."""
+
+    def __init__(self) -> None:
+        self._jobs: dict[str, ServiceJob] = {}
+        self._lock = threading.Lock()
+        self._seq = itertools.count(1)
+
+    def create(self, kind: str, spec: dict) -> ServiceJob:
+        with self._lock:
+            job = ServiceJob(id=f"j{next(self._seq):06d}", kind=kind, spec=spec)
+            self._jobs[job.id] = job
+            return job
+
+    def get(self, job_id: str) -> Optional[ServiceJob]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[ServiceJob]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def counts(self) -> dict[str, int]:
+        """Jobs per state (absent states omitted)."""
+        counts: dict[str, int] = {}
+        for job in self.jobs():
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return counts
+
+    def pending(self) -> int:
+        """Jobs still owed work (queued or running)."""
+        return sum(
+            1 for job in self.jobs() if job.state not in JobState.TERMINAL
+        )
+
+    def queued(self) -> int:
+        return sum(1 for job in self.jobs() if job.state == JobState.QUEUED)

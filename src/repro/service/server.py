@@ -1,0 +1,634 @@
+"""The repro job API: a stdlib-asyncio HTTP+JSON server over the engine.
+
+:class:`ReproService` turns the batch evaluation stack into a
+long-running system.  Clients submit sweeps, searches, or ad-hoc runs;
+the service executes them on a shared :class:`~repro.engine.Engine`
+(one tiered cache, one backend) and streams results back as NDJSON.
+
+Endpoints (all JSON; NDJSON where noted)::
+
+    POST /v1/sweeps                {"spec": {...SweepSpec.to_dict...}}
+    POST /v1/searches              {"space": {...}, "strategy": ..., ...}
+    POST /v1/runs                  {"scenarios": [...], "sync": bool}
+    GET  /v1/jobs                  job snapshots
+    GET  /v1/jobs/{id}             one snapshot
+    POST /v1/jobs/{id}/cancel      request cancellation
+    GET  /v1/jobs/{id}/results     records so far; ?stream=1 follows the
+                                   job live as chunked NDJSON
+    GET  /v1/cache                 cache tier statistics
+    GET  /v1/health                liveness + drain state + job counts
+
+Operational behaviour:
+
+* **Backpressure** — submissions beyond ``queue_limit`` queued jobs get
+  ``429`` with ``Retry-After``; the job table never grows unboundedly
+  faster than the runners drain it.
+* **Graceful drain** — SIGTERM (or :meth:`ReproService.request_drain`)
+  stops admitting work (``503``), lets active jobs finish, then exits.
+  Because every record lands in the shared multi-writer cache the
+  moment it completes, even a hard kill loses no finished evaluation.
+* **Sync fast path** — ``POST /v1/runs`` with ``"sync": true`` answers
+  with the records in the response body, skipping the job table; against
+  a warm cache this serves thousands of requests per second.
+
+The server is written against ``asyncio.start_server`` directly — a
+deliberately small HTTP/1.1 subset (keep-alive, Content-Length bodies,
+chunked responses for streaming) so serving needs nothing outside the
+standard library.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import signal
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+from urllib.parse import parse_qs, urlsplit
+
+from ..engine.cache import TieredCache, cache_stats
+from ..engine.core import Engine
+from ..sweep.cache import ResultCache
+from ..sweep.spec import Scenario, SweepSpec
+from .jobs import JobState, JobTable, ServiceJob
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8787
+#: Queued (not yet running) jobs beyond which submissions get 429.
+DEFAULT_QUEUE_LIMIT = 64
+#: Jobs executing concurrently; the rest wait in the queue.
+DEFAULT_MAX_ACTIVE = 2
+#: Request bodies beyond this are rejected with 413.
+MAX_BODY_BYTES = 8 << 20
+#: How long a streaming poll blocks before re-checking for cancellation.
+STREAM_POLL_S = 0.25
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _HttpError(Exception):
+    """A handler-level failure that maps onto one HTTP response."""
+
+    def __init__(
+        self, status: int, message: str, headers: Optional[dict] = None
+    ):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = headers or {}
+
+
+class _Cancelled(Exception):
+    """Raised inside a runner to unwind a cancelled job."""
+
+
+def _encode_response(
+    status: int,
+    payload,
+    headers: Optional[dict] = None,
+) -> bytes:
+    """One complete HTTP/1.1 response with a JSON body."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+def _chunk(data: bytes) -> bytes:
+    """One HTTP chunked-transfer-encoding chunk."""
+    return b"%x\r\n%s\r\n" % (len(data), data)
+
+
+class ReproService:
+    """Async job server over a shared engine and multi-writer cache.
+
+    Args:
+        host: Bind address.
+        port: Bind port (0 picks a free one; ``self.port`` holds the
+            real port once started).
+        cache_dir: Shared disk cache root (``None`` = memory-only).
+            Workers, other service instances, and plain ``repro sweep``
+            runs pointed at the same directory all share warm results —
+            the multi-writer cache makes that safe.
+        backend: Execution backend name/instance for evaluations
+            (``None`` = the engine's default).
+        workers: Worker count for pool backends.
+        queue_limit: Queued-job bound before 429 backpressure.
+        max_active: Jobs executing concurrently.
+    """
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        cache_dir: Optional[str] = None,
+        backend=None,
+        workers: int = 0,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        max_active: int = DEFAULT_MAX_ACTIVE,
+    ) -> None:
+        if queue_limit <= 0:
+            raise ValueError("queue_limit must be positive")
+        if max_active <= 0:
+            raise ValueError("max_active must be positive")
+        self.host = host
+        self.port = port
+        self.cache_dir = cache_dir
+        self.queue_limit = queue_limit
+        disk = ResultCache(cache_dir) if cache_dir else None
+        # Coalesce stats-sidecar merges: thousands of warm sync requests
+        # per second must not serialise on a per-request disk rename.
+        self.engine = Engine(
+            backend=backend,
+            workers=workers,
+            cache=TieredCache(disk=disk, stats_flush_interval_s=2.0),
+        )
+        self.table = JobTable()
+        self._runner = ThreadPoolExecutor(
+            max_workers=max_active, thread_name_prefix="repro-job"
+        )
+        self._draining = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stopped: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def start(self) -> str:
+        """Bind and start accepting; returns the service URL."""
+        self._loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.url
+
+    async def serve_until_stopped(self, install_signals: bool = True) -> None:
+        """Serve until :meth:`stop` (or a drained SIGTERM); then clean up."""
+        if self._server is None:
+            await self.start()
+        if install_signals:
+            try:
+                self._loop.add_signal_handler(
+                    signal.SIGTERM, self.request_drain
+                )
+            except (NotImplementedError, RuntimeError):
+                install_signals = False  # non-main thread or platform
+        try:
+            await self._stopped.wait()
+        finally:
+            if install_signals:
+                self._loop.remove_signal_handler(signal.SIGTERM)
+            self._server.close()
+            await self._server.wait_closed()
+            self._runner.shutdown(wait=True)
+            self.engine.cache.flush_stats(force=True)
+
+    def request_drain(self) -> None:
+        """Refuse new work, finish active jobs, then stop (SIGTERM path)."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._loop is not None:
+            self._loop.create_task(self._drain_watch())
+
+    async def _drain_watch(self) -> None:
+        while self.table.pending():
+            await asyncio.sleep(0.05)
+        if self._stopped is not None:
+            self._stopped.set()
+
+    def stop(self) -> None:
+        """Stop now: cancel every outstanding job and shut down.
+
+        Thread-safe; this is the hard-stop counterpart of
+        :meth:`request_drain` (used by tests and ``run_in_thread``).
+        """
+        self._draining = True
+        for job in self.table.jobs():
+            job.cancel()
+        if self._loop is not None and self._stopped is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stopped.set)
+            except RuntimeError:
+                pass  # loop already closed: a drain finished first
+
+    def run_in_thread(self) -> "_ServiceThread":
+        """Context manager running this service on a background thread.
+
+        ``__enter__`` blocks until the server is accepting and yields
+        its URL; ``__exit__`` hard-stops it::
+
+            with ReproService(port=0).run_in_thread() as url:
+                client = ServiceClient(url)
+        """
+        return _ServiceThread(self)
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """``(method, target, headers, body)`` or ``None`` at EOF."""
+        try:
+            line = await reader.readline()
+        except (ValueError, ConnectionError):
+            return None  # oversized request line; drop the connection
+        if not line:
+            return None
+        parts = line.decode("latin-1", "replace").split()
+        if len(parts) != 3:
+            raise _HttpError(400, "malformed request line")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1", "replace").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise _HttpError(400, "bad Content-Length") from None
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, "request body too large")
+        body = b""
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                return None
+        return method, target, headers, body
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _HttpError as err:
+                    writer.write(
+                        _encode_response(
+                            err.status,
+                            {"error": err.message},
+                            {"Connection": "close", **err.headers},
+                        )
+                    )
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                method, target, headers, body = request
+                try:
+                    response = await self._dispatch(
+                        method, target, body, writer
+                    )
+                except _HttpError as err:
+                    response = _encode_response(
+                        err.status, {"error": err.message}, err.headers
+                    )
+                except Exception as exc:  # handler bug: report, keep serving
+                    response = _encode_response(
+                        500, {"error": f"{type(exc).__name__}: {exc}"}
+                    )
+                if response is None:
+                    return  # the handler streamed; close the connection
+                writer.write(response)
+                await writer.drain()
+                if headers.get("connection", "").lower() == "close":
+                    return
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(
+        self,
+        method: str,
+        target: str,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> Optional[bytes]:
+        """Route one request; ``None`` means the handler streamed."""
+        url = urlsplit(target)
+        query = parse_qs(url.query)
+        parts = [p for p in url.path.split("/") if p]
+        if not parts or parts[0] != "v1":
+            raise _HttpError(404, f"no such path {url.path!r}")
+        route = parts[1:]
+
+        if method == "POST" and route == ["sweeps"]:
+            return self._submit_sweep(_parse_body(body))
+        if method == "POST" and route == ["searches"]:
+            return self._submit_search(_parse_body(body))
+        if method == "POST" and route == ["runs"]:
+            return await self._submit_runs(_parse_body(body))
+        if route == ["jobs"] and method == "GET":
+            return _encode_response(
+                200, {"jobs": [j.snapshot() for j in self.table.jobs()]}
+            )
+        if route[:1] == ["jobs"] and len(route) >= 2:
+            job = self.table.get(route[1])
+            if job is None:
+                raise _HttpError(404, f"no such job {route[1]!r}")
+            if len(route) == 2 and method == "GET":
+                return _encode_response(200, job.snapshot())
+            if route[2:] == ["cancel"] and method == "POST":
+                job.cancel()
+                return _encode_response(200, job.snapshot())
+            if route[2:] == ["results"] and method == "GET":
+                try:
+                    start = int(query.get("from", ["0"])[-1])
+                except ValueError:
+                    raise _HttpError(400, "bad 'from' index") from None
+                if query.get("stream", ["0"])[-1] in ("1", "true"):
+                    await self._stream_results(writer, job, start)
+                    return None
+                records, _ = job.records_since(start)
+                return _encode_response(
+                    200,
+                    {
+                        "id": job.id,
+                        "state": job.snapshot()["state"],
+                        "from": start,
+                        "records": records,
+                    },
+                )
+        if route == ["cache"] and method == "GET":
+            return _encode_response(200, self.cache_summary())
+        if route == ["health"] and method == "GET":
+            return _encode_response(200, self.health())
+        raise _HttpError(404, f"no handler for {method} {url.path}")
+
+    # ------------------------------------------------------------------
+    # handlers
+    # ------------------------------------------------------------------
+    def _admit(self, kind: str, spec: dict) -> bytes:
+        """Queue a validated job, honouring drain and backpressure."""
+        if self._draining:
+            raise _HttpError(
+                503, "service is draining", {"Retry-After": "5"}
+            )
+        if self.table.queued() >= self.queue_limit:
+            raise _HttpError(
+                429,
+                f"job queue full ({self.queue_limit} queued)",
+                {"Retry-After": "1"},
+            )
+        job = self.table.create(kind, spec)
+        self._runner.submit(self._run_job, job)
+        return _encode_response(200, job.snapshot())
+
+    def _submit_sweep(self, body: dict) -> bytes:
+        spec_dict = body.get("spec", body)
+        try:
+            spec = SweepSpec.from_dict(spec_dict)
+            for _ in spec.jobs():  # materialize once: axis values coerce
+                pass
+        except Exception as exc:
+            raise _HttpError(400, f"bad sweep spec: {exc}") from None
+        return self._admit("sweep", {"spec": spec.to_dict()})
+
+    def _submit_search(self, body: dict) -> bytes:
+        from ..search.space import SearchSpace
+
+        try:
+            SearchSpace.from_dict(body["space"])
+            budget = int(body.get("budget", 32))
+            if budget <= 0:
+                raise ValueError("budget must be positive")
+        except _HttpError:
+            raise
+        except KeyError:
+            raise _HttpError(400, "search needs a 'space'") from None
+        except Exception as exc:
+            raise _HttpError(400, f"bad search spec: {exc}") from None
+        return self._admit("search", dict(body))
+
+    async def _submit_runs(self, body: dict) -> Optional[bytes]:
+        raw = body.get("scenarios")
+        if raw is None and "scenario" in body:
+            raw = [body["scenario"]]
+        if not isinstance(raw, list) or not raw:
+            raise _HttpError(
+                400, "runs need 'scenarios' (list) or 'scenario'"
+            )
+        try:
+            scenarios = [Scenario.from_dict(d) for d in raw]
+        except Exception as exc:
+            raise _HttpError(400, f"bad scenario: {exc}") from None
+        if not body.get("sync", False):
+            return self._admit(
+                "run", {"scenarios": [s.to_dict() for s in scenarios]}
+            )
+        # Sync fast path: answer in-band.  Off the event loop so one
+        # cold-cache request cannot stall every other connection; warm
+        # requests are dictionary lookups and come back in microseconds.
+        if self._draining:
+            raise _HttpError(503, "service is draining", {"Retry-After": "5"})
+        outcome = await asyncio.to_thread(self.engine.run, scenarios)
+        return _encode_response(
+            200,
+            {
+                "records": outcome.records,
+                "stats": dataclasses.asdict(outcome.stats),
+            },
+        )
+
+    def cache_summary(self) -> dict:
+        """The `/v1/cache` document (shared with ``repro cache stats``)."""
+        if self.cache_dir is None:
+            cache = self.engine.cache
+            return {
+                "path": None,
+                "entries": len(cache.memory),
+                "memory_hits": cache.memory_hits,
+                "disk_hits": cache.disk_hits,
+                "misses": cache.misses,
+                "stores": cache.stores,
+            }
+        # Drain any coalesced counter deltas so the document is current.
+        self.engine.cache.flush_stats(force=True)
+        return cache_stats(self.cache_dir)
+
+    def health(self) -> dict:
+        from .. import __version__
+
+        return {
+            "status": "draining" if self._draining else "ok",
+            "version": __version__,
+            "jobs": self.table.counts(),
+            "queue_limit": self.queue_limit,
+        }
+
+    async def _stream_results(
+        self, writer: asyncio.StreamWriter, job: ServiceJob, start: int = 0
+    ) -> None:
+        """Follow a job live: one NDJSON line per record, chunked.
+
+        ``start`` skips records a reconnecting client already has, so a
+        dropped stream resumes instead of replaying.
+        """
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        index = max(0, start)
+        while True:
+            records, finished = await asyncio.to_thread(
+                job.wait_records, index, STREAM_POLL_S
+            )
+            if records:
+                payload = b"".join(
+                    (json.dumps(r, sort_keys=True) + "\n").encode("utf-8")
+                    for r in records
+                )
+                writer.write(_chunk(payload))
+                await writer.drain()
+                index += len(records)
+            elif finished:
+                break
+        summary = json.dumps(
+            {"job": job.snapshot()}, sort_keys=True
+        ) + "\n"
+        writer.write(_chunk(summary.encode("utf-8")) + b"0\r\n\r\n")
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # job execution (runner threads)
+    # ------------------------------------------------------------------
+    def _run_job(self, job: ServiceJob) -> None:
+        if job.cancelled:
+            job.finish(JobState.CANCELLED)
+            return
+        job.start()
+        try:
+            if job.kind == "search":
+                self._run_search(job)
+            else:
+                self._run_batch(job)
+            job.finish(JobState.DONE)
+        except _Cancelled:
+            job.finish(JobState.CANCELLED)
+        except Exception as exc:
+            job.finish(JobState.FAILED, error=f"{type(exc).__name__}: {exc}")
+
+    def _run_batch(self, job: ServiceJob) -> None:
+        if job.kind == "sweep":
+            items = list(SweepSpec.from_dict(job.spec["spec"]).jobs())
+        else:  # "run"
+            items = [Scenario.from_dict(d) for d in job.spec["scenarios"]]
+        job.set_total(len(items))
+        for _, record in self.engine.run_many(items):
+            job.append(record)
+            if job.cancelled:
+                # Abandon the stream; everything already evaluated is in
+                # the shared cache, so a resubmission picks up from here.
+                raise _Cancelled()
+
+    def _run_search(self, job: ServiceJob) -> None:
+        from ..search.driver import DEFAULT_OBJECTIVES, Searcher
+        from ..search.space import SearchSpace
+
+        spec = job.spec
+
+        def on_result(done: int, total: int, record: dict) -> None:
+            del done, total
+            job.append(record)
+            if job.cancelled:
+                raise _Cancelled()
+
+        searcher = Searcher(
+            SearchSpace.from_dict(spec["space"]),
+            objectives=spec.get("objectives") or DEFAULT_OBJECTIVES,
+            strategy=spec.get("strategy", "evolutionary"),
+            budget=int(spec.get("budget", 32)),
+            generation_size=spec.get("generation_size"),
+            seed=int(spec.get("seed", 0)),
+            cache=self.engine.cache,
+            backend=self.engine.backend,
+            strategy_options=spec.get("strategy_options"),
+            on_result=on_result,
+        )
+        job.set_total(searcher.budget)
+        searcher.run()
+
+
+class _ServiceThread:
+    """Run a :class:`ReproService` on a daemon thread (tests, examples)."""
+
+    def __init__(self, service: ReproService) -> None:
+        self.service = service
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    def __enter__(self) -> str:
+        self._thread = threading.Thread(
+            target=self._main, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("service did not start within 30s")
+        if self._error is not None:
+            raise RuntimeError("service failed to start") from self._error
+        return self.service.url
+
+    def _main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # surfaced from __enter__ or ignored
+            self._error = exc
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        await self.service.start()
+        self._ready.set()
+        await self.service.serve_until_stopped(install_signals=False)
+
+    def __exit__(self, *exc) -> None:
+        self.service.stop()
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+
+def _parse_body(body: bytes) -> dict:
+    if not body:
+        return {}
+    try:
+        parsed = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise _HttpError(400, f"bad JSON body: {exc}") from None
+    if not isinstance(parsed, dict):
+        raise _HttpError(400, "body must be a JSON object")
+    return parsed

@@ -1,4 +1,4 @@
-"""Content-addressed, on-disk result cache.
+"""Content-addressed, on-disk result cache (multi-writer safe).
 
 Results are keyed by :attr:`repro.sweep.spec.Job.key` — a sha256 over the
 job's parameters and the code-model version — and appended to a JSONL
@@ -6,6 +6,20 @@ file, one record per line.  Appending keeps writes crash-safe (a torn
 final line is skipped on load, everything before it survives) and makes
 repeated or resumed sweeps near-free: any job whose key is already
 present is served from disk instead of re-evaluated.
+
+The cache is safe for **concurrent writers** — several engines, worker
+processes, or service instances sharing one cache directory:
+
+* every record reaches the file as a single ``os.write`` on an
+  ``O_APPEND`` descriptor, so concurrent appends never interleave
+  mid-line;
+* appends take an advisory ``flock`` on the JSONL file (where the
+  platform provides one) and re-read the tail written by other
+  processes first, so a key another writer just cached is not appended
+  again — no duplicate records;
+* :meth:`refresh` incrementally folds other writers' appends into the
+  in-memory index at any time (readers track their byte offset and only
+  parse new, complete lines).
 
 Only successful records are cached; failures are recorded in the sweep
 outcome (and optionally the :class:`~repro.sweep.store.ResultStore`) but
@@ -15,8 +29,66 @@ stay out of the cache so a later run retries them.
 from __future__ import annotations
 
 import json
+import os
+import threading
 from pathlib import Path
 from typing import Iterator
+
+try:  # advisory file locks: POSIX only; the cache degrades gracefully
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+
+class _FileLock:
+    """Advisory exclusive lock on a path (no-op where flock is missing).
+
+    Used as a context manager around read-modify-write critical sections
+    (record appends, counter-sidecar merges).  The lock file is separate
+    from the data file so lockers never truncate or touch data, and a
+    crashed holder never leaves a stale lock (flock dies with the fd).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fd: int | None = None
+
+    def __enter__(self) -> "_FileLock":
+        if fcntl is not None:
+            try:
+                self._fd = os.open(
+                    self.path, os.O_CREAT | os.O_WRONLY, 0o644
+                )
+                fcntl.flock(self._fd, fcntl.LOCK_EX)
+            except OSError:
+                if self._fd is not None:
+                    os.close(self._fd)
+                self._fd = None
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._fd is not None:
+            try:
+                fcntl.flock(self._fd, fcntl.LOCK_UN)
+            finally:
+                os.close(self._fd)
+            self._fd = None
+
+
+def atomic_append(path: Path, line: str) -> None:
+    """Append one text line to ``path`` as a single ``O_APPEND`` write.
+
+    POSIX guarantees the kernel serializes ``O_APPEND`` writes, so two
+    processes appending concurrently can interleave *lines* but never
+    bytes within a line — a reader sees every record whole or not at
+    all.
+    """
+    data = line.encode("utf-8")
+    fd = os.open(path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, data)
+    finally:
+        os.close(fd)
 
 
 class ResultCache:
@@ -25,31 +97,67 @@ class ResultCache:
     Args:
         root: Directory holding the cache (created if missing).
 
-    The cache is loaded eagerly; lookups are in-memory dict hits.  For a
-    duplicated key the last record wins, so re-caching after a model-
-    version bump simply shadows the stale line.
+    Lookups are in-memory dict hits against an index loaded once and
+    grown incrementally by :meth:`refresh`.  For a duplicated key the
+    last record wins, so re-caching after a model-version bump simply
+    shadows the stale line.
     """
 
     FILENAME = "results.jsonl"
+    LOCKNAME = "results.lock"
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.path = self.root / self.FILENAME
         self._records: dict[str, dict] = {}
-        if self.path.exists():
-            with self.path.open("r", encoding="utf-8") as fh:
-                for line in fh:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        record = json.loads(line)
-                    except json.JSONDecodeError:
-                        continue  # torn write from an interrupted run
-                    key = record.get("key")
-                    if key:
-                        self._records[key] = record
+        self._offset = 0
+        self._mutex = threading.Lock()  # in-process: service threads
+        self.refresh()
+
+    def _read_tail(self) -> int:
+        """Parse lines appended since the last read; returns new records.
+
+        Only complete (newline-terminated) lines advance the offset: a
+        trailing fragment may be another process's append in flight (or
+        a torn write from a crash) and is re-examined on the next call.
+        """
+        if not self.path.exists():
+            return 0
+        with self.path.open("rb") as fh:
+            fh.seek(self._offset)
+            data = fh.read()
+        if not data:
+            return 0
+        end = data.rfind(b"\n")
+        if end < 0:
+            return 0
+        added = 0
+        for raw in data[: end + 1].splitlines():
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write from an interrupted run
+            key = record.get("key")
+            if key:
+                if key not in self._records:
+                    added += 1
+                self._records[key] = record
+        self._offset += end + 1
+        return added
+
+    def refresh(self) -> int:
+        """Fold records appended by other writers into the index.
+
+        Returns the number of keys that were new to this reader.  Cheap
+        when nothing changed (one ``seek`` + empty read), so concurrent
+        consumers can call it opportunistically.
+        """
+        with self._mutex:
+            return self._read_tail()
 
     def get(self, key: str) -> dict | None:
         """The cached record for ``key``, or None."""
@@ -58,15 +166,26 @@ class ResultCache:
     def put(self, record: dict) -> None:
         """Persist a record (must carry a ``key``) and index it.
 
+        The append is atomic (single ``O_APPEND`` write) and guarded by
+        an advisory lock: the tail is re-read first, so a record another
+        process cached in the meantime is simply adopted instead of
+        duplicated.  Re-putting a *different* record under an existing
+        key still appends (last record wins on load).
+
         Raises:
             ValueError: If the record has no key.
         """
         key = record.get("key")
         if not key:
             raise ValueError("cache records must carry a 'key'")
-        with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(json.dumps(record, sort_keys=True) + "\n")
-        self._records[key] = record
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._mutex, _FileLock(self.root / self.LOCKNAME):
+            self._read_tail()
+            if self._records.get(key) == record:
+                return  # another writer (or we) already cached it
+            atomic_append(self.path, line)
+            self._read_tail()  # consume our own line (and any racer's)
+            self._records[key] = record
 
     def __contains__(self, key: str) -> bool:
         return key in self._records

@@ -301,6 +301,109 @@ class TestCacheCommand:
                      "--keep-version", "1.old"]) == 0
         assert "kept 0 entries" in capsys.readouterr().out
 
+    def test_stats_json_is_the_service_document(self, capsys, tmp_path):
+        import json
+
+        cache_dir = str(tmp_path / "cache")
+        assert main(["sweep", "--capacities", "1,2", "--bandwidths", "16",
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--json",
+                     "--cache-dir", cache_dir]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 4
+        for field in ("stores", "misses", "hit_rate", "bytes", "versions"):
+            assert field in stats
+
+    def test_merge_folds_a_worker_dir_into_the_shared_root(
+        self, capsys, tmp_path
+    ):
+        worker = str(tmp_path / "worker")
+        shared = str(tmp_path / "shared")
+        assert main(["sweep", "--capacities", "1", "--bandwidths", "8,32",
+                     "--cache-dir", worker]) == 0
+        assert main(["sweep", "--capacities", "2", "--bandwidths", "8",
+                     "--cache-dir", shared]) == 0
+        capsys.readouterr()
+        assert main(["cache", "merge", worker, "--cache-dir", shared]) == 0
+        assert "merged 4 records" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", shared]) == 0
+        assert "entries:   6" in capsys.readouterr().out
+
+    def test_merge_missing_source_fails_cleanly(self, capsys, tmp_path):
+        assert main(["cache", "merge", str(tmp_path / "nope"),
+                     "--cache-dir", str(tmp_path / "shared")]) == 1
+        assert "no cache" in capsys.readouterr().err
+
+
+class TestInterruptHandling:
+    def test_sweep_keyboard_interrupt_exits_130(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        from repro.sweep import executor as executor_mod
+
+        def interrupted_run(self, spec):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(
+            executor_mod.SweepExecutor, "run", interrupted_run
+        )
+        code = main(["sweep", "--capacities", "1", "--bandwidths", "16",
+                     "--cache-dir", str(tmp_path / "cache")])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err and "resume with the same command" in err
+
+    def test_sweep_interrupt_without_cache_warns(self, capsys, monkeypatch):
+        from repro.sweep import executor as executor_mod
+
+        monkeypatch.setattr(
+            executor_mod.SweepExecutor, "run",
+            lambda self, spec: (_ for _ in ()).throw(KeyboardInterrupt),
+        )
+        code = main(["sweep", "--capacities", "1", "--bandwidths", "16",
+                     "--no-cache"])
+        assert code == 130
+        assert "not preserved" in capsys.readouterr().err
+
+    def test_search_keyboard_interrupt_exits_130(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        from repro.search import driver as driver_mod
+
+        def interrupted_run(self):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(driver_mod.Searcher, "run", interrupted_run)
+        code = main(["search", "--budget", "4", "--capacities", "1,2",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--archive", ""])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "repro search: interrupted" in err
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8787
+        assert args.cache_dir == ".sweep-cache"
+        assert args.queue_limit == 64
+        assert args.max_active == 2
+        assert args.workers == 0
+        assert not args.no_cache
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--no-cache", "--backend", "thread",
+             "--workers", "4", "--queue-limit", "8", "--max-active", "1"]
+        )
+        assert args.port == 0
+        assert args.no_cache
+        assert args.backend == "thread"
+        assert (args.workers, args.queue_limit, args.max_active) == (4, 8, 1)
+
 
 class TestReportCommand:
     @pytest.fixture()

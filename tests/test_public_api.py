@@ -20,7 +20,7 @@ class TestTopLevel:
     "module",
     ["repro.core", "repro.arch", "repro.interconnect", "repro.simulator",
      "repro.kernels", "repro.physical", "repro.sweep", "repro.api",
-     "repro.engine", "repro.search"],
+     "repro.engine", "repro.search", "repro.service", "repro.client"],
 )
 def test_subpackage_all_resolves(module):
     import importlib

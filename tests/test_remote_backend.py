@@ -1,0 +1,192 @@
+"""The ``remote`` execution backend: sharding, equivalence, fault tolerance.
+
+The slow/crashing workloads are module-level functions so they pickle by
+reference into the ``hello`` handshake; the fixture puts this directory
+on ``PYTHONPATH`` so worker subprocesses can import them back.
+"""
+
+import json
+import os
+import signal
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api.registry import WORKLOADS
+from repro.engine import Engine
+from repro.engine.backends import BACKENDS, run_one
+from repro.engine.core import evaluate_job
+from repro.service.pool import RemoteBackend
+from repro.sweep import SweepSpec
+from repro.sweep.spec import Job
+
+pytestmark = pytest.mark.skipif(
+    not Path("/proc").is_dir(), reason="needs /proc to observe workers"
+)
+
+
+def slow_workload(scenario):
+    """The matmul workload, slowed enough to catch mid-batch."""
+    time.sleep(0.15)
+    return WORKLOADS.get("matmul")(scenario)
+
+
+def hanging_workload(scenario):
+    """Outlives any per-job timeout a test would configure."""
+    time.sleep(120)
+    return 0.0
+
+
+def dying_workload(scenario):
+    """Takes its whole worker process down, like a segfault would."""
+    os._exit(17)
+
+
+_TEST_WORKLOADS = {
+    "test-slow": slow_workload,
+    "test-hang": hanging_workload,
+    "test-die": dying_workload,
+}
+
+
+@pytest.fixture
+def fault_workloads(monkeypatch):
+    """Register the crash/hang workloads and make them worker-importable."""
+    here = str(Path(__file__).resolve().parent)
+    existing = os.environ.get("PYTHONPATH")
+    monkeypatch.setenv(
+        "PYTHONPATH", here + (os.pathsep + existing if existing else "")
+    )
+    for name, fn in _TEST_WORKLOADS.items():
+        WORKLOADS.register(name, fn)
+    yield
+    for name in _TEST_WORKLOADS:
+        WORKLOADS.unregister(name)
+
+
+def _worker_pids() -> list:
+    """PIDs of our live repro worker subprocesses (via /proc)."""
+    me = os.getpid()
+    pids = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit():
+            continue
+        try:
+            stat = (Path("/proc") / entry / "stat").read_text()
+            cmdline = (Path("/proc") / entry / "cmdline").read_bytes()
+        except OSError:
+            continue
+        # Field 4 of /proc/pid/stat is the ppid (comm, field 2, is
+        # parenthesized and never contains whitespace for python).
+        try:
+            ppid = int(stat.rsplit(")", 1)[1].split()[1])
+        except (IndexError, ValueError):
+            continue
+        if ppid == me and b"repro.service.worker" in cmdline:
+            pids.append(int(entry))
+    return pids
+
+
+def _canonical(records) -> list:
+    """Records as comparable strings, ignoring cache provenance."""
+    return sorted(
+        json.dumps(
+            {k: v for k, v in record.items() if k != "source"},
+            sort_keys=True,
+        )
+        for record in records
+    )
+
+
+class TestRegistration:
+    def test_remote_is_a_registered_backend(self):
+        assert "remote" in BACKENDS.names()
+        assert BACKENDS.get("remote") is RemoteBackend
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            RemoteBackend(job_timeout_s=0)
+        with pytest.raises(ValueError):
+            RemoteBackend(max_retries=-1)
+
+    def test_hosts_env_sets_worker_targets(self, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_REMOTE_HOSTS", "10.0.0.1:9123, 10.0.0.2:9123"
+        )
+        backend = RemoteBackend()
+        assert backend.hosts == ("10.0.0.1:9123", "10.0.0.2:9123")
+        assert backend.workers == 2
+
+
+class TestEquivalence:
+    def test_engine_records_match_serial_exactly(self):
+        """Acceptance: --backend remote is byte-identical to serial."""
+        spec = SweepSpec(
+            capacities_mib=(1, 2),
+            flows=("2D", "3D"),
+            bandwidths=(4.0, 16.0),
+        )
+        serial = Engine(backend="serial", cache=None).run(spec.jobs())
+        remote = Engine(
+            backend="remote", workers=2, cache=None
+        ).run(spec.jobs())
+        assert _canonical(serial.records) == _canonical(remote.records)
+        assert remote.stats.failed == 0
+
+    def test_empty_batch_is_a_noop(self):
+        assert list(RemoteBackend(workers=1).run(evaluate_job, [])) == []
+
+
+class TestFaultTolerance:
+    def test_kill9_mid_batch_loses_nothing(self, fault_workloads):
+        """SIGKILL a worker mid-batch: only its in-flight job re-runs;
+        the batch completes with results identical to serial."""
+        jobs = [
+            Job(capacity_mib=c, flow="2D", bandwidth=b, kernel="test-slow")
+            for c in (1, 2) for b in (2.0, 4.0, 8.0, 16.0)
+        ]
+        expected = _canonical(run_one(evaluate_job, j) for j in jobs)
+
+        backend = RemoteBackend(workers=2, backoff_s=0.01)
+        records = []
+        killed = None
+        for record in backend.run(evaluate_job, jobs):
+            records.append(record)
+            if killed is None:
+                pids = _worker_pids()
+                assert pids, "no live workers observed mid-batch"
+                killed = pids[0]
+                os.kill(killed, signal.SIGKILL)
+        assert killed is not None
+        assert len(records) == len(jobs)
+        assert all(r["status"] == "ok" for r in records)
+        assert _canonical(records) == expected
+
+    def test_job_timeout_surfaces_as_failure_record(self, fault_workloads):
+        backend = RemoteBackend(
+            workers=1, job_timeout_s=1.0, max_retries=0, backoff_s=0.01
+        )
+        jobs = [Job(capacity_mib=1, flow="2D", kernel="test-hang")]
+        records = list(backend.run(evaluate_job, jobs))
+        assert len(records) == 1
+        assert records[0]["status"] == "error"
+        assert "timeout" in records[0]["error"]
+        assert records[0]["key"] == jobs[0].key
+
+    def test_worker_death_bounded_retry_then_failure(self, fault_workloads):
+        """A job that always kills its worker fails after max_retries
+        redispatches; healthy jobs in the same batch still complete."""
+        jobs = [
+            Job(capacity_mib=1, flow="2D", kernel="test-die"),
+            Job(capacity_mib=1, flow="2D", kernel="matmul"),
+            Job(capacity_mib=2, flow="2D", kernel="matmul"),
+        ]
+        backend = RemoteBackend(workers=2, max_retries=1, backoff_s=0.01)
+        records = {r["key"]: r for r in backend.run(evaluate_job, jobs)}
+        assert len(records) == 3
+        doomed = records[jobs[0].key]
+        assert doomed["status"] == "error"
+        assert "after 2 attempts" in doomed["error"]
+        for job in jobs[1:]:
+            assert records[job.key]["status"] == "ok"
