@@ -29,7 +29,7 @@ from .core.config import (
 )
 from .core.metrics import GroupResult, KernelMetrics, NormalizedGroupResult, normalize
 
-__version__ = "2.4.0"
+__version__ = "2.5.0"
 
 #: Names re-exported lazily from the ``repro.api`` façade.
 _API_EXPORTS = (
@@ -74,6 +74,14 @@ _CLIENT_EXPORTS = (
     "ServiceError",
 )
 
+#: Names re-exported lazily from the ``repro.analysis`` lint layer.
+_ANALYSIS_EXPORTS = (
+    "Finding",
+    "analyze_paths",
+    "available_lints",
+    "register_lint",
+)
+
 #: Names re-exported lazily from the ``repro.search`` optimizer.
 _SEARCH_EXPORTS = (
     "Choice",
@@ -102,6 +110,7 @@ __all__ = [
     "paper_configurations",
     "__version__",
     *_API_EXPORTS,
+    *_ANALYSIS_EXPORTS,
     *_ENGINE_EXPORTS,
     *_SEARCH_EXPORTS,
     *_SERVICE_EXPORTS,
@@ -112,6 +121,8 @@ __all__ = [
 def __getattr__(name: str):
     if name in _API_EXPORTS:
         from . import api as module
+    elif name in _ANALYSIS_EXPORTS:
+        from . import analysis as module
     elif name in _ENGINE_EXPORTS:
         from . import engine as module
     elif name in _SEARCH_EXPORTS:
@@ -131,6 +142,7 @@ def __dir__():
     return sorted(
         set(globals())
         | set(_API_EXPORTS)
+        | set(_ANALYSIS_EXPORTS)
         | set(_ENGINE_EXPORTS)
         | set(_SEARCH_EXPORTS)
         | set(_SERVICE_EXPORTS)

@@ -6,7 +6,8 @@ Usage::
     python -m repro simulate --kernel matmul --n 16 --cores 16
     python -m repro run --scenario scenario.json
     python -m repro run --capacity 4 --flow 3D --objective edp
-    python -m repro list [flows|workloads|objectives|experiments]
+    python -m repro list [flows|workloads|objectives|experiments|lints]
+    python -m repro check [--json] [--rule REP003] [paths ...]
     python -m repro explore --bandwidth 16
     python -m repro sweep --workers 4 --backend thread --progress
     python -m repro search --strategy evolutionary --budget 28
@@ -111,7 +112,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.scenario == "-":
             data = json.load(sys.stdin)
         else:
-            with open(args.scenario, "r", encoding="utf-8") as fh:
+            with open(args.scenario, encoding="utf-8") as fh:
                 data = json.load(fh)
         if isinstance(data, dict):
             data = [data]
@@ -153,6 +154,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
+    from .analysis.framework import LINTS
     from .api.registry import FLOWS, OBJECTIVES, WORKLOADS
     from .engine.backends import BACKENDS
     from .experiments.runner import EXPERIMENTS
@@ -165,6 +167,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "backends": BACKENDS,
         "strategies": STRATEGIES,
         "experiments": EXPERIMENTS,
+        "lints": LINTS,
     }
     kinds = [args.kind] if args.kind else list(registries)
     for kind in kinds:
@@ -172,6 +175,27 @@ def _cmd_list(args: argparse.Namespace) -> int:
         for name in registries[kind]:
             print(f"  {name}")
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Run the REP analyzers; exit 0 clean, 1 findings, 2 usage error."""
+    from .analysis.framework import analyze_paths
+
+    try:
+        report = analyze_paths(args.paths, rules=args.rules)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"repro check: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return report.exit_code
+    for finding in report.findings:
+        print(finding.format())
+    counts = report.counts
+    print(f"checked {report.files_checked} file(s) against "
+          f"{len(report.rules)} rule(s): {counts['error']} error(s), "
+          f"{counts['warning']} warning(s)")
+    return report.exit_code
 
 
 def _cmd_explore(args: argparse.Namespace) -> int:
@@ -520,9 +544,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_list = sub.add_parser("list", help="list registered plugins")
     p_list.add_argument("kind", nargs="?", default=None,
                         choices=("flows", "workloads", "objectives",
-                                 "backends", "strategies", "experiments"),
+                                 "backends", "strategies", "experiments",
+                                 "lints"),
                         help="plugin kind (default: all)")
     p_list.set_defaults(func=_cmd_list)
+
+    p_chk = sub.add_parser(
+        "check",
+        help="run the repo-aware static analyzers (REP001-REP006)",
+    )
+    p_chk.add_argument("paths", nargs="*", default=["src"], metavar="PATH",
+                       help="files or directories to analyze (default: src)")
+    p_chk.add_argument("--rule", action="append", dest="rules", default=None,
+                       metavar="ID",
+                       help="run only this rule id (repeatable)")
+    p_chk.add_argument("--json", action="store_true",
+                       help="emit the machine-readable findings document")
+    p_chk.set_defaults(func=_cmd_check)
 
     p_exp = sub.add_parser("explore", help="sweep the design space")
     p_exp.add_argument("--bandwidth", type=float, default=16.0,

@@ -1,0 +1,137 @@
+"""Shared AST helpers for the analyzers.
+
+The rules need three things over and over: folding a module's imports
+into dotted call names (``from time import sleep as s; s()`` resolves to
+``time.sleep``), walking a function body without descending into nested
+function scopes, and walking a module while tracking the enclosing
+function stack.  They live here so each rule stays a short visitor.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ImportMap:
+    """Resolves local names through a module's import statements.
+
+    ``import numpy as np`` maps ``np`` to ``numpy``;
+    ``from time import sleep as s`` maps ``s`` to ``time.sleep``.
+    Relative imports keep their leading dots so they never collide with
+    absolute stdlib names.
+    """
+
+    def __init__(self, tree: ast.AST):
+        self.aliases: dict = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.aliases[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".")[0]
+                        self.aliases[head] = head
+            elif isinstance(node, ast.ImportFrom):
+                prefix = "." * node.level + (node.module or "")
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self.aliases[bound] = f"{prefix}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> Optional[str]:
+        """Dotted name of an expression with imports folded in.
+
+        Unimported bare names resolve to themselves (so builtins like
+        ``open`` stay matchable); attribute chains rooted in a local
+        object (``self.rng.random``) come back with the local root
+        intact and therefore never match module-path blocklists.
+        """
+        name = dotted_name(node)
+        if name is None:
+            return None
+        head, _, rest = name.partition(".")
+        base = self.aliases.get(head)
+        if base is None:
+            return name
+        return f"{base}.{rest}" if rest else base
+
+
+def walk_shallow(body) -> Iterator[ast.AST]:
+    """Walk statements/expressions without entering nested scopes.
+
+    Descends through control flow, comprehensions, and class bodies.
+    Nested ``def``/``async def``/``lambda`` nodes are *yielded* (so a
+    caller can note their existence) but not descended into — those are
+    separate scopes and get their own visit.
+    """
+    stack = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _SCOPE_NODES):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def walk_with_scopes(tree: ast.AST) -> Iterator[Tuple[ast.AST, tuple]]:
+    """Yield ``(node, enclosing_function_stack)`` for every node.
+
+    The stack holds the ``FunctionDef``/``AsyncFunctionDef`` nodes the
+    yielded node sits inside (outermost first); module- and class-level
+    nodes get an empty stack.  Class bodies do not extend the stack —
+    a registration in a class body is importable at module load, which
+    is what the scope-sensitive rules care about.
+    """
+
+    def _walk(node: ast.AST, stack: tuple) -> Iterator[Tuple[ast.AST, tuple]]:
+        for child in ast.iter_child_nodes(node):
+            yield child, stack
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Decorators evaluate in the *enclosing* scope — a
+                # @register_* on a module-level def is a module-level
+                # registration, not one inside the decorated function.
+                for deco in child.decorator_list:
+                    yield deco, stack
+                    yield from _walk(deco, stack)
+                inner = stack + (child,)
+                for stmt in child.body:
+                    yield stmt, inner
+                    yield from _walk(stmt, inner)
+            else:
+                yield from _walk(child, stack)
+
+    yield from _walk(tree, ())
+
+
+def call_mode_arg(node: ast.Call) -> Optional[str]:
+    """The ``mode`` argument of an ``open``-style call, if literal."""
+    for kw in node.keywords:
+        if (
+            kw.arg == "mode"
+            and isinstance(kw.value, ast.Constant)
+            and isinstance(kw.value.value, str)
+        ):
+            return kw.value.value
+    if (
+        len(node.args) >= 2
+        and isinstance(node.args[1], ast.Constant)
+        and isinstance(node.args[1].value, str)
+    ):
+        return node.args[1].value
+    return None

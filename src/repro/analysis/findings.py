@@ -1,0 +1,64 @@
+"""Structured findings emitted by the repo-aware analyzers.
+
+A :class:`Finding` is one defect report: where (``path:line:col``), what
+(rule id + message), how bad (severity), and how to fix it (hint).  The
+CLI renders findings as ``file:line:col: RULE severity: message`` lines
+or as the JSON document CI archives; both forms come from here so every
+consumer sees the same fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+#: Severities in increasing weight.  ``error`` findings fail
+#: ``repro check``; ``warning`` findings are reported but do not gate.
+SEVERITIES = ("warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer finding, anchored to a source location.
+
+    Attributes:
+        path: File the finding is in (as displayed; normalized posix).
+        line: 1-based source line.
+        col: 0-based column offset.
+        rule: Rule id (``REP001``..``REP006``, or ``PARSE`` for files
+            the framework could not parse).
+        message: One-sentence statement of the defect.
+        severity: ``"error"`` or ``"warning"``.
+        hint: Short fix suggestion (may be empty).
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    severity: str = "error"
+    hint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    def format(self) -> str:
+        """The human-readable one-line form."""
+        text = (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.severity}: {self.message}"
+        )
+        if self.hint:
+            text += f" (fix: {self.hint})"
+        return text
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (field order preserved)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)

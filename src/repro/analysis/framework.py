@@ -1,0 +1,229 @@
+"""The lint framework: rule registry, file iteration, suppression.
+
+Rules are classes registered in :data:`LINTS` — the sixth registry in
+the stack, built on the same :class:`repro.api.registry.Registry` that
+backs flows, workloads, objectives, strategies, and backends.  Each
+rule sees one parsed file at a time via :meth:`BaseLint.check` and may
+emit cross-file findings from :meth:`BaseLint.finalize` after the last
+file (REP005 uses this for registry-name collisions).
+
+Findings on a line carrying ``# repro: ignore[REPnnn]`` (or a bare
+``# repro: ignore``) are suppressed — the escape hatch for deliberate
+violations, mirroring ``# noqa``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..api.registry import Registry
+from .findings import Finding
+
+__all__ = [
+    "AnalysisReport",
+    "BaseLint",
+    "LINTS",
+    "LintContext",
+    "analyze_paths",
+    "available_lints",
+    "register_lint",
+]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+)
+
+
+@dataclass
+class LintContext:
+    """Everything a rule gets to look at for one file."""
+
+    path: Path  # as discovered on disk
+    relpath: str  # display / suffix-matching form (posix separators)
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+
+class BaseLint:
+    """A lint rule.  Subclass, set ``rule``/``title``, implement check.
+
+    One instance is created per :func:`analyze_paths` run, so rules may
+    accumulate state across files and report it from ``finalize``.
+    """
+
+    rule: str = "REP000"
+    title: str = ""
+    severity: str = "error"
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        """Findings for one parsed file."""
+        return ()
+
+    def finalize(self) -> Iterable[Finding]:
+        """Cross-file findings, emitted after the last file."""
+        return ()
+
+    def finding(
+        self,
+        ctx: LintContext,
+        node: ast.AST,
+        message: str,
+        hint: str = "",
+        severity: Optional[str] = None,
+    ) -> Finding:
+        return Finding(
+            path=ctx.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule,
+            message=message,
+            severity=severity or self.severity,
+            hint=hint,
+        )
+
+
+def _seed_lints() -> None:
+    from . import rules  # noqa: F401  (registers the built-in REP rules)
+
+
+LINTS = Registry("lint", seed=_seed_lints)
+
+
+def register_lint(rule_id: str):
+    """Class decorator: add a lint rule under ``rule_id``.
+
+    Mirrors ``register_flow``/``register_workload``: duplicate ids are
+    rejected, and the decorated class is returned unchanged.
+    """
+
+    def _decorator(cls):
+        LINTS.register(rule_id, cls)
+        return cls
+
+    return _decorator
+
+
+def available_lints() -> Tuple[str, ...]:
+    """Registered rule ids, sorted."""
+    return tuple(sorted(LINTS.names()))
+
+
+def iter_python_files(paths: Sequence) -> Iterator[Path]:
+    """Yield ``.py`` files under each path, deterministically ordered.
+
+    Directories are walked recursively (``__pycache__`` skipped); plain
+    files are yielded as-is.  A missing path raises ``FileNotFoundError``
+    so the CLI can exit 2 instead of silently checking nothing.
+    """
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if "__pycache__" in sub.parts:
+                    continue
+                yield sub
+        elif path.is_file():
+            yield path
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+@dataclass
+class AnalysisReport:
+    """The result of one analyzer run."""
+
+    findings: List[Finding]
+    files_checked: int
+    rules: Tuple[str, ...]
+
+    @property
+    def counts(self) -> dict:
+        counts = {"error": 0, "warning": 0}
+        for finding in self.findings:
+            counts[finding.severity] = counts.get(finding.severity, 0) + 1
+        return counts
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean (warnings allowed), 1 when any error finding."""
+        return 1 if self.counts["error"] else 0
+
+    def to_dict(self) -> dict:
+        return {
+            "rules": list(self.rules),
+            "files_checked": self.files_checked,
+            "counts": self.counts,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def _suppressed(finding: Finding, lines_by_path: dict) -> bool:
+    lines = lines_by_path.get(finding.path)
+    if not lines or not 1 <= finding.line <= len(lines):
+        return False
+    match = _SUPPRESS_RE.search(lines[finding.line - 1])
+    if match is None:
+        return False
+    listed = match.group("rules")
+    if listed is None:
+        return True
+    return finding.rule in {r.strip() for r in listed.split(",")}
+
+
+def analyze_paths(
+    paths: Sequence,
+    rules: Optional[Sequence[str]] = None,
+) -> AnalysisReport:
+    """Run lint rules over the Python files under ``paths``.
+
+    ``rules`` restricts the run to those ids (``ValueError`` on an
+    unknown id); default is every registered rule.  Unparseable files
+    produce a ``PARSE`` error finding rather than aborting the run.
+    """
+    rule_ids = tuple(rules) if rules else available_lints()
+    lints = [LINTS.get(rule_id)() for rule_id in rule_ids]
+
+    findings: List[Finding] = []
+    lines_by_path: dict = {}
+    files_checked = 0
+    for path in iter_python_files(paths):
+        files_checked += 1
+        relpath = _display_path(path)
+        source = path.read_text(encoding="utf-8", errors="replace")
+        lines = source.splitlines()
+        lines_by_path[relpath] = lines
+        try:
+            tree = ast.parse(source, filename=relpath)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    path=relpath,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule="PARSE",
+                    message=f"file does not parse: {exc.msg}",
+                    hint="fix the syntax error; unparseable files are invisible to every rule",
+                )
+            )
+            continue
+        ctx = LintContext(path=path, relpath=relpath, source=source, tree=tree, lines=lines)
+        for lint in lints:
+            findings.extend(lint.check(ctx))
+    for lint in lints:
+        findings.extend(lint.finalize())
+
+    findings = [f for f in findings if not _suppressed(f, lines_by_path)]
+    findings.sort(key=lambda f: f.sort_key)
+    return AnalysisReport(findings=findings, files_checked=files_checked, rules=rule_ids)

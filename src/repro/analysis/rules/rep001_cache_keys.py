@@ -1,0 +1,146 @@
+"""REP001 — cache-key completeness.
+
+The stage-factored cache (PR 5/6) keys physical results on
+``physical_dict()`` and cycle results on ``cycles_dict()``; the
+canonical key hashes ``cache_dict()``.  A field that reaches *none* of
+the three is invisible to memoization: two scenarios differing only in
+that field share a cache entry and one of them is served a stale
+result.  That is the silent-corruption failure mode this rule exists
+for — it fires when someone adds a ``Scenario`` field and forgets to
+route it into a stage key.
+
+The rule is structural, not name-bound: any class that defines
+``cache_dict`` plus at least one of ``physical_dict``/``cycles_dict``
+is treated as a scenario-shaped key provider, so the corpus (and any
+future key-bearing type) is checked by the same code as
+``repro.api.scenario.Scenario``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional, Set
+
+from ..findings import Finding
+from ..framework import BaseLint, LintContext, register_lint
+
+#: Fields that only rank/aggregate results and deliberately stay out of
+#: every cache key (``objective`` re-ranks cached metrics for free).
+RANKING_ONLY = {"objective"}
+
+
+def _deleted_keys(fn: ast.FunctionDef) -> Set[str]:
+    """String keys removed via ``del data["key"]`` inside ``fn``."""
+    keys = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.slice, ast.Constant)
+                    and isinstance(target.slice.value, str)
+                ):
+                    keys.add(target.slice.value)
+    return keys
+
+
+def _calls_self_method(fn: ast.FunctionDef, method: str) -> bool:
+    return any(
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == method
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "self"
+        for node in ast.walk(fn)
+    )
+
+
+def _returned_dict_keys(fn: Optional[ast.FunctionDef]) -> Set[str]:
+    """Literal string keys of dict literals returned by ``fn``."""
+    keys = set()
+    if fn is None:
+        return keys
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Return) and isinstance(node.value, ast.Dict):
+            for key in node.value.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.add(key.value)
+    return keys
+
+
+@register_lint("REP001")
+class CacheKeyCompleteness(BaseLint):
+    rule = "REP001"
+    title = "every Scenario field must reach canonical ∪ physical ∪ cycles key"
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(self, ctx: LintContext, cls: ast.ClassDef) -> Iterable[Finding]:
+        methods = {
+            stmt.name: stmt
+            for stmt in cls.body
+            if isinstance(stmt, ast.FunctionDef)
+        }
+        if "cache_dict" not in methods:
+            return
+        if not {"physical_dict", "cycles_dict"} & methods.keys():
+            return
+        fields = [
+            stmt.target.id
+            for stmt in cls.body
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name)
+        ]
+        if not fields:
+            return
+
+        cache_fn = methods["cache_dict"]
+        cache_excluded = _deleted_keys(cache_fn)
+        for key in sorted(cache_excluded - RANKING_ONLY):
+            yield self.finding(
+                ctx,
+                cache_fn,
+                f"{cls.name}.cache_dict drops field {key!r} from the canonical "
+                f"cache key without a ranking-only exemption",
+                hint="only ranking-only fields (e.g. 'objective') may be deleted "
+                "from cache_dict; anything else makes distinct scenarios collide",
+            )
+
+        cycles_excluded: Set[str] = set()
+        cycles_fn = methods.get("cycles_dict")
+        if cycles_fn is not None:
+            # cycles_dict typically starts from cache_dict()/to_dict() and
+            # deletes physical-only fields; fields it inherits as excluded
+            # from cache_dict stay excluded here too.
+            if _calls_self_method(cycles_fn, "cache_dict"):
+                cycles_excluded |= cache_excluded
+            cycles_excluded |= _deleted_keys(cycles_fn)
+
+        physical_keys = _returned_dict_keys(methods.get("physical_dict"))
+        for key in sorted(physical_keys - set(fields)):
+            yield self.finding(
+                ctx,
+                methods["physical_dict"],
+                f"{cls.name}.physical_dict key {key!r} is not a field of "
+                f"{cls.name} (typo or stale key)",
+                severity="warning",
+                hint="physical_dict keys must name declared fields",
+            )
+
+        # A field is covered when it survives into the cycles key or is
+        # explicitly listed in the physical key.
+        covered = physical_keys | (set(fields) - cycles_excluded)
+        for name in fields:
+            if name in RANKING_ONLY or name in covered:
+                continue
+            yield self.finding(
+                ctx,
+                cls,
+                f"{cls.name} field {name!r} reaches neither physical_dict nor "
+                f"cycles_dict: stage caches would serve stale results when it "
+                f"changes",
+                hint=f"add {name!r} to physical_dict or stop deleting it in "
+                f"cycles_dict (or mark it ranking-only)",
+            )

@@ -1,0 +1,96 @@
+"""REP003 — no blocking calls inside ``async def`` bodies.
+
+The service runs on a single asyncio event loop; one ``time.sleep`` or
+synchronous disk read in a handler stalls every connected client and
+every in-flight job stream.  Blocking work belongs in
+``asyncio.to_thread`` (or the runner's worker threads).
+
+The rule checks the statements an ``async def`` owns directly — nested
+``def``/``lambda`` bodies are separate scopes (they typically run via
+``to_thread``) and nested ``async def`` gets its own visit.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from ..astutil import ImportMap, call_mode_arg, walk_shallow
+from ..findings import Finding
+from ..framework import BaseLint, LintContext, register_lint
+
+#: Resolved dotted names that block the loop, with the async-native fix.
+BLOCKING_CALLS = {
+    "time.sleep": "await asyncio.sleep(...)",
+    "subprocess.run": "asyncio.create_subprocess_exec(...)",
+    "subprocess.call": "asyncio.create_subprocess_exec(...)",
+    "subprocess.check_call": "asyncio.create_subprocess_exec(...)",
+    "subprocess.check_output": "asyncio.create_subprocess_exec(...)",
+    "subprocess.getoutput": "asyncio.create_subprocess_shell(...)",
+    "subprocess.getstatusoutput": "asyncio.create_subprocess_shell(...)",
+    "subprocess.Popen": "asyncio.create_subprocess_exec(...)",
+    "os.system": "asyncio.create_subprocess_shell(...)",
+    "os.popen": "asyncio.create_subprocess_shell(...)",
+    "socket.create_connection": "asyncio.open_connection(...)",
+    "socket.getaddrinfo": "loop.getaddrinfo(...)",
+    "socket.gethostbyname": "loop.getaddrinfo(...)",
+    "urllib.request.urlopen": "aiohttp or asyncio.to_thread(...)",
+    "requests.get": "asyncio.to_thread(...)",
+    "requests.post": "asyncio.to_thread(...)",
+    "requests.put": "asyncio.to_thread(...)",
+    "requests.delete": "asyncio.to_thread(...)",
+    "requests.head": "asyncio.to_thread(...)",
+    "requests.request": "asyncio.to_thread(...)",
+    "http.client.HTTPConnection": "asyncio.open_connection(...)",
+}
+
+#: Method names that read/write files synchronously whatever the
+#: receiver is (``Path`` and file objects).
+BLOCKING_METHODS = {
+    "read_text": "await asyncio.to_thread(path.read_text)",
+    "write_text": "await asyncio.to_thread(path.write_text)",
+    "read_bytes": "await asyncio.to_thread(path.read_bytes)",
+    "write_bytes": "await asyncio.to_thread(path.write_bytes)",
+}
+
+
+def _blocking_label(node: ast.Call, imports: ImportMap) -> Optional[tuple]:
+    resolved = imports.resolve(node.func)
+    if resolved in BLOCKING_CALLS:
+        return resolved, BLOCKING_CALLS[resolved]
+    if resolved == "open" or (
+        isinstance(node.func, ast.Attribute) and node.func.attr == "open"
+    ):
+        # Sync file I/O on the loop blocks regardless of mode; ``open``
+        # resolved through an import alias (e.g. gzip.open) also counts.
+        mode = call_mode_arg(node) or "r"
+        return f"open(..., {mode!r})", "await asyncio.to_thread(...)"
+    if isinstance(node.func, ast.Attribute) and node.func.attr in BLOCKING_METHODS:
+        return f".{node.func.attr}(...)", BLOCKING_METHODS[node.func.attr]
+    return None
+
+
+@register_lint("REP003")
+class AsyncBlockingCalls(BaseLint):
+    rule = "REP003"
+    title = "async def bodies must not make blocking calls"
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        imports = ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for stmt in walk_shallow(node.body):
+                if not isinstance(stmt, ast.Call):
+                    continue
+                label = _blocking_label(stmt, imports)
+                if label is None:
+                    continue
+                what, instead = label
+                yield self.finding(
+                    ctx,
+                    stmt,
+                    f"blocking call {what} inside async def {node.name}: "
+                    f"it stalls the event loop for every connected client",
+                    hint=f"use {instead}",
+                )

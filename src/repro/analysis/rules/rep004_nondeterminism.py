@@ -1,0 +1,106 @@
+"""REP004 — no nondeterminism in cache-keyed paths.
+
+Cache keys must be pure functions of the scenario: the same inputs must
+hash to the same key in every process, on every run, forever — that is
+the whole contract of a content-addressed, multi-process-shared cache.
+Wall-clock time, unseeded RNGs, ``uuid``, ``os.urandom``, and the
+per-process ``id()``/salted ``hash()`` builtins all break it silently:
+the cache still "works", it just never hits (or worse, collides
+differently per interpreter).
+
+A function is *keyed scope* when its name says so (``*_key``,
+``*_dict``, ``*digest*``) or when it computes a digest (calls into
+``hashlib``).  Inside keyed scope, any call into the nondeterministic
+set below is an error.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Optional
+
+from ..astutil import ImportMap, walk_shallow
+from ..findings import Finding
+from ..framework import BaseLint, LintContext, register_lint
+
+_KEYED_NAME_RE = re.compile(r"(_key(s)?$|_dict$|digest)")
+
+#: Exact dotted names (after import folding) that are nondeterministic.
+NONDETERMINISTIC_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "os.urandom",
+    "os.getpid",
+    "id",
+    "hash",
+}
+
+#: Module prefixes that are nondeterministic wholesale (module-level
+#: ``random.*`` uses the shared unseeded RNG; ``secrets`` is random by
+#: definition).  Seeded generators (``np.random.default_rng(seed)``,
+#: ``random.Random(seed)``) are bound to locals and resolve with a
+#: non-module root, so they never match.
+NONDETERMINISTIC_PREFIXES = ("random.", "secrets.")
+
+_SEEDED_EXEMPT = {"random.Random", "numpy.random.default_rng"}
+
+
+def _is_keyed_scope(fn, imports: ImportMap) -> bool:
+    if _KEYED_NAME_RE.search(fn.name):
+        return True
+    for node in walk_shallow(fn.body):
+        if isinstance(node, ast.Call):
+            resolved = imports.resolve(node.func)
+            if resolved and resolved.split(".")[0] == "hashlib":
+                return True
+    return False
+
+
+def _nondeterministic(resolved: Optional[str]) -> bool:
+    if resolved is None:
+        return False
+    if resolved in _SEEDED_EXEMPT:
+        return False
+    if resolved in NONDETERMINISTIC_CALLS:
+        return True
+    return resolved.startswith(NONDETERMINISTIC_PREFIXES)
+
+
+@register_lint("REP004")
+class KeyedPathNondeterminism(BaseLint):
+    rule = "REP004"
+    title = "cache-key computations must be deterministic"
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        imports = ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _is_keyed_scope(node, imports):
+                continue
+            for stmt in walk_shallow(node.body):
+                if not isinstance(stmt, ast.Call):
+                    continue
+                resolved = imports.resolve(stmt.func)
+                if not _nondeterministic(resolved):
+                    continue
+                yield self.finding(
+                    ctx,
+                    stmt,
+                    f"nondeterministic call {resolved}(...) inside keyed scope "
+                    f"{node.name}: the same scenario would hash differently "
+                    f"across runs/processes",
+                    hint="keys may only depend on scenario fields and "
+                    "CODE_MODEL_VERSION; derive randomness from an explicit "
+                    "seed field if needed",
+                )

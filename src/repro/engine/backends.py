@@ -111,10 +111,10 @@ def _init_worker(
     """
     for name, obj in flow_items:
         if name not in FLOWS:  # membership check also seeds the builtins
-            FLOWS.register(name, obj)
+            FLOWS.register(name, obj)  # repro: ignore[REP005] worker-side hydration
     for name, obj in workload_items:
         if name not in WORKLOADS:
-            WORKLOADS.register(name, obj)
+            WORKLOADS.register(name, obj)  # repro: ignore[REP005] worker-side hydration
 
 
 def _auto_workers(workers: int) -> int:

@@ -36,6 +36,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Optional
 
+from ..analysis import racecheck as _racecheck
 from ..sweep.cache import ResultCache, _FileLock, atomic_append
 from ..sweep.spec import Job
 
@@ -438,6 +439,7 @@ def _merge_sidecar(path: Path, delta: dict[str, int]) -> None:
             tmp.write_text(
                 json.dumps(merged, sort_keys=True), encoding="utf-8"
             )
+            _racecheck.note_replace(path)
             tmp.replace(path)
         except OSError:
             tmp.unlink(missing_ok=True)
@@ -548,9 +550,15 @@ def cache_clear(root: str | Path) -> int:
     if cache is None:
         return 0
     removed = len(cache)
-    cache.path.unlink(missing_ok=True)
-    (cache.root / STATS_FILENAME).unlink(missing_ok=True)
-    (cache.root / StageCache.FILENAME).unlink(missing_ok=True)
+    # Each unlink runs under the file's own lock sidecar: a concurrent
+    # appender holding the lock finishes (or waits) instead of writing
+    # into an unlinked inode and silently losing its record.
+    with _FileLock(cache.root / ResultCache.LOCKNAME):
+        cache.path.unlink(missing_ok=True)
+    with _FileLock((cache.root / STATS_FILENAME).with_suffix(".lock")):
+        (cache.root / STATS_FILENAME).unlink(missing_ok=True)
+    with _FileLock(cache.root / StageCache.LOCKNAME):
+        (cache.root / StageCache.FILENAME).unlink(missing_ok=True)
     return removed
 
 
@@ -597,40 +605,51 @@ def cache_gc(
     cache = _open_existing(root)
     if cache is None or not cache.path.exists():
         return 0, 0
-    kept, pruned = [], 0
-    for key in cache.keys():
-        record = cache.get(key)
-        if _record_version(record) == keep:
-            kept.append(record)
-        else:
-            pruned += 1
-    tmp = cache.path.with_suffix(".tmp")
-    with tmp.open("w", encoding="utf-8") as fh:
-        for record in kept:
-            fh.write(json.dumps(record, sort_keys=True) + "\n")
-    tmp.replace(cache.path)
+    # The whole read-filter-rewrite must hold the append lock: an append
+    # landing between our snapshot and the rename would be erased by the
+    # replace.  refresh() under the lock adopts any record a concurrent
+    # writer got in before we won it.
+    with _FileLock(cache.root / ResultCache.LOCKNAME):
+        cache.refresh()
+        kept, pruned = [], 0
+        for key in cache.keys():
+            record = cache.get(key)
+            if _record_version(record) == keep:
+                kept.append(record)
+            else:
+                pruned += 1
+        tmp = cache.path.with_suffix(".tmp")
+        with tmp.open("w", encoding="utf-8") as fh:
+            for record in kept:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+        tmp.replace(cache.path)
     _gc_stage_file(cache.root / StageCache.FILENAME, keep)
     return len(kept), pruned
 
 
 def _gc_stage_file(path: Path, keep: str) -> None:
-    """Rewrite a stage memo file keeping only ``keep``-version entries."""
+    """Rewrite a stage memo file keeping only ``keep``-version entries.
+
+    Runs under the stage append lock for the same reason ``cache_gc``
+    does: an append between read and rename would otherwise be lost.
+    """
     if not path.exists():
         return
-    kept_lines = []
-    with path.open("r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            if record.get("model_version") == keep:
-                kept_lines.append(json.dumps(record, sort_keys=True))
-    tmp = path.with_suffix(".tmp")
-    tmp.write_text(
-        "".join(line + "\n" for line in kept_lines), encoding="utf-8"
-    )
-    tmp.replace(path)
+    with _FileLock(path.parent / StageCache.LOCKNAME):
+        kept_lines = []
+        with path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if record.get("model_version") == keep:
+                    kept_lines.append(json.dumps(record, sort_keys=True))
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(
+            "".join(line + "\n" for line in kept_lines), encoding="utf-8"
+        )
+        tmp.replace(path)

@@ -81,7 +81,7 @@ def crowding_distances(costs: Sequence[Sequence[float]]) -> list[float]:
     distances = [0.0] * n
     num_objectives = len(costs[0])
     for m in range(num_objectives):
-        order = sorted(range(n), key=lambda i: costs[i][m])
+        order = sorted(range(n), key=lambda i, m=m: costs[i][m])
         lo, hi = costs[order[0]][m], costs[order[-1]][m]
         distances[order[0]] = distances[order[-1]] = float("inf")
         span = hi - lo

@@ -345,10 +345,12 @@ class ReproService:
             raise _HttpError(404, f"no such path {url.path!r}")
         route = parts[1:]
 
+        # Admission validates specs (cross-product materialization, field
+        # coercion) — CPU-bound work that must not run on the event loop.
         if method == "POST" and route == ["sweeps"]:
-            return self._submit_sweep(_parse_body(body))
+            return await asyncio.to_thread(self._submit_sweep, _parse_body(body))
         if method == "POST" and route == ["searches"]:
-            return self._submit_search(_parse_body(body))
+            return await asyncio.to_thread(self._submit_search, _parse_body(body))
         if method == "POST" and route == ["runs"]:
             return await self._submit_runs(_parse_body(body))
         if route == ["jobs"] and method == "GET":
@@ -383,7 +385,11 @@ class ReproService:
                     },
                 )
         if route == ["cache"] and method == "GET":
-            return _encode_response(200, self.cache_summary())
+            # cache_summary flushes the stats sidecar (flock + rename) and
+            # re-reads results.jsonl — disk I/O, so off the loop.
+            return _encode_response(
+                200, await asyncio.to_thread(self.cache_summary)
+            )
         if route == ["health"] and method == "GET":
             return _encode_response(200, self.health())
         raise _HttpError(404, f"no handler for {method} {url.path}")

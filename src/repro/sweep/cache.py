@@ -39,6 +39,11 @@ try:  # advisory file locks: POSIX only; the cache degrades gracefully
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
 
+# Cooperative hooks for the runtime race detector (REPRO_RACE_CHECK=1).
+# When disabled each note_* call is a single boolean check; racecheck is
+# stdlib-only, so this import keeps the cache path dependency-free.
+from ..analysis import racecheck as _racecheck
+
 
 class _FileLock:
     """Advisory exclusive lock on a path (no-op where flock is missing).
@@ -54,6 +59,7 @@ class _FileLock:
         self._fd: int | None = None
 
     def __enter__(self) -> "_FileLock":
+        _racecheck.note_acquire(self.path)
         if fcntl is not None:
             try:
                 self._fd = os.open(
@@ -67,6 +73,7 @@ class _FileLock:
         return self
 
     def __exit__(self, *exc) -> None:
+        _racecheck.note_release(self.path)
         if self._fd is not None:
             try:
                 fcntl.flock(self._fd, fcntl.LOCK_UN)
@@ -83,6 +90,7 @@ def atomic_append(path: Path, line: str) -> None:
     bytes within a line — a reader sees every record whole or not at
     all.
     """
+    _racecheck.note_append(path)
     data = line.encode("utf-8")
     fd = os.open(path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
     try:

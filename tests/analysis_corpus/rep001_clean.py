@@ -1,0 +1,41 @@
+"""REP001 corpus clean twin: every field reaches a stage key.
+
+``voltage_mv`` is part of ``physical_dict``, so dropping it from
+``cycles_dict`` is sound stage factoring, not key drift.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MiniScenario:
+    capacity_mib: int = 1
+    flow: str = "2D"
+    voltage_mv: int = 800
+    objective: str = "edp"
+
+    def to_dict(self):
+        return {
+            "capacity_mib": self.capacity_mib,
+            "flow": self.flow,
+            "voltage_mv": self.voltage_mv,
+            "objective": self.objective,
+        }
+
+    def cache_dict(self):
+        data = self.to_dict()
+        del data["objective"]
+        return data
+
+    def physical_dict(self):
+        return {
+            "flow": self.flow,
+            "capacity_mib": self.capacity_mib,
+            "voltage_mv": self.voltage_mv,
+        }
+
+    def cycles_dict(self):
+        data = self.cache_dict()
+        del data["flow"]
+        del data["voltage_mv"]
+        return data

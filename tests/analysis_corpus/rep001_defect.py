@@ -1,0 +1,38 @@
+"""REP001 corpus defect: a field that reaches no cache key.
+
+``voltage_mv`` is deleted from ``cycles_dict`` without being added to
+``physical_dict`` — two scenarios differing only in voltage would share
+every stage-cache entry.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MiniScenario:
+    capacity_mib: int = 1
+    flow: str = "2D"
+    voltage_mv: int = 800
+    objective: str = "edp"
+
+    def to_dict(self):
+        return {
+            "capacity_mib": self.capacity_mib,
+            "flow": self.flow,
+            "voltage_mv": self.voltage_mv,
+            "objective": self.objective,
+        }
+
+    def cache_dict(self):
+        data = self.to_dict()
+        del data["objective"]
+        return data
+
+    def physical_dict(self):
+        return {"flow": self.flow, "capacity_mib": self.capacity_mib}
+
+    def cycles_dict(self):
+        data = self.cache_dict()
+        del data["flow"]
+        del data["voltage_mv"]  # dropped here, never added to physical_dict
+        return data

@@ -1,0 +1,14 @@
+"""REP002 corpus clean twin: cache traffic through the guarded helpers."""
+
+from repro.sweep.cache import ResultCache
+
+
+def store_result(root, record):
+    ResultCache(root).put(record)
+
+
+def read_results(root):
+    # Reading a cache file is fine; only writes are disciplined.
+    path = root / "results.jsonl"
+    with open(path, "rb") as fh:
+        return fh.read()

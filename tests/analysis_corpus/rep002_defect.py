@@ -1,0 +1,19 @@
+"""REP002 corpus defect: raw writes to cache data files.
+
+Both shapes the rule catches: a plain ``open(..., "w")`` on a named
+cache file, and a direct ``atomic_append`` call with no lock held.
+"""
+
+import json
+
+from repro.sweep.cache import atomic_append
+
+
+def clobber_results(root):
+    record = {"key": "abc", "metrics": {}}
+    with open(root / "results.jsonl", "w") as fh:  # truncates racers' records
+        fh.write(json.dumps(record) + "\n")
+
+
+def sneaky_append(path, record):
+    atomic_append(path, json.dumps(record) + "\n")

@@ -1,0 +1,19 @@
+"""REP003 corpus clean twin: async-native equivalents."""
+
+import asyncio
+
+
+def _read(path):
+    # Sync I/O is fine here: this def runs inside asyncio.to_thread.
+    with open(path) as fh:
+        return fh.read()
+
+
+async def handler(path):
+    await asyncio.sleep(0.5)
+    proc = await asyncio.create_subprocess_exec(
+        "ls", stdout=asyncio.subprocess.PIPE
+    )
+    await proc.wait()
+    data = await asyncio.to_thread(_read, path)
+    return proc.returncode, data

@@ -1,0 +1,12 @@
+"""REP003 corpus defect: blocking calls on the event loop."""
+
+import subprocess
+import time
+
+
+async def handler(path):
+    time.sleep(0.5)  # stalls every connected client
+    proc = subprocess.run(["ls"], capture_output=True)
+    with open(path) as fh:  # sync disk read on the loop
+        data = fh.read()
+    return proc.returncode, data

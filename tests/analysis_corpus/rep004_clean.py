@@ -1,0 +1,9 @@
+"""REP004 corpus clean twin: keys are pure functions of their inputs."""
+
+import hashlib
+import json
+
+
+def cache_key(params: dict) -> str:
+    blob = json.dumps(params, sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -1,0 +1,12 @@
+"""REP004 corpus defect: nondeterminism leaking into a cache key."""
+
+import hashlib
+import random
+import time
+
+
+def cache_key(params: dict) -> str:
+    blob = f"{sorted(params.items())}-{time.time()}-{id(params)}"
+    if random.random() < 0.5:  # unseeded module-level RNG
+        blob += "salt"
+    return hashlib.sha256(blob.encode()).hexdigest()

@@ -1,0 +1,13 @@
+"""REP005 corpus clean twin: unique names, module-level registration."""
+
+from repro.api import register_workload
+
+
+@register_workload("corpus-fft")
+def fft_v1(scenario):
+    return 1.0
+
+
+@register_workload("corpus-ifft")
+def ifft_v1(scenario):
+    return 2.0

@@ -1,0 +1,19 @@
+"""REP005 corpus defect: colliding and import-invisible registrations."""
+
+from repro.api import register_workload
+
+
+@register_workload("corpus-fft")
+def fft_v1(scenario):
+    return 1.0
+
+
+@register_workload("corpus-fft")  # duplicate name: rejected at import
+def fft_v2(scenario):
+    return 2.0
+
+
+def install_plugins():
+    # Runs only if something calls install_plugins(): workers spawned
+    # earlier (and the lazy repro.* surface) never see it.
+    register_workload("corpus-late")(len)

@@ -1,0 +1,19 @@
+"""REP006 corpus clean twin: module-level callables pickle by reference."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.api import register_flow
+
+
+def double(job):
+    return job * 2
+
+
+@register_flow("corpus-3d-variant")
+def flow_fn(scenario):
+    return {}
+
+
+def run_all(jobs):
+    with ProcessPoolExecutor() as pool:
+        return [f.result() for f in [pool.submit(double, j) for j in jobs]]

@@ -1,0 +1,24 @@
+"""REP006 corpus defect: unpicklable callables crossing the boundary."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.api import register_flow
+
+
+def run_all(jobs):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(lambda job=job: job * 2) for job in jobs]
+
+        def helper(job):
+            return job * 3
+
+        futures += [pool.submit(helper, job) for job in jobs]
+        return [f.result() for f in futures]
+
+
+def install_flow():
+    @register_flow("corpus-3d-variant")
+    def flow_fn(scenario):
+        return {}
+
+    return flow_fn

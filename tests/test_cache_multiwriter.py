@@ -19,7 +19,7 @@ from repro.engine.cache import (
     cache_stats,
     merge_cache_dirs,
 )
-from repro.sweep.cache import ResultCache, atomic_append
+from repro.sweep.cache import ResultCache, _FileLock, atomic_append
 
 
 def _record(key: str, payload: int = 0) -> dict:
@@ -109,14 +109,17 @@ class TestConcurrentResultWriters:
         assert len(fresh) == 1  # fragment ignored
         # A later append completes the file; the now-corrupt joined line
         # is skipped on parse, the new record still loads.
-        atomic_append(
-            tmp_path / ResultCache.FILENAME,
-            json.dumps(_record("k-1"), sort_keys=True) + "\n",
-        )
-        atomic_append(
-            tmp_path / ResultCache.FILENAME,
-            json.dumps(_record("k-2"), sort_keys=True) + "\n",
-        )
+        # Appends take the sidecar lock like any disciplined writer
+        # would (and so the REPRO_RACE_CHECK=1 run stays clean).
+        with _FileLock(tmp_path / ResultCache.LOCKNAME):
+            atomic_append(
+                tmp_path / ResultCache.FILENAME,
+                json.dumps(_record("k-1"), sort_keys=True) + "\n",
+            )
+            atomic_append(
+                tmp_path / ResultCache.FILENAME,
+                json.dumps(_record("k-2"), sort_keys=True) + "\n",
+            )
         assert fresh.refresh() == 1
         assert fresh.get("k-2") is not None
         assert "torn-" not in list(fresh.keys())

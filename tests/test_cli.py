@@ -1,5 +1,8 @@
 """Tests for the top-level CLI (python -m repro)."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.__main__ import build_parser, main
@@ -447,3 +450,75 @@ class TestReportCommand:
         assert main(["report", str(target)]) == 1
         capsys.readouterr()
         assert not target.parent.exists()
+
+
+class TestCheckCommand:
+    CORPUS = str(Path(__file__).parent / "analysis_corpus")
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["check"])
+        assert args.paths == ["src"]
+        assert args.rules is None
+        assert not args.json
+
+    def test_clean_file_exits_zero(self, capsys, tmp_path):
+        path = tmp_path / "fine.py"
+        path.write_text("x = 1\n", encoding="utf-8")
+        assert main(["check", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_defect_exits_one_with_findings(self, capsys):
+        code = main(["check", f"{self.CORPUS}/rep003_defect.py"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REP003" in out
+        assert "rep003_defect.py:" in out
+        assert "fix:" in out
+
+    def test_rule_filter_is_repeatable(self, capsys):
+        # REP003 filtered out: the REP003-only defect is clean under REP001.
+        assert main(["check", "--rule", "REP001", "--rule", "REP002",
+                     f"{self.CORPUS}/rep003_defect.py"]) == 0
+        capsys.readouterr()
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["check", "--rule", "REP999", "src"]) == 2
+        assert "REP999" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["check", "no/such/path"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_json_document_schema(self, capsys):
+        assert main(["check", "--json",
+                     f"{self.CORPUS}/rep004_defect.py"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) == {"rules", "files_checked", "counts", "findings"}
+        assert doc["files_checked"] == 1
+        assert doc["counts"]["error"] == len(doc["findings"]) > 0
+        for finding in doc["findings"]:
+            assert set(finding) == {"path", "line", "col", "rule",
+                                    "message", "severity", "hint"}
+            assert finding["rule"] == "REP004"
+
+    def test_json_clean_run(self, capsys, tmp_path):
+        path = tmp_path / "fine.py"
+        path.write_text("x = 1\n", encoding="utf-8")
+        assert main(["check", "--json", str(path)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["findings"] == []
+        assert doc["counts"] == {"error": 0, "warning": 0}
+
+    def test_src_gate_via_cli(self, capsys):
+        """`repro check src` exits 0 — the acceptance criterion."""
+        src = str(Path(__file__).parent.parent / "src")
+        assert main(["check", src]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_list_includes_lints(self, capsys):
+        assert main(["list", "lints"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("REP001", "REP002", "REP003",
+                     "REP004", "REP005", "REP006"):
+            assert rule in out

@@ -20,7 +20,8 @@ class TestTopLevel:
     "module",
     ["repro.core", "repro.arch", "repro.interconnect", "repro.simulator",
      "repro.kernels", "repro.physical", "repro.sweep", "repro.api",
-     "repro.engine", "repro.search", "repro.service", "repro.client"],
+     "repro.engine", "repro.search", "repro.service", "repro.client",
+     "repro.analysis"],
 )
 def test_subpackage_all_resolves(module):
     import importlib
@@ -82,6 +83,13 @@ class TestEndToEndThroughPublicApi:
         space = repro.paper_space()
         assert space.cardinality == 56
         assert callable(repro.get_strategy("random"))
+
+    def test_analysis_facade_through_top_level_package(self):
+        import repro
+
+        assert "REP001" in repro.available_lints()
+        report = repro.analyze_paths([])
+        assert report.findings == [] and report.files_checked == 0
 
     def test_legacy_import_paths_still_work(self):
         from repro.core.explorer import OBJECTIVES, evaluate_point

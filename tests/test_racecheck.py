@@ -1,0 +1,191 @@
+"""Tests for the runtime race detector (repro.analysis.racecheck).
+
+The detector instruments ``_FileLock`` and ``atomic_append`` — the
+primitives every disciplined cache writer goes through — so these tests
+drive the real cache code paths, not mocks.  The subprocess tests prove
+the ``REPRO_RACE_CHECK=1`` activation path end to end, including a full
+multiwriter cache test running under the detector.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import racecheck
+from repro.analysis.racecheck import RaceError
+from repro.engine.cache import (
+    StageCache,
+    _merge_sidecar,
+    cache_clear,
+    cache_gc,
+)
+from repro.sweep.cache import ResultCache, _FileLock, atomic_append
+
+REPO = Path(__file__).parent.parent
+
+
+@pytest.fixture
+def detector():
+    """Enable the detector for one test, with clean state either side."""
+    racecheck.reset()
+    racecheck.enable()
+    yield racecheck
+    racecheck.disable()
+    racecheck.reset()
+
+
+class TestUnguardedWrites:
+    def test_raw_append_to_cache_file_raises(self, detector, tmp_path):
+        with pytest.raises(RaceError, match="unguarded cache-file write"):
+            atomic_append(tmp_path / "results.jsonl", "{}\n")
+
+    def test_append_under_wrong_lock_raises(self, detector, tmp_path):
+        with _FileLock(tmp_path / StageCache.LOCKNAME), \
+                pytest.raises(RaceError, match="results.lock"):
+            atomic_append(tmp_path / "results.jsonl", "{}\n")
+
+    def test_append_under_matching_lock_passes(self, detector, tmp_path):
+        with _FileLock(tmp_path / ResultCache.LOCKNAME):
+            atomic_append(
+                tmp_path / "results.jsonl", json.dumps({"key": "k"}) + "\n"
+            )
+        assert "k" in ResultCache(tmp_path)
+
+    def test_non_cache_files_are_exempt(self, detector, tmp_path):
+        atomic_append(tmp_path / "progress.log", "tick\n")
+
+    def test_disabled_detector_is_a_no_op(self, tmp_path):
+        racecheck.reset()
+        assert not racecheck.enabled()
+        atomic_append(tmp_path / "results.jsonl", "{}\n")
+
+
+class TestGuardedHelpers:
+    """The real writers must all be clean under the detector."""
+
+    def test_result_cache_put(self, detector, tmp_path):
+        ResultCache(tmp_path).put({"key": "a", "metrics": {}})
+
+    def test_stage_cache_appends(self, detector, tmp_path):
+        cache = StageCache(tmp_path)
+        cache.put_cycles("k", 42.0)
+        cache.put_cycles("k2", 43.0)
+        assert StageCache(tmp_path).get_cycles("k") == 42.0
+
+    def test_sidecar_merge(self, detector, tmp_path):
+        _merge_sidecar(tmp_path / "stats.json", {"hits": 3})
+        _merge_sidecar(tmp_path / "stats.json", {"hits": 2})
+        data = json.loads((tmp_path / "stats.json").read_text())
+        assert data["hits"] == 5
+
+    def test_cache_gc_and_clear(self, detector, tmp_path):
+        ResultCache(tmp_path).put({"key": "stale", "metrics": {}})
+        kept, pruned = cache_gc(tmp_path)
+        assert (kept, pruned) == (0, 1)  # no model_version: pruned
+        assert cache_clear(tmp_path) == 0
+
+
+class TestLockOrder:
+    def test_inversion_is_caught(self, detector, tmp_path):
+        a, b = tmp_path / "a.lock", tmp_path / "b.lock"
+        with _FileLock(a), _FileLock(b):
+            pass
+        with pytest.raises(RaceError, match="lock-order inversion"), \
+                _FileLock(b), _FileLock(a):
+            pass
+
+    def test_consistent_order_is_fine(self, detector, tmp_path):
+        a, b = tmp_path / "a.lock", tmp_path / "b.lock"
+        for _ in range(3):
+            with _FileLock(a), _FileLock(b):
+                pass
+
+    def test_rejected_inversion_does_not_poison_the_graph(
+        self, detector, tmp_path
+    ):
+        a, b = tmp_path / "a.lock", tmp_path / "b.lock"
+        with _FileLock(a), _FileLock(b):
+            pass
+        with pytest.raises(RaceError), _FileLock(b), _FileLock(a):
+            pass
+        # The legitimate order must still be accepted afterwards.
+        with _FileLock(a), _FileLock(b):
+            pass
+
+    def test_transitive_inversion_is_caught(self, detector, tmp_path):
+        a, b, c = (tmp_path / n for n in ("a.lock", "b.lock", "c.lock"))
+        with _FileLock(a), _FileLock(b):
+            pass
+        with _FileLock(b), _FileLock(c):
+            pass
+        with pytest.raises(RaceError, match="lock-order inversion"), \
+                _FileLock(c), _FileLock(a):
+            pass
+
+    def test_reentrant_acquisition_is_caught(self, detector, tmp_path):
+        a = tmp_path / "a.lock"
+        with pytest.raises(RaceError, match="reentrant"), \
+                _FileLock(a), _FileLock(a):
+            pass
+
+    def test_events_trace_records_activity(self, detector, tmp_path):
+        with _FileLock(tmp_path / ResultCache.LOCKNAME):
+            atomic_append(tmp_path / "results.jsonl", "{}\n")
+        trace = racecheck.events()
+        assert any(e.startswith("acquire") for e in trace)
+        assert any(e.startswith("append") for e in trace)
+        assert any(e.startswith("release") for e in trace)
+
+
+class TestEnvActivation:
+    """REPRO_RACE_CHECK=1 must arm the detector in fresh processes."""
+
+    def _run(self, code: str, check: bool) -> subprocess.CompletedProcess:
+        env = {**os.environ, "PYTHONPATH": str(REPO / "src"),
+               "REPRO_RACE_CHECK": "1" if check else ""}
+        return subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, env=env,
+        )
+
+    def test_env_var_arms_unguarded_write_check(self, tmp_path):
+        code = (
+            "from repro.sweep.cache import atomic_append; "
+            f"atomic_append({str(tmp_path / 'results.jsonl')!r}, '{{}}\\n')"
+        )
+        armed = self._run(code, check=True)
+        assert armed.returncode != 0
+        assert "RaceError" in armed.stderr
+        disarmed = self._run(code, check=False)
+        assert disarmed.returncode == 0, disarmed.stderr
+
+    def test_injected_inversion_fails_loudly(self, tmp_path):
+        code = (
+            "from repro.sweep.cache import _FileLock\n"
+            f"a, b = {str(tmp_path / 'a.lock')!r}, {str(tmp_path / 'b.lock')!r}\n"
+            "with _FileLock(a), _FileLock(b):\n    pass\n"
+            "with _FileLock(b), _FileLock(a):\n    pass\n"
+        )
+        result = self._run(code, check=True)
+        assert result.returncode != 0
+        assert "lock-order inversion" in result.stderr
+
+    def test_multiwriter_suite_passes_under_detector(self):
+        """The whole multi-writer cache suite, detector armed.
+
+        Every writer in those tests goes through the guarded helpers,
+        so the detector must stay silent while real multi-process
+        contention exercises it (the satellite run from ISSUE 7).
+        """
+        env = {**os.environ, "PYTHONPATH": str(REPO / "src"),
+               "REPRO_RACE_CHECK": "1"}
+        result = subprocess.run(
+            [sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider",
+             str(REPO / "tests" / "test_cache_multiwriter.py")],
+            capture_output=True, text=True, env=env, cwd=REPO,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
