@@ -19,6 +19,7 @@ import pytest
 
 from repro.client import ServiceClient
 from repro.service import ReproService
+from repro.obs.report import stamp_bench
 from repro.sweep import SweepSpec
 
 ARTIFACT = Path("BENCH_service.json")
@@ -39,11 +40,11 @@ def _emit_artifact():
     yield
     if not _RESULTS:
         return
-    payload = {
+    payload = stamp_bench({
         "benchmark": "service warm-cache throughput",
         "generated_unix": int(time.time()),
         "results": _RESULTS,
-    }
+    })
     ARTIFACT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
                         encoding="utf-8")
 

@@ -27,6 +27,7 @@ from repro.kernels.workloads import (
     run_matvec,
     run_stencil5,
 )
+from repro.obs.report import stamp_bench
 from repro.simulator.memsys import OffChipMemory
 
 ARTIFACT = Path("BENCH_sim.json")
@@ -48,11 +49,11 @@ def _emit_artifact():
     yield
     if not _RESULTS:
         return
-    payload = {
+    payload = stamp_bench({
         "benchmark": "simulator fast-vs-reference",
         "generated_unix": int(time.time()),
         "workloads": _RESULTS,
-    }
+    })
     ARTIFACT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
                         encoding="utf-8")
 

@@ -29,7 +29,7 @@ from .core.config import (
 )
 from .core.metrics import GroupResult, KernelMetrics, NormalizedGroupResult, normalize
 
-__version__ = "2.5.0"
+__version__ = "2.6.0"
 
 #: Names re-exported lazily from the ``repro.api`` façade.
 _API_EXPORTS = (
@@ -82,6 +82,17 @@ _ANALYSIS_EXPORTS = (
     "register_lint",
 )
 
+#: Names re-exported lazily from the ``repro.obs`` observability layer.
+_OBS_EXPORTS = (
+    "StageProfiler",
+    "append_trajectory",
+    "check_trajectory",
+    "load_bench",
+    "render_html",
+    "stamp_bench",
+    "write_html",
+)
+
 #: Names re-exported lazily from the ``repro.search`` optimizer.
 _SEARCH_EXPORTS = (
     "Choice",
@@ -112,6 +123,7 @@ __all__ = [
     *_API_EXPORTS,
     *_ANALYSIS_EXPORTS,
     *_ENGINE_EXPORTS,
+    *_OBS_EXPORTS,
     *_SEARCH_EXPORTS,
     *_SERVICE_EXPORTS,
     *_CLIENT_EXPORTS,
@@ -125,6 +137,8 @@ def __getattr__(name: str):
         from . import analysis as module
     elif name in _ENGINE_EXPORTS:
         from . import engine as module
+    elif name in _OBS_EXPORTS:
+        from . import obs as module
     elif name in _SEARCH_EXPORTS:
         from . import search as module
     elif name in _SERVICE_EXPORTS:
@@ -144,6 +158,7 @@ def __dir__():
         | set(_API_EXPORTS)
         | set(_ANALYSIS_EXPORTS)
         | set(_ENGINE_EXPORTS)
+        | set(_OBS_EXPORTS)
         | set(_SEARCH_EXPORTS)
         | set(_SERVICE_EXPORTS)
         | set(_CLIENT_EXPORTS)

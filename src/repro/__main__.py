@@ -15,6 +15,10 @@ Usage::
     python -m repro cache gc --keep-version
     python -m repro cache merge worker-cache --cache-dir .sweep-cache
     python -m repro report results.jsonl --objective edp --pareto
+    python -m repro report results.jsonl --html report.html --trajectory BENCH_trajectory.json
+    python -m repro metrics --url http://127.0.0.1:8787 [--prometheus]
+    python -m repro trajectory append --sim BENCH_sim.json --service BENCH_service.json
+    python -m repro trajectory check --file BENCH_trajectory.json
     python -m repro experiments [table1 table2 fig6 fig789]
     python -m repro serve --port 8787 --cache-dir .sweep-cache
 """
@@ -368,12 +372,60 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0 if outcome.ok_candidates else 1
 
 
+def _report_html(args: argparse.Namespace) -> int:
+    """The ``repro report --html`` path: render the observability report."""
+    from pathlib import Path
+
+    from .obs import report as obs_report
+    from .obs.profile import StageProfiler
+    from .sweep import ResultStore
+
+    records = []
+    if args.results:
+        if not Path(args.results).is_file():
+            print(f"repro report: no records in {args.results}",
+                  file=sys.stderr)
+            return 1
+        records = ResultStore(args.results).load()
+    trajectory = (
+        obs_report.load_trajectory(args.trajectory)
+        if args.trajectory else None
+    )
+    stage_profile = None
+    if args.trace:
+        stage_profile = StageProfiler.from_trace(args.trace).breakdown() or None
+    if not records and trajectory is None and stage_profile is None:
+        print("repro report --html: nothing to render (give a results "
+              "JSONL, --trajectory, or --trace)", file=sys.stderr)
+        return 2
+    out = obs_report.write_html(
+        args.html,
+        records=records,
+        trajectory=trajectory,
+        stage_profile=stage_profile,
+        title=args.title,
+    )
+    sections = sum((
+        bool(records),
+        trajectory is not None,
+        stage_profile is not None,
+    ))
+    print(f"wrote {out} ({sections} data section(s), self-contained)")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from .sweep import ResultStore, pareto_pairs, rank, summarize
     from .sweep.report import format_table
 
+    if args.html:
+        return _report_html(args)
+    if not args.results:
+        print("repro report: need a results JSONL (or --html OUT)",
+              file=sys.stderr)
+        return 2
     # Reporting is read-only: never let ResultStore create directories
     # for a mistyped path.
     if not Path(args.results).is_file():
@@ -449,6 +501,59 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     keep = args.keep_version or CODE_MODEL_VERSION
     kept, pruned = cache_gc(args.cache_dir, keep_version=keep)
     print(f"kept {kept} entries under version {keep}, pruned {pruned}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Fetch a running service's metrics (``GET /v1/metrics``)."""
+    from .client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.prometheus:
+            sys.stdout.write(client.metrics_text())
+        else:
+            print(json.dumps(client.metrics(), indent=2, sort_keys=True))
+    except (ServiceError, ConnectionError) as exc:
+        print(f"repro metrics: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_trajectory(args: argparse.Namespace) -> int:
+    """Maintain and gate the tracked BENCH trajectory file."""
+    from .obs import report as obs_report
+
+    if args.action == "append":
+        if not args.sim and not args.service:
+            print("repro trajectory append: need --sim and/or --service",
+                  file=sys.stderr)
+            return 2
+        try:
+            entry = obs_report.append_trajectory(
+                args.file,
+                sim=args.sim or None,
+                service=args.service or None,
+                label=args.label,
+            )
+        except (OSError, ValueError) as exc:
+            print(f"repro trajectory append: {exc}", file=sys.stderr)
+            return 1
+        parts = [k for k in ("sim", "service") if entry.get(k)]
+        print(f"appended entry {entry.get('label') or '(unlabelled)'} "
+              f"({'+'.join(parts)}) to {args.file}")
+        return 0
+    # check
+    try:
+        problems = obs_report.check_trajectory(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"repro trajectory check: {exc}", file=sys.stderr)
+        return 1
+    if problems:
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        return 1
+    print(f"trajectory {args.file}: structural checks pass")
     return 0
 
 
@@ -551,7 +656,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_chk = sub.add_parser(
         "check",
-        help="run the repo-aware static analyzers (REP001-REP006)",
+        help="run the repo-aware static analyzers (REP001-REP007)",
     )
     p_chk.add_argument("paths", nargs="*", default=["src"], metavar="PATH",
                        help="files or directories to analyze (default: src)")
@@ -694,7 +799,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep = sub.add_parser(
         "report", help="rank / summarize a results JSONL after the fact"
     )
-    p_rep.add_argument("results",
+    p_rep.add_argument("results", nargs="?", default=None,
                        help="JSONL from sweep/search --store or the cache")
     p_rep.add_argument("--objective", default=None,
                        help="rank by this registered objective")
@@ -702,7 +807,50 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the performance/efficiency Pareto front")
     p_rep.add_argument("--top", type=int, default=10,
                        help="rows shown in ranked tables")
+    p_rep.add_argument("--html", default=None, metavar="OUT",
+                       help="write a self-contained HTML report (Pareto "
+                            "front, sweep heatmap, stage breakdown, BENCH "
+                            "trajectory) instead of text output")
+    p_rep.add_argument("--trajectory", default=None, metavar="FILE",
+                       help="BENCH trajectory JSON folded into --html")
+    p_rep.add_argument("--trace", default=None, metavar="FILE",
+                       help="trace JSONL whose stage.* spans become the "
+                            "per-stage breakdown in --html")
+    p_rep.add_argument("--title", default="repro report",
+                       help="HTML report title")
     p_rep.set_defaults(func=_cmd_report)
+
+    p_met = sub.add_parser(
+        "metrics", help="fetch a running service's metrics snapshot"
+    )
+    p_met.add_argument("--url", default="http://127.0.0.1:8787",
+                       help="service base URL")
+    p_met.add_argument("--prometheus", action="store_true",
+                       help="Prometheus text exposition instead of JSON")
+    p_met.set_defaults(func=_cmd_metrics)
+
+    p_traj = sub.add_parser(
+        "trajectory", help="maintain / gate the tracked BENCH trajectory"
+    )
+    traj_sub = p_traj.add_subparsers(dest="action", required=True)
+    p_ta = traj_sub.add_parser(
+        "append", help="fold BENCH artifacts into the trajectory file"
+    )
+    p_ta.add_argument("--file", default="BENCH_trajectory.json",
+                      help="trajectory JSON (created if missing)")
+    p_ta.add_argument("--sim", default=None, metavar="BENCH_sim.json",
+                      help="simulator BENCH artifact")
+    p_ta.add_argument("--service", default=None, metavar="BENCH_service.json",
+                      help="service BENCH artifact")
+    p_ta.add_argument("--label", default=None,
+                      help="entry label (e.g. a short commit SHA)")
+    p_ta.set_defaults(func=_cmd_trajectory)
+    p_tc = traj_sub.add_parser(
+        "check", help="fail on structural regressions in the latest entry"
+    )
+    p_tc.add_argument("--file", default="BENCH_trajectory.json",
+                      help="trajectory JSON to gate on")
+    p_tc.set_defaults(func=_cmd_trajectory)
 
     p_x = sub.add_parser("experiments", help="regenerate tables/figures")
     p_x.add_argument("names", nargs="*", help="subset of experiments")

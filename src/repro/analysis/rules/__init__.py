@@ -13,4 +13,5 @@ from . import (  # noqa: F401
     rep004_nondeterminism,
     rep005_registry,
     rep006_pickle,
+    rep007_obs_names,
 )

@@ -1,0 +1,137 @@
+"""REP007 — observability name integrity.
+
+Spans and metrics are only as useful as their names: the trace viewer
+groups by span name, the metrics registry get-or-creates by metric
+name, and Prometheus scrapes reject malformed identifiers.  Three
+defect shapes break that quietly:
+
+* a **non-literal name** (f-string, concatenation, variable) defeats
+  static auditing — nobody can grep the codebase for the spans a
+  dashboard depends on, and a typo ships as a brand-new series instead
+  of a lint error (the same argument as REP005's literal registry
+  names);
+* a **kind collision** — ``metrics.counter("x")`` in one file and
+  ``metrics.gauge("x")`` in another — raises ``TypeError`` at runtime,
+  but only in the import order that happens to create both, so the
+  lint checks the whole tree at once;
+* a **malformed metric name** fails the Prometheus exposition format
+  (``[a-zA-Z_:][a-zA-Z0-9_:]*``) at scrape time, long after the code
+  that minted it shipped.
+
+Files inside ``repro/obs`` itself are exempt: they are the machinery
+(names there are forwarded parameters, not call sites).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..astutil import ImportMap
+from ..findings import Finding
+from ..framework import BaseLint, LintContext, register_lint
+
+#: Resolved call targets (leading relative dots stripped) → name kind.
+OBS_CALLS = {
+    "obs.trace.span": "span",
+    "obs.metrics.counter": "counter",
+    "obs.metrics.gauge": "gauge",
+    "obs.metrics.histogram": "histogram",
+}
+
+#: The Prometheus exposition grammar for metric identifiers.
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _obs_kind(node: ast.Call, imports: ImportMap) -> Optional[str]:
+    """Which observability name this call mints, or ``None``."""
+    resolved = imports.resolve(node.func)
+    if not resolved:
+        return None
+    # Relative in-repo imports resolve with leading dots
+    # ("..obs.trace.span"): strip them so one suffix match covers both.
+    tail = resolved.lstrip(".")
+    for target, kind in OBS_CALLS.items():
+        if tail == target or tail.endswith(f".{target}"):
+            return kind
+    return None
+
+
+def _literal_name(node: ast.Call) -> Optional[str]:
+    if (
+        node.args
+        and isinstance(node.args[0], ast.Constant)
+        and isinstance(node.args[0].value, str)
+    ):
+        return node.args[0].value
+    return None
+
+
+def _is_obs_internal(relpath: str) -> bool:
+    normalized = relpath.replace("\\", "/")
+    return "repro/obs/" in normalized
+
+
+@register_lint("REP007")
+class ObservabilityNames(BaseLint):
+    rule = "REP007"
+    title = "span/metric names must be literal, well-formed, collision-free"
+
+    def __init__(self) -> None:
+        # metric name -> (kind, path, line), for cross-file kind clashes.
+        self._seen: Dict[str, Tuple[str, str, int]] = {}
+        self._collisions: List[Finding] = []
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        if _is_obs_internal(ctx.relpath):
+            return
+        imports = ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            kind = _obs_kind(node, imports)
+            if kind is None:
+                continue
+            name = _literal_name(node)
+            if name is None:
+                what = "span" if kind == "span" else f"{kind} metric"
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{what} name is not a string literal; dashboards and "
+                    f"the trace viewer cannot be audited statically, and a "
+                    f"typo becomes a new series instead of a lint error",
+                    hint="pass the name as a literal string (split variants "
+                    "into distinct literal names or span attributes)",
+                )
+                continue
+            if kind == "span":
+                continue  # span names may repeat; only metrics collide
+            if not METRIC_NAME_RE.match(name):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"metric name {name!r} is not a valid Prometheus "
+                    f"identifier ([a-zA-Z_:][a-zA-Z0-9_:]*); the text "
+                    f"exposition breaks at scrape time",
+                    hint="use lowercase snake_case, e.g. 'repro_jobs_total'",
+                )
+                continue
+            site = (kind, ctx.relpath, node.lineno)
+            first = self._seen.setdefault(name, site)
+            if first[0] != kind:
+                self._collisions.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"metric {name!r} registered as a {kind} here but as "
+                        f"a {first[0]} at {first[1]}:{first[2]} "
+                        f"(MetricsRegistry raises TypeError at runtime, but "
+                        f"only in the import order that creates both)",
+                        hint="one kind per metric name; rename one of them",
+                    )
+                )
+
+    def finalize(self) -> Iterable[Finding]:
+        return self._collisions

@@ -18,6 +18,8 @@ from typing import Iterable, Optional
 
 from ..core.config import MemPoolConfig
 from ..core.metrics import GroupResult, KernelMetrics
+from ..obs import profile as _profile
+from ..obs import trace as _trace
 from .registry import FLOWS, OBJECTIVES, WORKLOADS
 from .scenario import Scenario
 
@@ -153,10 +155,15 @@ class Pipeline:
             frequency, and objective variants.  Plugins must honour the
             stage-key contracts (see
             :meth:`Scenario.physical_dict`/:meth:`Scenario.cycles_dict`).
+        profiler: Optional per-instance ``(stage, seconds)`` callback
+            (e.g. a :class:`repro.obs.StageProfiler`).  Independent of
+            the process-wide hooks in :mod:`repro.obs.profile`, which
+            every pipeline always notifies.
     """
 
-    def __init__(self, stage_cache=None) -> None:
+    def __init__(self, stage_cache=None, profiler=None) -> None:
         self.stage_cache = stage_cache
+        self.profiler = profiler
 
     def implement(self, scenario: Scenario) -> GroupResult:
         """Physical stage only: implement the group with the scenario's flow."""
@@ -209,12 +216,27 @@ class Pipeline:
             ``(result, profile)`` where ``profile`` maps stage names
             (``implement_s``, ``cycles_s``) to wall seconds — the data
             behind ``repro run --profile``.
+
+        Each stage is also announced to the observability layer: a
+        ``stage.*`` trace span (when armed) and every profiling hook in
+        :mod:`repro.obs.profile` (plus this pipeline's own
+        ``profiler``), so sweeps get per-stage breakdowns without a
+        second code path.
         """
         t0 = time.perf_counter()
-        physical = self.implement(scenario)
+        with _trace.span("stage.implement", workload=scenario.workload,
+                         flow=scenario.flow):
+            physical = self.implement(scenario)
         t1 = time.perf_counter()
-        cycles = self.cycles(scenario)
+        with _trace.span("stage.cycles", workload=scenario.workload,
+                         bandwidth=scenario.bandwidth):
+            cycles = self.cycles(scenario)
         t2 = time.perf_counter()
+        _profile.notify("implement", t1 - t0)
+        _profile.notify("cycles", t2 - t1)
+        if self.profiler is not None:
+            self.profiler("implement", t1 - t0)
+            self.profiler("cycles", t2 - t1)
         kernel = KernelMetrics(
             name=scenario.name,
             cycles=cycles,

@@ -29,6 +29,8 @@ import time
 from typing import Iterator, Optional
 from urllib.parse import urlsplit
 
+from .obs import trace as _trace
+
 __all__ = ["ServiceClient", "ServiceError"]
 
 DEFAULT_TIMEOUT_S = 30.0
@@ -122,14 +124,11 @@ class ServiceClient:
                 time.sleep(self.backoff_s * 2 ** (attempt - 1))
             try:
                 conn = self._connect()
-                conn.request(
-                    method,
-                    path,
-                    body=payload,
-                    headers={"Content-Type": "application/json"}
-                    if payload
-                    else {},
+                headers = (
+                    {"Content-Type": "application/json"} if payload else {}
                 )
+                headers.update(_trace_headers())
+                conn.request(method, path, body=payload, headers=headers)
                 response = conn.getresponse()
                 raw = response.read()
             except _RETRYABLE as exc:
@@ -223,6 +222,22 @@ class ServiceClient:
         """The service's cache-tier statistics."""
         return self._request("GET", "/v1/cache")
 
+    def metrics(self) -> dict:
+        """The service's metrics snapshot (``GET /v1/metrics``)."""
+        return self._request("GET", "/v1/metrics")["metrics"]
+
+    def metrics_text(self) -> str:
+        """The Prometheus text-format exposition of the metrics."""
+        conn = self._connect()
+        conn.request(
+            "GET", "/v1/metrics?format=prometheus", headers=_trace_headers()
+        )
+        response = conn.getresponse()
+        raw = response.read()
+        if response.status >= 400:
+            raise ServiceError(response.status, raw.decode("utf-8", "replace"))
+        return raw.decode("utf-8")
+
     def iter_results(self, job_id: str) -> Iterator[dict]:
         """Stream a job's records live until it reaches a terminal state.
 
@@ -238,7 +253,9 @@ class ServiceClient:
                     self.host, self.port, timeout=self.timeout_s
                 )
                 conn.request(
-                    "GET", f"/v1/jobs/{job_id}/results?stream=1&from={seen}"
+                    "GET",
+                    f"/v1/jobs/{job_id}/results?stream=1&from={seen}",
+                    headers=_trace_headers(),
                 )
                 response = conn.getresponse()
                 if response.status >= 400:
@@ -293,6 +310,18 @@ class ServiceClient:
                     f"after {timeout_s}s"
                 )
             time.sleep(poll_s)
+
+
+def _trace_headers() -> dict:
+    """``X-Repro-Trace`` when a span is active here, else nothing.
+
+    Disarmed clients add zero bytes to the wire; armed ones let the
+    service re-parent its job spans to the submitting span.
+    """
+    if not _trace.enabled():
+        return {}
+    header = _trace.to_header(_trace.current_context())
+    return {_trace.HEADER: header} if header else {}
 
 
 def _scenario_dicts(scenarios) -> list[dict]:

@@ -30,17 +30,25 @@ import inspect
 import math
 import os
 import pickle
+import time
 from concurrent.futures import (
     FIRST_COMPLETED,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     wait,
 )
-from typing import Callable, Iterator, Protocol, runtime_checkable
+from typing import Callable, Iterator, Optional, Protocol, runtime_checkable
 
 from ..api.registry import FLOWS, WORKLOADS, Registry
+from ..obs import metrics, trace
 from ..sweep.spec import Job
 from ..sweep.store import failure_record, point_to_record
+
+#: Wall-clock distribution of real (non-cache) job evaluations.
+JOB_SECONDS = metrics.histogram(
+    "repro_engine_job_seconds",
+    "per-job evaluation latency (cache hits excluded)",
+)
 
 #: Chunks handed to each worker per scheduling round; keeping several
 #: chunks per worker balances stragglers against IPC overhead.
@@ -66,18 +74,42 @@ class ExecutionBackend(Protocol):
         ...
 
 
-def run_one(evaluate: Callable[[Job], object], job: Job) -> dict:
-    """Evaluate one job, trapping any exception into a failure record."""
-    try:
-        return point_to_record(job, evaluate(job))
-    except Exception as exc:  # captured per job; the batch continues
-        return failure_record(job, exc)
+def run_one(
+    evaluate: Callable[[Job], object],
+    job: Job,
+    trace_ctx: Optional[dict] = None,
+) -> dict:
+    """Evaluate one job, trapping any exception into a failure record.
+
+    ``trace_ctx`` re-parents this job's span when the evaluation runs
+    on a thread the submitter's trace context cannot reach (pool
+    threads); serial callers leave it ``None`` and inherit ambiently.
+    """
+    t0 = time.perf_counter()
+    with trace.activate(trace_ctx):
+        job_span = trace.span("engine.job", key=job.key)
+        with job_span:
+            try:
+                record = point_to_record(job, evaluate(job))
+            except Exception as exc:  # captured per job; the batch continues
+                record = failure_record(job, exc)
+            job_span.set(status=record["status"])
+    JOB_SECONDS.observe(time.perf_counter() - t0)
+    return record
 
 
-def _run_chunk(args: tuple[Callable, list[Job]]) -> list[dict]:
-    """Process-pool work item: evaluate one chunk of jobs (picklable)."""
-    evaluate, chunk = args
-    return [run_one(evaluate, job) for job in chunk]
+def _run_chunk(
+    args: tuple[Callable, list[Job], Optional[dict]]
+) -> list[dict]:
+    """Process-pool work item: evaluate one chunk of jobs (picklable).
+
+    The third element is a :func:`repro.obs.trace.envelope` (or
+    ``None``): workers adopt it so their spans re-parent to the
+    submitting backend span and append to the submitter's sink.
+    """
+    evaluate, chunk, envelope = args
+    with trace.adopt(envelope):
+        return [run_one(evaluate, job) for job in chunk]
 
 
 def _picklable_items(registry: Registry) -> list[tuple[str, object]]:
@@ -180,8 +212,13 @@ class ThreadBackend:
         if not jobs:
             return
         workers = min(self.workers, len(jobs))
+        # Thread-locals don't follow work into the pool: capture the
+        # submitting span context once and re-parent each job to it.
+        ctx = trace.current_context()
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(run_one, evaluate, job) for job in jobs}
+            futures = {
+                pool.submit(run_one, evaluate, job, ctx) for job in jobs
+            }
             while futures:
                 done, futures = wait(futures, return_when=FIRST_COMPLETED)
                 for future in done:
@@ -218,6 +255,10 @@ class ProcessBackend:
         chunks = [
             jobs[i : i + chunksize] for i in range(0, len(jobs), chunksize)
         ]
+        # Ships the span context (and sink path) inside the work item —
+        # None when tracing is disarmed, so the common case pickles a
+        # single None.
+        envelope = trace.envelope()
         with ProcessPoolExecutor(
             max_workers=workers,
             mp_context=self.mp_context,
@@ -225,7 +266,8 @@ class ProcessBackend:
             initargs=(_picklable_items(FLOWS), _picklable_items(WORKLOADS)),
         ) as pool:
             futures = {
-                pool.submit(_run_chunk, (evaluate, chunk)) for chunk in chunks
+                pool.submit(_run_chunk, (evaluate, chunk, envelope))
+                for chunk in chunks
             }
             while futures:
                 done, futures = wait(futures, return_when=FIRST_COMPLETED)

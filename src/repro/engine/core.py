@@ -25,7 +25,10 @@ from dataclasses import dataclass
 from functools import partial
 from typing import Callable, Iterable, Iterator, Optional, Union
 
+from pathlib import Path
+
 from ..api.scenario import Scenario
+from ..obs import trace as _trace
 from ..sweep.cache import ResultCache
 from ..sweep.spec import Job
 from ..sweep.store import ResultStore
@@ -134,6 +137,11 @@ class Engine:
             ``on_result(done, total, record)`` after every completion.
         mp_context: Multiprocessing context for process backends.
         chunksize: Explicit chunk size for chunking backends.
+        trace: Arm :mod:`repro.obs.trace` for this process — ``True``
+            uses the default sink (or ``REPRO_TRACE_FILE``), a path
+            redirects it.  ``None`` (default) leaves the ambient state
+            alone, so ``REPRO_TRACE=1`` keeps working and a disarmed
+            engine adds a single boolean check per span site.
         stage_cache: Memoize the pipeline's physical and workload stages
             in a :class:`~repro.engine.cache.StageCache` rooted at the
             disk cache's directory (the default).  Only applies to the
@@ -154,10 +162,13 @@ class Engine:
         on_result: Optional[ProgressCallback] = None,
         mp_context=None,
         chunksize: Optional[int] = None,
+        trace: Union[bool, str, Path, None] = None,
         stage_cache: bool = True,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be non-negative")
+        if trace:
+            _trace.enable(None if trace is True else trace)
         self.backend = resolve_backend(
             backend, workers=workers, mp_context=mp_context, chunksize=chunksize
         )
@@ -226,24 +237,35 @@ class Engine:
         total = len(jobs)
         done = 0
         pending: list[Job] = []
+        batch_span = _trace.span("engine.run_many", total=total)
         try:
-            for key, job in jobs.items():
-                cached = self.cache.get(key)
-                if cached is not None and cached.get("status") == "ok":
-                    record = {**cached, "source": "cache"}
-                    done += 1
-                    self._emit(record, done, total, callback)
-                    yield job, record
-                else:
-                    pending.append(job)
+            with batch_span:
+                for key, job in jobs.items():
+                    cached = self.cache.get(key)
+                    if cached is not None and cached.get("status") == "ok":
+                        record = {**cached, "source": "cache"}
+                        done += 1
+                        self._emit(record, done, total, callback)
+                        yield job, record
+                    else:
+                        pending.append(job)
+                batch_span.set(cached=done, pending=len(pending))
 
-            for raw in self.backend.run(self.evaluate, pending):
-                if raw["status"] == "ok":
-                    self.cache.put(raw)
-                record = {**raw, "source": "evaluated"}
-                done += 1
-                self._emit(record, done, total, callback)
-                yield jobs[record["key"]], record
+                backend_span = _trace.span(
+                    "engine.backend",
+                    backend=getattr(
+                        self.backend, "name", type(self.backend).__name__
+                    ),
+                    jobs=len(pending),
+                )
+                with backend_span:
+                    for raw in self.backend.run(self.evaluate, pending):
+                        if raw["status"] == "ok":
+                            self.cache.put(raw)
+                        record = {**raw, "source": "evaluated"}
+                        done += 1
+                        self._emit(record, done, total, callback)
+                        yield jobs[record["key"]], record
         finally:
             self.cache.flush_stats()
             if self.stage_root is not None:

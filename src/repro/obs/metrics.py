@@ -1,0 +1,258 @@
+"""Process-wide metrics: counters, gauges, histograms, one registry.
+
+The stack already counts things ad hoc — cache tiers track hits and
+misses, the job table counts states, the service counts nothing.  This
+module gives those numbers one registry and two export formats (a JSON
+document and the Prometheus text exposition format), served by
+``GET /v1/metrics`` and the ``repro metrics`` CLI.
+
+Three instrument kinds, deliberately minimal:
+
+* :class:`Counter` — monotonically increasing float (``inc``).
+* :class:`Gauge` — a settable value *or* a callback read at collection
+  time (``set_function``), which is how the existing cache/job-table
+  counters are exported without adding a single instruction to their
+  hot paths.
+* :class:`Histogram` — cumulative fixed buckets plus sum and count
+  (Prometheus semantics), for per-job latency distributions.
+
+Instruments are get-or-create by **literal** name (REP007 enforces the
+literal part statically); re-requesting a name returns the existing
+instrument, and requesting it as a different kind raises — a collision
+would silently merge unrelated series.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Optional, Sequence, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+]
+
+#: Default latency buckets (seconds): microseconds to tens of seconds.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "help": self.help, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value: set directly or backed by a callback."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._fn: Optional[Callable[[], float]] = None
+
+    def set(self, value: Union[int, float]) -> None:
+        self._fn = None
+        self._value = float(value)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Read ``fn()`` at collection time (zero hot-path cost)."""
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        fn = self._fn
+        if fn is not None:
+            try:
+                return float(fn())
+            except Exception:
+                return float("nan")  # a dead callback must not kill /v1/metrics
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "help": self.help, "value": self.value}
+
+
+class Histogram:
+    """Cumulative fixed-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self.help = help
+        self.bounds = tuple(bounds)
+        self._counts = [0] * (len(bounds) + 1)  # last bucket is +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: Union[int, float]) -> None:
+        value = float(value)
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            counts = list(self._counts)
+            total, observed = self._sum, self._count
+        cumulative: Dict[str, int] = {}
+        running = 0
+        for bound, count in zip(self.bounds, counts):
+            running += count
+            cumulative[f"{bound:g}"] = running
+        cumulative["+Inf"] = running + counts[-1]
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "count": observed,
+            "sum": total,
+            "buckets": cumulative,
+        }
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named instruments, get-or-create, with two export formats."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            instrument = cls(name, help, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def names(self) -> tuple:
+        with self._lock:
+            return tuple(sorted(self._instruments))
+
+    def collect(self) -> dict:
+        """``{name: snapshot}`` for every instrument, sorted by name."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        return {
+            name: instruments[name].snapshot() for name in sorted(instruments)
+        }
+
+    def prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines = []
+        for name, snap in self.collect().items():
+            if snap["help"]:
+                lines.append(f"# HELP {name} {snap['help']}")
+            lines.append(f"# TYPE {name} {snap['kind']}")
+            if snap["kind"] == "histogram":
+                for le, count in snap["buckets"].items():
+                    lines.append(f'{name}_bucket{{le="{le}"}} {count}')
+                lines.append(f"{name}_sum {_fmt(snap['sum'])}")
+                lines.append(f"{name}_count {snap['count']}")
+            else:
+                lines.append(f"{name} {_fmt(snap['value'])}")
+        return "\n".join(lines) + "\n"
+
+    def clear(self) -> None:
+        """Drop every instrument (test isolation only)."""
+        with self._lock:
+            self._instruments.clear()
+
+
+def _fmt(value: float) -> str:
+    """Prometheus float formatting (NaN spelled out, ints unpadded)."""
+    if value != value:  # NaN
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+#: The process-wide default registry every layer shares.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str, help: str = "") -> Counter:
+    """Get-or-create a counter in the default registry."""
+    return REGISTRY.counter(name, help)
+
+
+def gauge(name: str, help: str = "") -> Gauge:
+    """Get-or-create a gauge in the default registry."""
+    return REGISTRY.gauge(name, help)
+
+
+def histogram(
+    name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS
+) -> Histogram:
+    """Get-or-create a histogram in the default registry."""
+    return REGISTRY.histogram(name, help, buckets=buckets)

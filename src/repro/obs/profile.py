@@ -1,0 +1,167 @@
+"""Per-stage profiling hooks over the evaluation pipeline.
+
+``Pipeline.run_profiled`` has always timed its two stages for one
+caller (``repro run --profile``).  This module generalizes that: the
+pipeline now notifies process-wide hooks with every ``(stage,
+seconds)`` observation, and a :class:`StageProfiler` aggregates those
+observations into the per-sweep stage breakdown the HTML report renders.
+
+The disarmed path is one truthiness check on the hook list — the same
+discipline as :mod:`repro.obs.trace`.
+
+    from repro.obs.profile import StageProfiler
+
+    profiler = StageProfiler()
+    with profiler.attached():
+        engine.run(scenarios)          # serial/thread backends
+    print(profiler.summary())
+
+Process-pool workers do not share the parent's hook list; for those,
+arm tracing and build the same breakdown from the ``stage.*`` spans in
+the trace sink (:meth:`StageProfiler.from_trace`).
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Callable, Dict, List, Union
+
+__all__ = ["StageProfiler", "add_hook", "notify", "remove_hook"]
+
+Hook = Callable[[str, float], None]
+
+_hooks: List[Hook] = []
+_hooks_lock = threading.Lock()
+
+
+def add_hook(hook: Hook) -> Hook:
+    """Register a ``(stage, seconds)`` observer; returns it for removal."""
+    with _hooks_lock:
+        _hooks.append(hook)
+    return hook
+
+
+def remove_hook(hook: Hook) -> None:
+    """Unregister a hook (missing hooks are ignored)."""
+    with _hooks_lock:
+        try:
+            _hooks.remove(hook)
+        except ValueError:
+            pass
+
+
+def notify(stage: str, seconds: float) -> None:
+    """Fan one stage observation out to every hook.
+
+    With no hooks attached this is a single truthiness check, so the
+    pipeline can call it unconditionally.
+    """
+    if not _hooks:
+        return
+    with _hooks_lock:
+        hooks = list(_hooks)
+    for hook in hooks:
+        hook(stage, seconds)
+
+
+class StageProfiler:
+    """Aggregates ``(stage, seconds)`` observations into a breakdown."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # stage -> [count, total, min, max]
+        self._stages: Dict[str, list] = {}
+
+    def __call__(self, stage: str, seconds: float) -> None:
+        self.observe(stage, seconds)
+
+    def observe(self, stage: str, seconds: float) -> None:
+        seconds = float(seconds)
+        with self._lock:
+            entry = self._stages.get(stage)
+            if entry is None:
+                self._stages[stage] = [1, seconds, seconds, seconds]
+            else:
+                entry[0] += 1
+                entry[1] += seconds
+                entry[2] = min(entry[2], seconds)
+                entry[3] = max(entry[3], seconds)
+
+    def attached(self) -> "_Attachment":
+        """Context manager hooking this profiler into the process."""
+        return _Attachment(self)
+
+    def breakdown(self) -> dict:
+        """``{stage: {count, total_s, mean_s, min_s, max_s, share}}``."""
+        with self._lock:
+            stages = {name: list(entry) for name, entry in self._stages.items()}
+        grand_total = sum(entry[1] for entry in stages.values())
+        result = {}
+        for name in sorted(stages):
+            count, total, lo, hi = stages[name]
+            result[name] = {
+                "count": count,
+                "total_s": total,
+                "mean_s": total / count if count else 0.0,
+                "min_s": lo,
+                "max_s": hi,
+                "share": total / grand_total if grand_total > 0 else 0.0,
+            }
+        return result
+
+    def summary(self) -> str:
+        """Human-readable breakdown table, largest share first."""
+        rows = sorted(
+            self.breakdown().items(),
+            key=lambda item: item[1]["total_s"],
+            reverse=True,
+        )
+        if not rows:
+            return "no stage observations"
+        width = max(len(name) for name, _ in rows)
+        lines = []
+        for name, stats in rows:
+            lines.append(
+                f"{name:<{width}}  {stats['total_s']:8.3f}s total  "
+                f"{stats['share']:6.1%}  {stats['count']:5d} calls  "
+                f"mean {stats['mean_s'] * 1e3:8.3f}ms"
+            )
+        return "\n".join(lines)
+
+    @classmethod
+    def from_trace(
+        cls, path: Union[str, Path], prefix: str = "stage."
+    ) -> "StageProfiler":
+        """Rebuild a breakdown from ``stage.*`` spans in a trace sink.
+
+        This is how process-pool sweeps get a stage breakdown: the
+        workers' spans land in the shared sink, and the report folds
+        them back together here.
+        """
+        from . import trace
+
+        profiler = cls()
+        for record in trace.read_spans(path):
+            name = record.get("name", "")
+            if name.startswith(prefix):
+                profiler.observe(
+                    name[len(prefix):], float(record.get("duration_s", 0.0))
+                )
+        return profiler
+
+
+class _Attachment:
+    """RAII hook registration for :meth:`StageProfiler.attached`."""
+
+    __slots__ = ("_profiler",)
+
+    def __init__(self, profiler: StageProfiler):
+        self._profiler = profiler
+
+    def __enter__(self) -> StageProfiler:
+        add_hook(self._profiler)
+        return self._profiler
+
+    def __exit__(self, *exc) -> None:
+        remove_hook(self._profiler)

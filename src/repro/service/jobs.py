@@ -53,6 +53,9 @@ class ServiceJob:
     submitted_s: float = field(default_factory=time.time)
     started_s: Optional[float] = None
     finished_s: Optional[float] = None
+    #: Submitting request's trace context ({"trace", "span"} or None):
+    #: the runner re-parents this job's spans to it.
+    trace_ctx: Optional[dict] = None
     _records: list = field(default_factory=list, repr=False)
     _cond: threading.Condition = field(
         default_factory=threading.Condition, repr=False
@@ -166,9 +169,16 @@ class JobTable:
         self._lock = threading.Lock()
         self._seq = itertools.count(1)
 
-    def create(self, kind: str, spec: dict) -> ServiceJob:
+    def create(
+        self, kind: str, spec: dict, trace_ctx: Optional[dict] = None
+    ) -> ServiceJob:
         with self._lock:
-            job = ServiceJob(id=f"j{next(self._seq):06d}", kind=kind, spec=spec)
+            job = ServiceJob(
+                id=f"j{next(self._seq):06d}",
+                kind=kind,
+                spec=spec,
+                trace_ctx=trace_ctx,
+            )
             self._jobs[job.id] = job
             return job
 

@@ -44,12 +44,14 @@ import dataclasses
 import json
 import signal
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional
 from urllib.parse import parse_qs, urlsplit
 
 from ..engine.cache import TieredCache, cache_stats
 from ..engine.core import Engine
+from ..obs import metrics, trace
 from ..sweep.cache import ResultCache
 from ..sweep.spec import Scenario, SweepSpec
 from .jobs import JobState, JobTable, ServiceJob
@@ -115,6 +117,17 @@ def _chunk(data: bytes) -> bytes:
     return b"%x\r\n%s\r\n" % (len(data), data)
 
 
+def _encode_text(status: int, text: str, content_type: str) -> bytes:
+    """One complete HTTP/1.1 response with a plain-text body."""
+    body = text.encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    ).encode("latin-1")
+    return head + body
+
+
 class ReproService:
     """Async job server over a shared engine and multi-writer cache.
 
@@ -167,6 +180,68 @@ class ReproService:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._stopped: Optional[asyncio.Event] = None
+        self.started_unix = time.time()
+        self._bind_metrics()
+
+    def _bind_metrics(self) -> None:
+        """Wire this service into the process-wide metrics registry.
+
+        Counters are owned here; gauges are callbacks over state other
+        layers already maintain (job table, cache tiers), so exporting
+        them costs the hot paths nothing.  When several services share
+        a process (tests), the most recently constructed one owns the
+        gauges — counters accumulate across all of them.
+        """
+        self._requests_total = metrics.counter(
+            "repro_service_requests_total", "HTTP requests dispatched"
+        )
+        self._backpressure_total = metrics.counter(
+            "repro_service_backpressure_total",
+            "submissions rejected with 429 (queue full)",
+        )
+        self._drain_total = metrics.counter(
+            "repro_service_drain_total", "drain requests received"
+        )
+        metrics.gauge(
+            "repro_service_queue_depth", "jobs queued, not yet running"
+        ).set_function(self.table.queued)
+        metrics.gauge(
+            "repro_service_active_jobs", "jobs currently running"
+        ).set_function(
+            lambda: self.table.counts().get(JobState.RUNNING, 0)
+        )
+        metrics.gauge(
+            "repro_service_uptime_seconds", "seconds since service start"
+        ).set_function(lambda: time.time() - self.started_unix)
+        cache = self.engine.cache
+        metrics.gauge(
+            "repro_cache_memory_hits", "LRU-tier cache hits"
+        ).set_function(lambda: cache.memory_hits)
+        metrics.gauge(
+            "repro_cache_disk_hits", "disk-tier cache hits"
+        ).set_function(lambda: cache.disk_hits)
+        metrics.gauge(
+            "repro_cache_misses", "cache misses (evaluations owed)"
+        ).set_function(lambda: cache.misses)
+        metrics.gauge(
+            "repro_cache_stores", "records stored into the cache"
+        ).set_function(lambda: cache.stores)
+        def _stage_counter(name: str):
+            return lambda: (self.engine.stage_counters() or {}).get(name, 0)
+
+        # Literal names by design: REP007 checks metric names statically.
+        metrics.gauge(
+            "repro_stage_physical_hits", "stage-cache physical-stage hits"
+        ).set_function(_stage_counter("physical_hits"))
+        metrics.gauge(
+            "repro_stage_physical_evals", "physical-stage evaluations"
+        ).set_function(_stage_counter("physical_evals"))
+        metrics.gauge(
+            "repro_stage_cycles_hits", "stage-cache cycles-stage hits"
+        ).set_function(_stage_counter("cycles_hits"))
+        metrics.gauge(
+            "repro_stage_cycles_evals", "cycles-stage evaluations"
+        ).set_function(_stage_counter("cycles_evals"))
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -210,6 +285,7 @@ class ReproService:
         """Refuse new work, finish active jobs, then stop (SIGTERM path)."""
         if self._draining:
             return
+        self._drain_total.inc()
         self._draining = True
         if self._loop is not None:
             self._loop.create_task(self._drain_watch())
@@ -305,7 +381,7 @@ class ReproService:
                 method, target, headers, body = request
                 try:
                     response = await self._dispatch(
-                        method, target, body, writer
+                        method, target, headers, body, writer
                     )
                 except _HttpError as err:
                     response = _encode_response(
@@ -334,25 +410,38 @@ class ReproService:
         self,
         method: str,
         target: str,
+        headers: dict,
         body: bytes,
         writer: asyncio.StreamWriter,
     ) -> Optional[bytes]:
         """Route one request; ``None`` means the handler streamed."""
+        self._requests_total.inc()
         url = urlsplit(target)
         query = parse_qs(url.query)
         parts = [p for p in url.path.split("/") if p]
         if not parts or parts[0] != "v1":
             raise _HttpError(404, f"no such path {url.path!r}")
         route = parts[1:]
+        # The submitter's span context, when both sides are armed: jobs
+        # accepted from this request re-parent their spans to it.
+        trace_ctx = (
+            trace.from_header(headers.get(trace.HEADER.lower()))
+            if trace.enabled()
+            else None
+        )
 
         # Admission validates specs (cross-product materialization, field
         # coercion) — CPU-bound work that must not run on the event loop.
         if method == "POST" and route == ["sweeps"]:
-            return await asyncio.to_thread(self._submit_sweep, _parse_body(body))
+            return await asyncio.to_thread(
+                self._submit_sweep, _parse_body(body), trace_ctx
+            )
         if method == "POST" and route == ["searches"]:
-            return await asyncio.to_thread(self._submit_search, _parse_body(body))
+            return await asyncio.to_thread(
+                self._submit_search, _parse_body(body), trace_ctx
+            )
         if method == "POST" and route == ["runs"]:
-            return await self._submit_runs(_parse_body(body))
+            return await self._submit_runs(_parse_body(body), trace_ctx)
         if route == ["jobs"] and method == "GET":
             return _encode_response(
                 200, {"jobs": [j.snapshot() for j in self.table.jobs()]}
@@ -390,6 +479,17 @@ class ReproService:
             return _encode_response(
                 200, await asyncio.to_thread(self.cache_summary)
             )
+        if route == ["metrics"] and method == "GET":
+            # Pure in-memory snapshot — no blocking work, safe on the loop.
+            if query.get("format", [""])[-1] == "prometheus":
+                return _encode_text(
+                    200,
+                    metrics.REGISTRY.prometheus(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            return _encode_response(
+                200, {"metrics": metrics.REGISTRY.collect()}
+            )
         if route == ["health"] and method == "GET":
             return _encode_response(200, self.health())
         raise _HttpError(404, f"no handler for {method} {url.path}")
@@ -397,23 +497,28 @@ class ReproService:
     # ------------------------------------------------------------------
     # handlers
     # ------------------------------------------------------------------
-    def _admit(self, kind: str, spec: dict) -> bytes:
+    def _admit(
+        self, kind: str, spec: dict, trace_ctx: Optional[dict] = None
+    ) -> bytes:
         """Queue a validated job, honouring drain and backpressure."""
         if self._draining:
             raise _HttpError(
                 503, "service is draining", {"Retry-After": "5"}
             )
         if self.table.queued() >= self.queue_limit:
+            self._backpressure_total.inc()
             raise _HttpError(
                 429,
                 f"job queue full ({self.queue_limit} queued)",
                 {"Retry-After": "1"},
             )
-        job = self.table.create(kind, spec)
+        job = self.table.create(kind, spec, trace_ctx=trace_ctx)
         self._runner.submit(self._run_job, job)
         return _encode_response(200, job.snapshot())
 
-    def _submit_sweep(self, body: dict) -> bytes:
+    def _submit_sweep(
+        self, body: dict, trace_ctx: Optional[dict] = None
+    ) -> bytes:
         spec_dict = body.get("spec", body)
         try:
             spec = SweepSpec.from_dict(spec_dict)
@@ -421,9 +526,11 @@ class ReproService:
                 pass
         except Exception as exc:
             raise _HttpError(400, f"bad sweep spec: {exc}") from None
-        return self._admit("sweep", {"spec": spec.to_dict()})
+        return self._admit("sweep", {"spec": spec.to_dict()}, trace_ctx)
 
-    def _submit_search(self, body: dict) -> bytes:
+    def _submit_search(
+        self, body: dict, trace_ctx: Optional[dict] = None
+    ) -> bytes:
         from ..search.space import SearchSpace
 
         try:
@@ -437,9 +544,11 @@ class ReproService:
             raise _HttpError(400, "search needs a 'space'") from None
         except Exception as exc:
             raise _HttpError(400, f"bad search spec: {exc}") from None
-        return self._admit("search", dict(body))
+        return self._admit("search", dict(body), trace_ctx)
 
-    async def _submit_runs(self, body: dict) -> Optional[bytes]:
+    async def _submit_runs(
+        self, body: dict, trace_ctx: Optional[dict] = None
+    ) -> Optional[bytes]:
         raw = body.get("scenarios")
         if raw is None and "scenario" in body:
             raw = [body["scenario"]]
@@ -453,14 +562,18 @@ class ReproService:
             raise _HttpError(400, f"bad scenario: {exc}") from None
         if not body.get("sync", False):
             return self._admit(
-                "run", {"scenarios": [s.to_dict() for s in scenarios]}
+                "run",
+                {"scenarios": [s.to_dict() for s in scenarios]},
+                trace_ctx,
             )
         # Sync fast path: answer in-band.  Off the event loop so one
         # cold-cache request cannot stall every other connection; warm
         # requests are dictionary lookups and come back in microseconds.
         if self._draining:
             raise _HttpError(503, "service is draining", {"Retry-After": "5"})
-        outcome = await asyncio.to_thread(self.engine.run, scenarios)
+        outcome = await asyncio.to_thread(
+            self._run_sync, scenarios, trace_ctx
+        )
         return _encode_response(
             200,
             {
@@ -468,6 +581,12 @@ class ReproService:
                 "stats": dataclasses.asdict(outcome.stats),
             },
         )
+
+    def _run_sync(self, scenarios, trace_ctx: Optional[dict] = None):
+        """Evaluate a sync-runs batch on a worker thread, under a span."""
+        with trace.activate(trace_ctx):
+            with trace.span("service.runs", scenarios=len(scenarios)):
+                return self.engine.run(scenarios)
 
     def cache_summary(self) -> dict:
         """The `/v1/cache` document (shared with ``repro cache stats``)."""
@@ -488,11 +607,15 @@ class ReproService:
     def health(self) -> dict:
         from .. import __version__
 
+        counts = self.table.counts()
         return {
             "status": "draining" if self._draining else "ok",
             "version": __version__,
-            "jobs": self.table.counts(),
+            "jobs": counts,
             "queue_limit": self.queue_limit,
+            "uptime_s": time.time() - self.started_unix,
+            "queue_depth": self.table.queued(),
+            "active_jobs": counts.get(JobState.RUNNING, 0),
         }
 
     async def _stream_results(
@@ -538,16 +661,23 @@ class ReproService:
             job.finish(JobState.CANCELLED)
             return
         job.start()
-        try:
-            if job.kind == "search":
-                self._run_search(job)
-            else:
-                self._run_batch(job)
-            job.finish(JobState.DONE)
-        except _Cancelled:
-            job.finish(JobState.CANCELLED)
-        except Exception as exc:
-            job.finish(JobState.FAILED, error=f"{type(exc).__name__}: {exc}")
+        # Runner threads have no ambient context: re-parent this job's
+        # spans to the submitting request's (shipped on the job).
+        with trace.activate(job.trace_ctx):
+            with trace.span("service.job", kind=job.kind, job=job.id):
+                try:
+                    if job.kind == "search":
+                        self._run_search(job)
+                    else:
+                        self._run_batch(job)
+                    job.finish(JobState.DONE)
+                except _Cancelled:
+                    job.finish(JobState.CANCELLED)
+                except Exception as exc:
+                    job.finish(
+                        JobState.FAILED,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
 
     def _run_batch(self, job: ServiceJob) -> None:
         if job.kind == "sweep":

@@ -1,0 +1,14 @@
+"""REP007 corpus clean twin: literal, well-formed, collision-free names."""
+
+from repro.obs import metrics, trace
+
+REQUESTS = metrics.counter("corpus_demo_requests_total", "demo requests")
+DEPTH = metrics.gauge("corpus_demo_queue_depth", "demo queue depth")
+LATENCY = metrics.histogram("corpus_demo_seconds", "demo latency")
+
+
+def traced(stage):
+    # Variants belong in attributes; the span name stays a literal.
+    with trace.span("corpus.stage", stage=stage):
+        REQUESTS.inc()
+        return stage

@@ -1,0 +1,31 @@
+"""REP007 corpus defect: non-literal, malformed, and kind-colliding names."""
+
+from repro.obs import metrics, trace
+
+PREFIX = "corpus_demo"
+
+
+def traced(stage):
+    # Non-literal span name: unauditable, and a typo mints a new series.
+    with trace.span("stage." + stage):
+        return stage
+
+
+def count(suffix):
+    # Non-literal metric name: same problem, worse — it hits dashboards.
+    return metrics.counter(PREFIX + suffix, "demo counter")
+
+
+def malformed():
+    # Fails the Prometheus identifier grammar at scrape time.
+    return metrics.counter("corpus-demo.requests", "demo counter")
+
+
+def as_counter():
+    return metrics.counter("corpus_demo_value", "demo value")
+
+
+def as_gauge():
+    # Kind collision with as_counter: TypeError, but only in the import
+    # order that happens to create both.
+    return metrics.gauge("corpus_demo_value", "demo value")

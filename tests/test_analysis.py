@@ -18,7 +18,8 @@ from repro.analysis.framework import LINTS, BaseLint
 CORPUS = Path(__file__).parent / "analysis_corpus"
 SRC = Path(__file__).parent.parent / "src"
 
-ALL_RULES = ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006")
+ALL_RULES = ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+             "REP007")
 
 
 class TestCorpus:
