@@ -29,7 +29,7 @@ from .core.config import (
 )
 from .core.metrics import GroupResult, KernelMetrics, NormalizedGroupResult, normalize
 
-__version__ = "2.6.0"
+__version__ = "2.7.0"
 
 #: Names re-exported lazily from the ``repro.api`` façade.
 _API_EXPORTS = (

@@ -10,6 +10,7 @@ Usage::
     python -m repro check [--json] [--rule REP003] [paths ...]
     python -m repro explore --bandwidth 16
     python -m repro sweep --workers 4 --backend thread --progress
+    python -m repro sweep --backend batched --kernels dotp,axpy
     python -m repro search --strategy evolutionary --budget 28
     python -m repro cache stats [--json]
     python -m repro cache gc --keep-version
@@ -17,7 +18,7 @@ Usage::
     python -m repro report results.jsonl --objective edp --pareto
     python -m repro report results.jsonl --html report.html --trajectory BENCH_trajectory.json
     python -m repro metrics --url http://127.0.0.1:8787 [--prometheus]
-    python -m repro trajectory append --sim BENCH_sim.json --service BENCH_service.json
+    python -m repro trajectory append --sim BENCH_sim.json --fleet BENCH_fleet.json
     python -m repro trajectory check --file BENCH_trajectory.json
     python -m repro experiments [table1 table2 fig6 fig789]
     python -m repro serve --port 8787 --cache-dir .sweep-cache
@@ -492,6 +493,13 @@ def _cmd_cache(args: argparse.Namespace) -> int:
               f"{stats['physical_evals']} evaluations")
         print(f"    cycles:   {stats['cycles_hits']} hits, "
               f"{stats['cycles_evals']} evaluations")
+        occupancy = stats["batch_mean_occupancy"]
+        print(f"  batches:   {stats['batches_formed']} formed, "
+              f"{stats['batch_lanes']} lanes, "
+              f"{stats['batch_fallbacks']} serial fallbacks")
+        print("  occupancy: "
+              + (f"{occupancy:.1f} lanes/batch"
+                 if occupancy is not None else "n/a"))
         return 0
     if args.action == "clear":
         removed = cache_clear(args.cache_dir)
@@ -525,21 +533,22 @@ def _cmd_trajectory(args: argparse.Namespace) -> int:
     from .obs import report as obs_report
 
     if args.action == "append":
-        if not args.sim and not args.service:
-            print("repro trajectory append: need --sim and/or --service",
-                  file=sys.stderr)
+        if not args.sim and not args.service and not args.fleet:
+            print("repro trajectory append: need --sim, --service, "
+                  "and/or --fleet", file=sys.stderr)
             return 2
         try:
             entry = obs_report.append_trajectory(
                 args.file,
                 sim=args.sim or None,
                 service=args.service or None,
+                fleet=args.fleet or None,
                 label=args.label,
             )
         except (OSError, ValueError) as exc:
             print(f"repro trajectory append: {exc}", file=sys.stderr)
             return 1
-        parts = [k for k in ("sim", "service") if entry.get(k)]
+        parts = [k for k in ("sim", "service", "fleet") if entry.get(k)]
         print(f"appended entry {entry.get('label') or '(unlabelled)'} "
               f"({'+'.join(parts)}) to {args.file}")
         return 0
@@ -656,7 +665,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_chk = sub.add_parser(
         "check",
-        help="run the repo-aware static analyzers (REP001-REP007)",
+        help="run the repo-aware static analyzers (REP001-REP008)",
     )
     p_chk.add_argument("paths", nargs="*", default=["src"], metavar="PATH",
                        help="files or directories to analyze (default: src)")
@@ -842,6 +851,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="simulator BENCH artifact")
     p_ta.add_argument("--service", default=None, metavar="BENCH_service.json",
                       help="service BENCH artifact")
+    p_ta.add_argument("--fleet", default=None, metavar="BENCH_fleet.json",
+                      help="fleet (batched backend) BENCH artifact")
     p_ta.add_argument("--label", default=None,
                       help="entry label (e.g. a short commit SHA)")
     p_ta.set_defaults(func=_cmd_trajectory)

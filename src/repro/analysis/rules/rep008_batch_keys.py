@@ -1,0 +1,85 @@
+"""REP008 — batch compatibility keys derive only from cycles-keyed fields.
+
+The ``batched`` backend groups scenarios into fleet batches by a
+*compatibility key*, and the whole point of the grouping is that two
+scenarios sharing a ``cycles_key`` land in the same class and share one
+simulation.  That only holds if the key derives exclusively from
+:meth:`~repro.api.scenario.Scenario.cycles_dict` fields — the inputs the
+cycles stage is cached under.  Two defect shapes break it quietly:
+
+* reading a **physical-stage field** (``flow``, ``target_frequency_mhz``,
+  ``objective``) splits classes that should batch together: every flow
+  variant re-simulates a cycle count the cache contract says is shared,
+  silently destroying the speedup (no test fails — records stay
+  correct, only the batching evaporates);
+* deriving the key from a **wider dict view** (``to_dict``,
+  ``cache_dict``, ``cache_key``) smuggles those same fields in
+  wholesale, with the added hazard that a future scenario field changes
+  grouping behaviour without anyone touching the batching code.
+
+The rule checks any function whose name contains ``compatibility_key``
+(the naming contract of :func:`repro.engine.batch.batch_compatibility_key`
+and any future variant): inside one, the fields and views above must not
+be read.  ``cycles_dict``/``cycles_key`` are the sanctioned surface.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..findings import Finding
+from ..framework import BaseLint, LintContext, register_lint
+
+#: Scenario fields outside ``cycles_dict()`` — reading one inside a
+#: compatibility-key function splits batches the cache contract merges.
+FORBIDDEN_FIELDS = frozenset({"flow", "target_frequency_mhz", "objective"})
+
+#: Dict/key views wider than the cycles stage: using one as the key
+#: source inherits every non-cycles field at once.
+FORBIDDEN_VIEWS = frozenset({"to_dict", "cache_dict", "cache_key"})
+
+
+def _key_functions(tree: ast.Module) -> Iterable[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if "compatibility_key" in node.name:
+                yield node
+
+
+@register_lint("REP008")
+class BatchCompatibilityKeys(BaseLint):
+    rule = "REP008"
+    title = "batch compatibility keys must use only cycles_dict fields"
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        for func in _key_functions(ctx.tree):
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Attribute):
+                    continue
+                if node.attr in FORBIDDEN_FIELDS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"compatibility-key function {func.name!r} reads "
+                        f".{node.attr}, which is outside cycles_dict(): "
+                        f"scenarios sharing a cycles_key would land in "
+                        f"different batches and re-simulate a cached "
+                        f"cycle count",
+                        hint="derive the key only from cycles_dict() "
+                        "fields (workload, capacity, cores, word size, "
+                        "arch overrides)",
+                    )
+                elif node.attr in FORBIDDEN_VIEWS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"compatibility-key function {func.name!r} derives "
+                        f"from .{node.attr}, a wider view than "
+                        f"cycles_dict(): physical-stage fields (flow, "
+                        f"frequency target, objective) leak into the "
+                        f"grouping key",
+                        hint="build the key from cycles_dict() (or "
+                        "cycles_key) so grouping matches the cycles-stage "
+                        "cache contract",
+                    )

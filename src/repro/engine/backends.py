@@ -13,7 +13,7 @@ objectives, and strategies::
         def __init__(self, workers=0, mp_context=None, chunksize=None): ...
         def run(self, evaluate, jobs): ...
 
-Three backends ship built in:
+Four backends ship built in:
 
 * ``serial`` — in-process loop, deterministic order, zero overhead;
 * ``thread`` — ``ThreadPoolExecutor`` fan-out sharing the process (and
@@ -21,7 +21,14 @@ Three backends ship built in:
 * ``process`` — ``ProcessPoolExecutor`` fan-out in deterministic chunks,
   with the worker initializer mirroring the parent's runtime plugin
   registrations so ``spawn``-started workers see them too (this absorbs
-  the pool wiring that used to live in ``repro.sweep.executor``).
+  the pool wiring that used to live in ``repro.sweep.executor``);
+* ``batched`` — in-process fleet batching: compatible simulator-backed
+  jobs step through one :class:`~repro.simulator.fleet.FleetEngine`
+  (bit-identical per lane), everything else falls back to the serial
+  path (see :mod:`repro.engine.batch`).
+
+A fifth, ``remote``, ships with the serving layer and fans jobs out to
+worker processes over the wire protocol.
 """
 
 from __future__ import annotations
@@ -275,13 +282,15 @@ class ProcessBackend:
                     yield from future.result()
 
 
-# The fourth built-in backend ships with the serving layer (it needs
-# the wire protocol); importing it here registers ``remote`` so the
-# name resolves everywhere backends do.  No cycle: the pool only
-# imports this module lazily, inside functions.
+# The remaining built-in backends live in their own modules (``batched``
+# needs the fleet simulator, ``remote`` the wire protocol); importing
+# them here registers the names so they resolve everywhere backends do.
+# No cycle: both modules import this one only lazily or for run_one.
 from ..service.pool import RemoteBackend  # noqa: E402
+from .batch import BatchedBackend  # noqa: E402
 
 BACKENDS.register("remote", RemoteBackend)
+BACKENDS.register("batched", BatchedBackend)
 
 
 def resolve_backend(

@@ -1,0 +1,254 @@
+"""Cross-scenario batched execution: the ``batched`` backend.
+
+:class:`BatchedBackend` exploits the fact that most of a sweep's wall
+clock is spent inside per-scenario cycle simulations that are mutually
+independent: it groups the cache-miss jobs it receives into
+*compatibility classes*, steps each class through one
+:class:`~repro.simulator.fleet.FleetEngine` (a structure-of-arrays over
+scenario lanes, bit-identical to :class:`~repro.simulator.fast.FastEngine`
+per lane), and then replays the ordinary serial record pass with the
+precomputed cycle counts installed via
+:func:`~repro.api.pipeline.batched_cycles`.  Everything downstream of the
+cycles number — physical stage, records, stage-cache memos, failure
+handling — runs through exactly the same code as the ``serial`` backend,
+so batched records are byte-identical to serial ones.
+
+Jobs that cannot ride in a fleet fall back transparently: workloads
+without a fleet preparer (e.g. the analytic ``matmul`` model), clusters
+:meth:`~repro.simulator.fleet.FleetEngine.supports` rejects, lanes that
+fault or time out mid-fleet, and groups too small to amortize fleet
+setup all simply get no cycles override, which means the serial pass
+evaluates them exactly as it always has — including reproducing the
+exact failure record a faulting scenario produces under ``serial``.
+
+The compatibility key deliberately derives **only** from
+:meth:`~repro.api.scenario.Scenario.cycles_dict` fields (REP008): any
+field outside the cycles-stage cache key (flow, frequency target,
+objective) must not influence grouping, because two scenarios that share
+a ``cycles_key`` must land in the same class to share one simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Iterator, Optional
+
+from ..obs import metrics, trace
+from ..sweep.spec import Job
+from .backends import run_one
+
+__all__ = ["BatchedBackend", "batch_compatibility_key"]
+
+#: Fleet batches formed (each batch is one FleetEngine run).
+BATCHES_TOTAL = metrics.counter(
+    "repro_engine_batches_total",
+    "fleet batches formed by the batched backend",
+)
+
+#: Scenario lanes stepped inside fleet batches (sums occupancy).
+BATCH_LANES_TOTAL = metrics.counter(
+    "repro_engine_batch_lanes_total",
+    "scenario lanes simulated inside fleet batches",
+)
+
+#: Jobs the batched backend evaluated serially instead (unsupported
+#: workload/cluster, faulted lane, or undersized group).
+BATCH_FALLBACKS_TOTAL = metrics.counter(
+    "repro_engine_batch_fallbacks_total",
+    "jobs that fell back from the batched path to serial evaluation",
+)
+
+#: Lane-occupancy distribution of formed batches.
+BATCH_OCCUPANCY = metrics.histogram(
+    "repro_engine_batch_occupancy",
+    "lane occupancy per formed fleet batch",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+)
+
+#: Smallest group worth a fleet: a single lane would pay SoA setup for
+#: zero amortization, so it stays on the (bit-identical) serial path.
+MIN_FLEET_LANES = 2
+
+#: The grouping fields — a subset of ``Scenario.cycles_dict()``.  Flow
+#: and frequency target are absent from that dict by contract (they
+#: cannot affect cycle counts), so scenarios differing only there batch
+#: together and share one simulation per distinct ``cycles_key``.
+_KEY_FIELDS = ("workload", "capacity_mib", "num_cores", "word_bytes", "arch")
+
+
+def batch_compatibility_key(scenario) -> str:
+    """The compatibility class a scenario's simulation belongs to.
+
+    Derives only from :meth:`~repro.api.scenario.Scenario.cycles_dict`
+    fields (the cycles-stage cache-key contract): same workload, SPM
+    capacity, core count, word size, and architecture overrides mean the
+    prepared clusters share topology and program family, which is what
+    lets their lanes step through one fleet.
+    """
+    fields = scenario.cycles_dict()
+    return json.dumps(
+        {name: fields.get(name) for name in _KEY_FIELDS}, sort_keys=True
+    )
+
+
+def _stage_cache_of(evaluate) -> Optional[object]:
+    """The stage cache the engine wired into ``evaluate``, if any.
+
+    The engine passes stage caching to workers as a ``stage_root``
+    keyword baked into a :func:`functools.partial`; reading it back here
+    lets the batched backend skip simulating scenarios whose cycle
+    counts are already memoized (the serial pass gets them for free).
+    """
+    keywords = getattr(evaluate, "keywords", None) or {}
+    root = keywords.get("stage_root")
+    if root is None:
+        return None
+    from .cache import stage_cache_for
+
+    return stage_cache_for(root)
+
+
+class BatchedBackend:
+    """Fleet-batched in-process backend: group, simulate, then record.
+
+    Args:
+        workers: Ignored (uniform constructor surface; the fleet *is*
+            the parallelism).
+        mp_context: Ignored (in-process).
+        chunksize: Optional cap on lanes per fleet batch; oversized
+            compatibility classes are split into chunks of this size.
+    """
+
+    name = "batched"
+
+    def __init__(self, workers: int = 0, mp_context=None, chunksize=None):
+        del workers, mp_context  # uniform constructor surface
+        if chunksize is not None and chunksize <= 0:
+            raise ValueError("chunksize must be positive")
+        self.workers = 1
+        self.max_lanes = chunksize
+
+    def run(
+        self, evaluate: Callable[[Job], object], jobs: list[Job]
+    ) -> Iterator[dict]:
+        from ..api.pipeline import batched_cycles
+
+        jobs = list(jobs)
+        overrides = self._simulate(evaluate, jobs) if jobs else {}
+        for job in jobs:
+            # The override is installed only around the evaluation and
+            # reset before yielding, so a suspended generator never
+            # leaks precomputed cycles into the consumer's context.
+            with batched_cycles(overrides):
+                record = run_one(evaluate, job)
+            yield record
+
+    # ------------------------------------------------------------------
+    def _simulate(self, evaluate, jobs: list[Job]) -> dict[str, float]:
+        """Fleet phase: returns ``cycles_key -> cycles`` for every lane
+        that completed and verified; everything else falls back."""
+        from ..kernels.workloads import FLEET_PREPARERS
+        from ..simulator.fleet import FleetEngine
+
+        stage_cache = _stage_cache_of(evaluate)
+        groups: dict[str, list] = {}
+        seen: set[str] = set()
+        fallbacks = 0
+        for job in jobs:
+            try:
+                scenario = job.scenario()
+                preparer = FLEET_PREPARERS.get(scenario.workload)
+                if preparer is None:
+                    fallbacks += 1
+                    continue
+                cycles_key = scenario.cycles_key
+                if cycles_key in seen:
+                    continue  # another lane already simulates this key
+                if (
+                    stage_cache is not None
+                    and stage_cache.peek(cycles_key) is not None
+                ):
+                    continue  # memoized: the serial pass hits the memo
+                cluster, finish = preparer(scenario)
+                if not FleetEngine.supports(cluster):
+                    fallbacks += 1
+                    continue
+            except Exception:
+                # Whatever failed here fails identically (and gets its
+                # failure record) on the serial pass.
+                fallbacks += 1
+                continue
+            seen.add(cycles_key)
+            groups.setdefault(batch_compatibility_key(scenario), []).append(
+                (cycles_key, cluster, finish)
+            )
+
+        overrides: dict[str, float] = {}
+        batches = lanes_total = 0
+        for members in groups.values():
+            for lanes in self._chunked(members):
+                if len(lanes) < MIN_FLEET_LANES:
+                    fallbacks += len(lanes)
+                    continue
+                fallbacks += self._run_fleet(FleetEngine, lanes, overrides)
+                batches += 1
+                lanes_total += len(lanes)
+                BATCH_OCCUPANCY.observe(len(lanes))
+        if batches:
+            BATCHES_TOTAL.inc(batches)
+            BATCH_LANES_TOTAL.inc(lanes_total)
+        if fallbacks:
+            BATCH_FALLBACKS_TOTAL.inc(fallbacks)
+        if stage_cache is not None and stage_cache.root is not None:
+            from .cache import record_batch_stats
+
+            record_batch_stats(
+                stage_cache.root,
+                batches=batches,
+                lanes=lanes_total,
+                fallbacks=fallbacks,
+            )
+        return overrides
+
+    def _chunked(self, members: list) -> Iterator[list]:
+        size = self.max_lanes
+        if size is None or size >= len(members):
+            yield members
+            return
+        for start in range(0, len(members), size):
+            yield members[start : start + size]
+
+    @staticmethod
+    def _run_fleet(FleetEngine, lanes: list, overrides: dict) -> int:
+        """Step one compatibility chunk; returns how many lanes fell back."""
+        fallbacks = 0
+        span = trace.span("engine.batch", lanes=len(lanes))
+        with span:
+            try:
+                outcomes = FleetEngine(
+                    [cluster for _key, cluster, _fin in lanes]
+                ).run()
+            except Exception:
+                # A fleet-level failure costs only the batching: every
+                # lane re-simulates serially, bit-for-bit.
+                span.set(ok=0, failed=len(lanes))
+                return len(lanes)
+            ok = 0
+            for (cycles_key, _cluster, finish), outcome in zip(
+                lanes, outcomes
+            ):
+                if outcome.error is not None:
+                    fallbacks += 1
+                    continue
+                try:
+                    cycles = float(finish(outcome.result))
+                except Exception:
+                    fallbacks += 1
+                    continue
+                if cycles > 0:
+                    overrides[cycles_key] = cycles
+                    ok += 1
+                else:
+                    fallbacks += 1
+            span.set(ok=ok, failed=fallbacks)
+        return fallbacks

@@ -54,6 +54,11 @@ STAGE_COUNTER_KEYS = (
     "physical_hits", "physical_evals", "cycles_hits", "cycles_evals",
 )
 
+#: Batch-level counters (the ``batched`` backend's fleet phase), merged
+#: into the same sidecar so ``repro cache stats`` exposes warm-vs-cold
+#: batching behaviour next to the per-job stage counters.
+BATCH_COUNTER_KEYS = ("batches_formed", "batch_lanes", "batch_fallbacks")
+
 
 class LRUCache:
     """A bounded mapping evicting the least-recently-used entry.
@@ -418,6 +423,27 @@ def stage_cache_for(root: str | Path) -> StageCache:
     return cache
 
 
+def record_batch_stats(
+    root: str | Path, batches: int = 0, lanes: int = 0, fallbacks: int = 0
+) -> None:
+    """Fold one batched-backend run's fleet counters into the sidecar.
+
+    Called by :class:`~repro.engine.batch.BatchedBackend` after its
+    fleet phase (once per engine batch, never per lane), under the same
+    locked merge the hit counters use; ``repro cache stats`` and the
+    service's ``GET /v1/cache`` surface the totals.  All-zero deltas are
+    dropped without touching the filesystem.
+    """
+    delta = {
+        "batches_formed": int(batches),
+        "batch_lanes": int(lanes),
+        "batch_fallbacks": int(fallbacks),
+    }
+    if not any(delta.values()) or not Path(root).is_dir():
+        return
+    _merge_sidecar(Path(root) / STATS_FILENAME, delta)
+
+
 def _merge_sidecar(path: Path, delta: dict[str, int]) -> None:
     """Fold counter deltas into the sidecar via a locked atomic replace.
 
@@ -525,6 +551,7 @@ def cache_stats(root: str | Path) -> dict:
     stage_path = Path(root) / StageCache.FILENAME
     if cache is not None and stage_path.exists():
         stage_entries = len(StageCache(root))
+    batches = counters.get("batches_formed", 0)
     return {
         "path": str(Path(root) / ResultCache.FILENAME),
         "entries": len(cache) if cache is not None else 0,
@@ -538,6 +565,10 @@ def cache_stats(root: str | Path) -> dict:
         "hit_rate": (hits / lookups) if lookups else None,
         "stage_entries": stage_entries,
         **{name: counters.get(name, 0) for name in STAGE_COUNTER_KEYS},
+        **{name: counters.get(name, 0) for name in BATCH_COUNTER_KEYS},
+        "batch_mean_occupancy": (
+            counters.get("batch_lanes", 0) / batches if batches else None
+        ),
     }
 
 

@@ -12,6 +12,7 @@ scenario-level workload plugin for :class:`repro.api.Pipeline`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -30,6 +31,11 @@ class WorkloadRun:
     cycles: int
     instructions: int
     correct: bool
+
+
+#: Second half of a prepare/finish pair: maps the simulation result of
+#: the prepared cluster to the verified :class:`WorkloadRun`.
+FinishFn = Callable[[object], WorkloadRun]
 
 
 def dotp_program(
@@ -283,15 +289,14 @@ def stencil5_program(
     return b.build()
 
 
-def run_matvec(
+def prepare_matvec(
     config: MemPoolConfig,
     rows: int,
     cols: int,
     num_cores: int,
     seed: int = 19,
-    sim_engine: str | None = None,
-) -> WorkloadRun:
-    """Simulate and verify a matrix-vector product."""
+) -> tuple[MemPoolCluster, "FinishFn"]:
+    """Loaded cluster for a matrix-vector product, plus its verifier."""
     rng = np.random.default_rng(seed)
     m = rng.integers(-30, 30, size=(rows, cols), dtype=np.int64)
     x = rng.integers(-30, 30, size=cols, dtype=np.int64)
@@ -306,22 +311,39 @@ def run_matvec(
         matvec_program(rows, cols, num_cores, base_m, base_x, base_y),
         num_cores=num_cores,
     )
-    result = run_cluster(cluster, engine=sim_engine)
-    produced = np.array(cluster.read_words(base_y, rows), dtype=np.uint64)
-    expected = ((m @ x) & 0xFFFFFFFF).astype(np.uint64)
-    correct = bool((produced == expected).all())
-    return WorkloadRun("matvec", result.cycles, result.instructions, correct)
+
+    def finish(result) -> WorkloadRun:
+        produced = np.array(cluster.read_words(base_y, rows), dtype=np.uint64)
+        expected = ((m @ x) & 0xFFFFFFFF).astype(np.uint64)
+        correct = bool((produced == expected).all())
+        return WorkloadRun(
+            "matvec", result.cycles, result.instructions, correct
+        )
+
+    return cluster, finish
 
 
-def run_stencil5(
+def run_matvec(
+    config: MemPoolConfig,
+    rows: int,
+    cols: int,
+    num_cores: int,
+    seed: int = 19,
+    sim_engine: str | None = None,
+) -> WorkloadRun:
+    """Simulate and verify a matrix-vector product."""
+    cluster, finish = prepare_matvec(config, rows, cols, num_cores, seed)
+    return finish(run_cluster(cluster, engine=sim_engine))
+
+
+def prepare_stencil5(
     config: MemPoolConfig,
     width: int,
     height: int,
     num_cores: int,
     seed: int = 29,
-    sim_engine: str | None = None,
-) -> WorkloadRun:
-    """Simulate and verify a 5-point Laplacian stencil."""
+) -> tuple[MemPoolCluster, "FinishFn"]:
+    """Loaded cluster for a 5-point stencil, plus its verifier."""
     rng = np.random.default_rng(seed)
     image = rng.integers(-50, 50, size=(height, width), dtype=np.int64)
     out_h, out_w = height - 2, width - 2
@@ -343,22 +365,41 @@ def run_stencil5(
         stencil5_program(width, height, num_cores, base_in, base_out),
         num_cores=num_cores,
     )
-    result = run_cluster(cluster, engine=sim_engine)
-    produced = np.array(
-        cluster.read_words(base_out, out_h * out_w), dtype=np.uint64
-    ).reshape(out_h, out_w)
-    correct = bool((produced == (expected & 0xFFFFFFFF).astype(np.uint64)).all())
-    return WorkloadRun("stencil5", result.cycles, result.instructions, correct)
+
+    def finish(result) -> WorkloadRun:
+        produced = np.array(
+            cluster.read_words(base_out, out_h * out_w), dtype=np.uint64
+        ).reshape(out_h, out_w)
+        correct = bool(
+            (produced == (expected & 0xFFFFFFFF).astype(np.uint64)).all()
+        )
+        return WorkloadRun(
+            "stencil5", result.cycles, result.instructions, correct
+        )
+
+    return cluster, finish
 
 
-def run_dotp(
+def run_stencil5(
+    config: MemPoolConfig,
+    width: int,
+    height: int,
+    num_cores: int,
+    seed: int = 29,
+    sim_engine: str | None = None,
+) -> WorkloadRun:
+    """Simulate and verify a 5-point Laplacian stencil."""
+    cluster, finish = prepare_stencil5(config, width, height, num_cores, seed)
+    return finish(run_cluster(cluster, engine=sim_engine))
+
+
+def prepare_dotp(
     config: MemPoolConfig,
     num_elements: int,
     num_cores: int,
     seed: int = 11,
-    sim_engine: str | None = None,
-) -> WorkloadRun:
-    """Simulate and verify a dot product."""
+) -> tuple[MemPoolCluster, "FinishFn"]:
+    """Loaded cluster for a dot product, plus its verifier."""
     rng = np.random.default_rng(seed)
     a = rng.integers(-100, 100, size=num_elements, dtype=np.int64)
     b = rng.integers(-100, 100, size=num_elements, dtype=np.int64)
@@ -372,22 +413,40 @@ def run_dotp(
         dotp_program(num_elements, num_cores, base_a, base_b, base_out),
         num_cores=num_cores,
     )
-    result = run_cluster(cluster, engine=sim_engine)
-    partials = cluster.read_words(base_out, num_cores)
-    total = sum(p - 0x100000000 if p & 0x80000000 else p for p in partials)
-    correct = (total & 0xFFFFFFFF) == (int(a @ b) & 0xFFFFFFFF)
-    return WorkloadRun("dotp", result.cycles, result.instructions, correct)
+
+    def finish(result) -> WorkloadRun:
+        partials = cluster.read_words(base_out, num_cores)
+        total = sum(
+            p - 0x100000000 if p & 0x80000000 else p for p in partials
+        )
+        correct = (total & 0xFFFFFFFF) == (int(a @ b) & 0xFFFFFFFF)
+        return WorkloadRun(
+            "dotp", result.cycles, result.instructions, correct
+        )
+
+    return cluster, finish
 
 
-def run_axpy(
+def run_dotp(
+    config: MemPoolConfig,
+    num_elements: int,
+    num_cores: int,
+    seed: int = 11,
+    sim_engine: str | None = None,
+) -> WorkloadRun:
+    """Simulate and verify a dot product."""
+    cluster, finish = prepare_dotp(config, num_elements, num_cores, seed)
+    return finish(run_cluster(cluster, engine=sim_engine))
+
+
+def prepare_axpy(
     config: MemPoolConfig,
     num_elements: int,
     num_cores: int,
     scalar: int = 3,
     seed: int = 13,
-    sim_engine: str | None = None,
-) -> WorkloadRun:
-    """Simulate and verify an AXPY."""
+) -> tuple[MemPoolCluster, "FinishFn"]:
+    """Loaded cluster for an AXPY, plus its verifier."""
     rng = np.random.default_rng(seed)
     x = rng.integers(-100, 100, size=num_elements, dtype=np.int64)
     y = rng.integers(-100, 100, size=num_elements, dtype=np.int64)
@@ -400,22 +459,43 @@ def run_axpy(
         axpy_program(num_elements, num_cores, scalar, base_x, base_y),
         num_cores=num_cores,
     )
-    result = run_cluster(cluster, engine=sim_engine)
-    produced = np.array(cluster.read_words(base_y, num_elements), dtype=np.uint64)
-    expected = ((y + scalar * x) & 0xFFFFFFFF).astype(np.uint64)
-    correct = bool((produced == expected).all())
-    return WorkloadRun("axpy", result.cycles, result.instructions, correct)
+
+    def finish(result) -> WorkloadRun:
+        produced = np.array(
+            cluster.read_words(base_y, num_elements), dtype=np.uint64
+        )
+        expected = ((y + scalar * x) & 0xFFFFFFFF).astype(np.uint64)
+        correct = bool((produced == expected).all())
+        return WorkloadRun(
+            "axpy", result.cycles, result.instructions, correct
+        )
+
+    return cluster, finish
 
 
-def run_conv2d(
+def run_axpy(
+    config: MemPoolConfig,
+    num_elements: int,
+    num_cores: int,
+    scalar: int = 3,
+    seed: int = 13,
+    sim_engine: str | None = None,
+) -> WorkloadRun:
+    """Simulate and verify an AXPY."""
+    cluster, finish = prepare_axpy(
+        config, num_elements, num_cores, scalar, seed
+    )
+    return finish(run_cluster(cluster, engine=sim_engine))
+
+
+def prepare_conv2d(
     config: MemPoolConfig,
     width: int,
     height: int,
     num_cores: int,
     seed: int = 17,
-    sim_engine: str | None = None,
-) -> WorkloadRun:
-    """Simulate and verify a 3x3 valid convolution."""
+) -> tuple[MemPoolCluster, "FinishFn"]:
+    """Loaded cluster for a 3x3 convolution, plus its verifier."""
     rng = np.random.default_rng(seed)
     image = rng.integers(-20, 20, size=(height, width), dtype=np.int64)
     kernel = rng.integers(-5, 5, size=(3, 3), dtype=np.int64)
@@ -436,12 +516,32 @@ def run_conv2d(
         conv2d_3x3_program(width, height, num_cores, base_in, base_kernel, base_out),
         num_cores=num_cores,
     )
-    result = run_cluster(cluster, engine=sim_engine)
-    produced = np.array(
-        cluster.read_words(base_out, out_h * out_w), dtype=np.uint64
-    ).reshape(out_h, out_w)
-    correct = bool((produced == (expected & 0xFFFFFFFF).astype(np.uint64)).all())
-    return WorkloadRun("conv2d", result.cycles, result.instructions, correct)
+
+    def finish(result) -> WorkloadRun:
+        produced = np.array(
+            cluster.read_words(base_out, out_h * out_w), dtype=np.uint64
+        ).reshape(out_h, out_w)
+        correct = bool(
+            (produced == (expected & 0xFFFFFFFF).astype(np.uint64)).all()
+        )
+        return WorkloadRun(
+            "conv2d", result.cycles, result.instructions, correct
+        )
+
+    return cluster, finish
+
+
+def run_conv2d(
+    config: MemPoolConfig,
+    width: int,
+    height: int,
+    num_cores: int,
+    seed: int = 17,
+    sim_engine: str | None = None,
+) -> WorkloadRun:
+    """Simulate and verify a 3x3 valid convolution."""
+    cluster, finish = prepare_conv2d(config, width, height, num_cores, seed)
+    return finish(run_cluster(cluster, engine=sim_engine))
 
 
 # ---------------------------------------------------------------------------
@@ -535,3 +635,68 @@ def stencil5_workload(scenario) -> float:
     n = _sim_dim(scenario, SIM_GRID_LIMIT, minimum=3)
     run = run_stencil5(scenario.to_config(), n, n, _sim_cores(scenario, n - 2))
     return _verified_cycles(run)
+
+
+# ---------------------------------------------------------------------------
+# Fleet preparers (repro.engine batched backend).
+#
+# A fleet preparer maps a Scenario to ``(loaded cluster, finish)`` using
+# the exact same problem sizing, seeding, and verification as the plugin
+# above it, so a lane simulated by the FleetEngine and finished here
+# yields the same cycles value — and the same verification failures —
+# as the plugin evaluating the scenario directly.  "matmul" is analytic
+# and has nothing to batch, so it has no preparer.
+
+
+def _sim_finish(finish: FinishFn) -> Callable[[object], float]:
+    return lambda result: _verified_cycles(finish(result))
+
+
+def _fleet_dotp(scenario):
+    n = _sim_dim(scenario, SIM_ELEMENT_LIMIT)
+    cluster, finish = prepare_dotp(
+        scenario.to_config(), n, _sim_cores(scenario, n)
+    )
+    return cluster, _sim_finish(finish)
+
+
+def _fleet_axpy(scenario):
+    n = _sim_dim(scenario, SIM_ELEMENT_LIMIT)
+    cluster, finish = prepare_axpy(
+        scenario.to_config(), n, _sim_cores(scenario, n)
+    )
+    return cluster, _sim_finish(finish)
+
+
+def _fleet_conv2d(scenario):
+    n = _sim_dim(scenario, SIM_GRID_LIMIT, minimum=3)
+    cluster, finish = prepare_conv2d(
+        scenario.to_config(), n, n, _sim_cores(scenario, n - 2)
+    )
+    return cluster, _sim_finish(finish)
+
+
+def _fleet_matvec(scenario):
+    n = _sim_dim(scenario, SIM_GRID_LIMIT)
+    cluster, finish = prepare_matvec(
+        scenario.to_config(), n, n, _sim_cores(scenario, n)
+    )
+    return cluster, _sim_finish(finish)
+
+
+def _fleet_stencil5(scenario):
+    n = _sim_dim(scenario, SIM_GRID_LIMIT, minimum=3)
+    cluster, finish = prepare_stencil5(
+        scenario.to_config(), n, n, _sim_cores(scenario, n - 2)
+    )
+    return cluster, _sim_finish(finish)
+
+
+#: Workload name -> scenario-level preparer for cross-scenario batching.
+FLEET_PREPARERS: dict[str, Callable] = {
+    "dotp": _fleet_dotp,
+    "axpy": _fleet_axpy,
+    "conv2d": _fleet_conv2d,
+    "matvec": _fleet_matvec,
+    "stencil5": _fleet_stencil5,
+}

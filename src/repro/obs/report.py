@@ -144,24 +144,46 @@ def _service_summary(service: dict) -> dict:
     }
 
 
+def _fleet_summary(fleet: dict) -> dict:
+    results = fleet.get("results", {})
+    speedups = {
+        name: float(row["speedup"])
+        for name, row in sorted(results.items())
+        if isinstance(row, dict) and "speedup" in row
+    }
+    identical = all(
+        bool(row.get("identical", True))
+        for row in results.values()
+        if isinstance(row, dict)
+    )
+    return {
+        "speedups": speedups,
+        "geomean_speedup": _geomean(list(speedups.values())),
+        "lanes_identical": identical,
+    }
+
+
 def append_trajectory(
     path: Union[str, Path],
     sim: Union[str, Path, dict, None] = None,
     service: Union[str, Path, dict, None] = None,
+    fleet: Union[str, Path, dict, None] = None,
     label: Optional[str] = None,
     recorded_unix: Optional[int] = None,
 ) -> dict:
     """Fold one run of the BENCH emitters into the trajectory file.
 
-    ``sim``/``service`` are artifact paths or already-loaded documents;
-    either may be absent (the entry records what ran).  Returns the
-    appended entry.
+    ``sim``/``service``/``fleet`` are artifact paths or already-loaded
+    documents; any may be absent (the entry records what ran).  Returns
+    the appended entry.
     """
     if sim is not None and not isinstance(sim, dict):
         sim = load_bench(sim)
     if service is not None and not isinstance(service, dict):
         service = load_bench(service)
-    if sim is None and service is None:
+    if fleet is not None and not isinstance(fleet, dict):
+        fleet = load_bench(fleet)
+    if sim is None and service is None and fleet is None:
         raise ValueError("append_trajectory needs at least one artifact")
     entry: dict = {
         "schema_version": SCHEMA_VERSION,
@@ -174,6 +196,8 @@ def append_trajectory(
         entry["sim"] = _sim_summary(sim)
     if service is not None:
         entry["service"] = _service_summary(service)
+    if fleet is not None:
+        entry["fleet"] = _fleet_summary(fleet)
 
     path = Path(path)
     trajectory = load_trajectory(path)
@@ -196,7 +220,10 @@ def check_trajectory(trajectory: Union[str, Path, dict]) -> list:
     * warm streamed sweep re-evaluated points (``re_evaluations > 0``),
     * concurrent warm sync runs evaluated duplicates
       (``duplicate_evaluations > 0``),
-    * warm cache hit rate dropped against the previous entry.
+    * warm cache hit rate dropped against the previous entry,
+    * a fleet benchmark whose batched lanes diverged from the serial
+      fast engine (``lanes_identical`` false — a correctness bug, not a
+      timing one).
 
     Timing figures (speedups, req/s) are deliberately *not* checked —
     they are noise on shared runners; the trajectory chart makes drift
@@ -204,10 +231,20 @@ def check_trajectory(trajectory: Union[str, Path, dict]) -> list:
     """
     if not isinstance(trajectory, dict):
         trajectory = load_trajectory(trajectory)
-    entries = [e for e in trajectory.get("entries", []) if "service" in e]
+    all_entries = trajectory.get("entries", [])
+    fleet_entries = [e for e in all_entries if "fleet" in e]
+    fleet_problems = []
+    if fleet_entries and fleet_entries[-1]["fleet"].get(
+        "lanes_identical"
+    ) is False:
+        fleet_problems.append(
+            "fleet benchmark reported non-identical lanes; the batched "
+            "engine must match the fast engine bit-for-bit"
+        )
+    entries = [e for e in all_entries if "service" in e]
     if not entries:
-        return []
-    problems = []
+        return fleet_problems
+    problems = fleet_problems
     latest = entries[-1]["service"]
     re_evaluations = latest.get("re_evaluations") or 0
     if re_evaluations > 0:

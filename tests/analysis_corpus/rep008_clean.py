@@ -1,0 +1,18 @@
+"""REP008 corpus clean twin: keys derive only from cycles_dict fields."""
+
+import json
+
+_KEY_FIELDS = ("workload", "capacity_mib", "num_cores", "word_bytes", "arch")
+
+
+def batch_compatibility_key(scenario):
+    # The sanctioned surface: a subset of cycles_dict(), nothing wider.
+    fields = scenario.cycles_dict()
+    return json.dumps(
+        {name: fields.get(name) for name in _KEY_FIELDS}, sort_keys=True
+    )
+
+
+def render_label(scenario):
+    # Outside a compatibility-key function, physical fields are fine.
+    return f"{scenario.workload}@{scenario.flow}"

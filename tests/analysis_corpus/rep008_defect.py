@@ -1,0 +1,19 @@
+"""REP008 corpus defect: compatibility keys built from non-cycles fields."""
+
+import json
+
+
+def batch_compatibility_key(scenario):
+    # Reads .flow — a physical-stage field: flow variants that share a
+    # cycles_key split into different batches and re-simulate.
+    return f"{scenario.workload}:{scenario.num_cores}:{scenario.flow}"
+
+
+def wide_compatibility_key(scenario):
+    # cache_dict() includes flow and the frequency target wholesale.
+    return json.dumps(scenario.cache_dict(), sort_keys=True)
+
+
+def frequency_compatibility_key(scenario):
+    # The frequency target never changes a cycle count.
+    return (scenario.workload, scenario.target_frequency_mhz)

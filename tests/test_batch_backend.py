@@ -1,0 +1,209 @@
+"""The ``batched`` execution backend: grouping, fallback, and parity.
+
+The backend is only allowed to *reorganise* work, never change it: every
+record it produces must equal the record the ``serial`` backend writes
+for the same job, byte for byte — including jobs it cannot batch (no
+fleet preparer) and flow variants that share a ``cycles_key`` with a
+batched lane.  Alongside parity, this file covers the compatibility-key
+contract (REP008), the sidecar batch counters, and the trajectory gate
+that turns a diverged-lane fleet benchmark into a blocking problem.
+"""
+
+import json
+
+import pytest
+
+from repro.engine import (
+    BatchedBackend,
+    Engine,
+    batch_compatibility_key,
+    cache_stats,
+    record_batch_stats,
+)
+from repro.engine.cache import stage_cache_for
+from repro.obs.report import (
+    _fleet_summary,
+    append_trajectory,
+    check_trajectory,
+)
+from repro.sweep import Job, ResultCache
+
+
+def _grid_jobs():
+    jobs = []
+    for dim in (96, 128, 160, 192):
+        for kernel in ("dotp", "axpy"):
+            jobs.append(Job(capacity_mib=1, flow="2D", matrix_dim=dim,
+                            num_cores=16, kernel=kernel))
+    # Analytic matmul has no fleet preparer: must fall back serially.
+    jobs.append(Job(capacity_mib=1, flow="2D", matrix_dim=512,
+                    kernel="matmul"))
+    # A 3D flow variant shares its cycles_key with the 2D dotp dim=96
+    # lane: one simulated lane must serve both records.
+    jobs.append(Job(capacity_mib=1, flow="3D", matrix_dim=96, num_cores=16,
+                    kernel="dotp"))
+    return jobs
+
+
+def _run(backend, cache_dir, jobs):
+    engine = Engine(backend=backend, cache=ResultCache(str(cache_dir)))
+    return {record["key"]: record
+            for _job, record in engine.run_many(jobs)}
+
+
+def _flush(cache_dir):
+    stage_cache_for(str(cache_dir)).flush_stats()
+
+
+class TestCompatibilityKey:
+    def test_same_key_iff_same_cycles_inputs(self):
+        base = Job(capacity_mib=1, flow="2D", matrix_dim=96, num_cores=16,
+                   kernel="dotp").scenario()
+        flow_variant = Job(capacity_mib=1, flow="3D", matrix_dim=96,
+                           num_cores=16, kernel="dotp").scenario()
+        other_cores = Job(capacity_mib=1, flow="2D", matrix_dim=96,
+                          num_cores=64, kernel="dotp").scenario()
+        other_kernel = Job(capacity_mib=1, flow="2D", matrix_dim=96,
+                           num_cores=16, kernel="axpy").scenario()
+        key = batch_compatibility_key(base)
+        # Flow (a physical-layer knob) must NOT split batches: cycle
+        # counts do not depend on it, so the lanes are interchangeable.
+        assert batch_compatibility_key(flow_variant) == key
+        assert batch_compatibility_key(other_cores) != key
+        assert batch_compatibility_key(other_kernel) != key
+
+    def test_key_ignores_matrix_dim_by_design(self):
+        # matrix_dim feeds the workload plugin, not the compatibility
+        # key: different dims still simulate together (mixed-retirement
+        # lanes), they just produce different cycles_keys.
+        a = Job(capacity_mib=1, flow="2D", matrix_dim=96, num_cores=16,
+                kernel="dotp").scenario()
+        b = Job(capacity_mib=1, flow="2D", matrix_dim=192, num_cores=16,
+                kernel="dotp").scenario()
+        assert batch_compatibility_key(a) == batch_compatibility_key(b)
+
+
+class TestBackendParity:
+    def test_records_identical_to_serial(self, tmp_path):
+        jobs = _grid_jobs()
+        serial = _run("serial", tmp_path / "serial", jobs)
+        batched = _run("batched", tmp_path / "batched", jobs)
+        assert set(serial) == set(batched)
+        for key in serial:
+            assert batched[key] == serial[key], key
+
+    def test_batch_counters_recorded(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        _run("batched", cache_dir, _grid_jobs())
+        _flush(cache_dir)
+        stats = cache_stats(str(cache_dir))
+        assert stats["batches_formed"] >= 1
+        assert stats["batch_lanes"] >= 8
+        assert stats["batch_fallbacks"] >= 1  # the matmul job
+        assert stats["batch_mean_occupancy"] == pytest.approx(
+            stats["batch_lanes"] / stats["batches_formed"]
+        )
+
+    def test_warm_rerun_forms_no_batches(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        jobs = _grid_jobs()
+        _run("batched", cache_dir, jobs)
+        _flush(cache_dir)
+        before = cache_stats(str(cache_dir))["batches_formed"]
+        warm = _run("batched", cache_dir, jobs)
+        assert all(r["source"] == "cache" for r in warm.values())
+        _flush(cache_dir)
+        assert cache_stats(str(cache_dir))["batches_formed"] == before
+
+    def test_chunksize_caps_lanes_per_fleet(self, tmp_path):
+        jobs = [Job(capacity_mib=1, flow="2D", matrix_dim=dim,
+                    num_cores=16, kernel="dotp")
+                for dim in (96, 128, 160, 192)]
+        cache_dir = tmp_path / "cache"
+        engine = Engine(backend="batched", cache=ResultCache(str(cache_dir)),
+                        chunksize=2)
+        records = {r["key"]: r for _j, r in engine.run_many(jobs)}
+        assert len(records) == 4
+        _flush(cache_dir)
+        stats = cache_stats(str(cache_dir))
+        assert stats["batches_formed"] == 2
+        assert stats["batch_lanes"] == 4
+
+    def test_chunksize_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BatchedBackend(chunksize=0)
+
+    def test_single_lane_group_falls_back(self, tmp_path):
+        # One cache-miss job below MIN_FLEET_LANES: serial path, but the
+        # record is still produced and counted as a fallback, not a batch.
+        cache_dir = tmp_path / "cache"
+        records = _run("batched", cache_dir,
+                       [Job(capacity_mib=1, flow="2D", matrix_dim=96,
+                            num_cores=16, kernel="dotp")])
+        assert len(records) == 1
+        _flush(cache_dir)
+        stats = cache_stats(str(cache_dir))
+        assert stats["batches_formed"] == 0
+        assert stats["batch_fallbacks"] == 1
+
+
+class TestBatchStatsSidecar:
+    def test_record_batch_stats_merges(self, tmp_path):
+        record_batch_stats(str(tmp_path), batches=2, lanes=7, fallbacks=1)
+        record_batch_stats(str(tmp_path), batches=1, lanes=3)
+        stats = cache_stats(str(tmp_path))
+        assert stats["batches_formed"] == 3
+        assert stats["batch_lanes"] == 10
+        assert stats["batch_fallbacks"] == 1
+        assert stats["batch_mean_occupancy"] == pytest.approx(10 / 3)
+
+    def test_all_zero_is_a_noop(self, tmp_path):
+        record_batch_stats(str(tmp_path))
+        stats = cache_stats(str(tmp_path))
+        assert stats["batches_formed"] == 0
+        assert stats["batch_mean_occupancy"] is None
+
+
+def _fleet_doc(identical: bool) -> dict:
+    return {
+        "benchmark": "fleet batched-vs-fast",
+        "results": {
+            "lockstep": {"lanes": 64, "serial_s": 1.0, "batched_s": 0.25,
+                         "speedup": 4.0, "identical": identical,
+                         "lanes_verified": 128},
+            "mixed": {"lanes": 32, "serial_s": 0.5, "batched_s": 0.4,
+                      "speedup": 1.25, "identical": True,
+                      "lanes_verified": 64},
+        },
+    }
+
+
+class TestTrajectoryFleetGate:
+    def test_fleet_summary_shape(self):
+        summary = _fleet_summary(_fleet_doc(identical=True))
+        assert summary["speedups"] == {"lockstep": 4.0, "mixed": 1.25}
+        assert summary["lanes_identical"] is True
+        assert 2.0 < summary["geomean_speedup"] < 2.5
+
+    def test_append_and_pass(self, tmp_path):
+        path = tmp_path / "BENCH_trajectory.json"
+        entry = append_trajectory(path, fleet=_fleet_doc(identical=True),
+                                  label="t0")
+        assert entry["fleet"]["lanes_identical"] is True
+        assert check_trajectory(path) == []
+
+    def test_diverged_lanes_block(self, tmp_path):
+        path = tmp_path / "BENCH_trajectory.json"
+        append_trajectory(path, fleet=_fleet_doc(identical=True), label="t0")
+        append_trajectory(path, fleet=_fleet_doc(identical=False), label="t1")
+        problems = check_trajectory(path)
+        assert problems, "diverged fleet lanes must fail the gate"
+        assert any("identical" in p or "bit-for-bit" in p for p in problems)
+
+    def test_fleet_artifact_roundtrip(self, tmp_path):
+        artifact = tmp_path / "BENCH_fleet.json"
+        artifact.write_text(json.dumps(_fleet_doc(identical=True)),
+                            encoding="utf-8")
+        path = tmp_path / "BENCH_trajectory.json"
+        entry = append_trajectory(path, fleet=artifact, label="t0")
+        assert entry["fleet"]["speedups"]["lockstep"] == 4.0
