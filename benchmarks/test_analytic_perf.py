@@ -1,0 +1,190 @@
+"""Benchmark: the calibrated analytic tier vs fast vs batched evaluation.
+
+Two questions, one artifact (``BENCH_analytic.json``):
+
+* **Accuracy** — re-fit every registered predictor from scratch and
+  record its full residual distribution; the *structural* assertion is
+  that each achieved probe error honours the predictor's declared bound
+  (the tier-0 accuracy contract).  ``repro trajectory append
+  --analytic`` folds the artifact into the tracked trajectory, where
+  ``trajectory check`` gates on ``all_within_bound`` — never on timing.
+* **Throughput** — evaluate the paper's full 56-point grid (4
+  capacities x 2 flows x 7 bandwidths) through calibrated predictions
+  and race that against a serial fast-engine loop and a FleetEngine
+  batch over a subset, recording points/sec for all three tiers.  The
+  acceptance floor (>= 50x over serial fast) is asserted here with a
+  few-hundred-x margin; wall-clock numbers themselves are recorded,
+  not gated.
+"""
+
+import gc
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analytic import calibrate, predict_cycles
+from repro.analytic.store import _reset_stores
+from repro.analytic.tier import analytic_engine
+from repro.api import Scenario
+from repro.api.registry import WORKLOADS, available_predictors
+from repro.core.config import Flow, MemPoolConfig
+from repro.kernels.workloads import prepare_dotp
+from repro.obs.report import stamp_bench
+from repro.simulator.fleet import FleetEngine
+
+ARTIFACT = Path("BENCH_analytic.json")
+
+#: The paper's exhaustive sweep axes (fig. 7-9).
+GRID_CAPACITIES = (1, 2, 4, 8)
+GRID_FLOWS = ("2D", "3D")
+GRID_BANDWIDTHS = (2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+#: Problem size of the throughput grid (off the dotp calibration dims).
+GRID_DIM = 2048
+
+#: Valid starting dims per workload (calibrate() swaps in its own dims).
+SEED_DIMS = {
+    "matmul": 16, "dotp": 512, "axpy": 512,
+    "conv2d": 18, "matvec": 56, "stencil5": 18,
+}
+
+_RESULTS: dict[str, dict] = {}
+
+
+def _grid():
+    return [
+        Scenario(capacity_mib=cap, flow=flow, bandwidth=bw,
+                 matrix_dim=GRID_DIM, workload="dotp")
+        for cap in GRID_CAPACITIES
+        for flow in GRID_FLOWS
+        for bw in GRID_BANDWIDTHS
+    ]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_stores():
+    """Benchmark fits its own calibrations, isolated from other modules."""
+    _reset_stores()
+    yield
+    _reset_stores()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_artifact():
+    """Write the error/throughput artifact after the benchmarks ran."""
+    yield
+    if not _RESULTS:
+        return
+    payload = stamp_bench({
+        "benchmark": "analytic tier-0 vs fast vs batched",
+        "generated_unix": int(time.time()),
+        "workloads": _RESULTS.get("workloads", {}),
+        "throughput": _RESULTS.get("throughput", {}),
+    })
+    ARTIFACT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+
+
+def test_error_distribution_within_declared_bounds():
+    """Re-fit every predictor and record its residual distribution."""
+    rows = {}
+    for workload in available_predictors():
+        scenario = Scenario(
+            capacity_mib=1, flow="2D", bandwidth=16.0,
+            matrix_dim=SEED_DIMS[workload], workload=workload,
+        )
+        record = calibrate(workload, scenario)
+        rows[workload] = {
+            "error_bound": record.error_bound,
+            "achieved_error": round(record.achieved_error, 5),
+            "within_bound": record.within_bound,
+            "factor": round(record.factor, 4),
+            "residuals": {d: round(e, 5)
+                          for d, e in sorted(record.residuals.items())},
+        }
+        # The structural gate: accuracy is contractual, timing is not.
+        assert record.within_bound, (
+            f"{workload}: achieved {record.achieved_error:.3f} > "
+            f"declared bound {record.error_bound:.3f}"
+        )
+    _RESULTS["workloads"] = rows
+    print("\nachieved calibration error per workload:")
+    for name, row in sorted(rows.items()):
+        print(f"  {name:10s} {row['achieved_error']:.4f} "
+              f"(bound {row['error_bound']:.2f})")
+
+
+def test_throughput_56_point_grid_vs_fast_vs_batched():
+    """Tier-0 evaluates the full paper grid; fast/batched race a subset."""
+    grid = _grid()
+    subset = [s for s in grid if s.capacity_mib == 1 and s.flow == "2D"]
+
+    # Warm every (workload, arch-class) calibration the grid needs so
+    # the timed loop measures prediction serving, not one-time fits.
+    with analytic_engine():
+        for cap in GRID_CAPACITIES:
+            assert predict_cycles(
+                grid[0].replace(capacity_mib=cap)
+            ) is not None
+
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        with analytic_engine():
+            predictions = [predict_cycles(s) for s in grid]
+        analytic_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        simulated = [float(WORKLOADS.get("dotp")(s)) for s in subset]
+        fast_s = time.perf_counter() - t0
+
+        lanes = [
+            prepare_dotp(
+                MemPoolConfig(capacity_mib=1, flow=Flow.FLOW_2D),
+                GRID_DIM, 256, seed=i,
+            )
+            for i in range(len(subset))
+        ]
+        t0 = time.perf_counter()
+        outcomes = FleetEngine([cluster for cluster, _fin in lanes]).run()
+        batched_s = time.perf_counter() - t0
+    finally:
+        gc.enable()
+
+    assert all(p is not None for p in predictions)
+    assert all(out.error is None for out in outcomes)
+    for (_cluster, finish), out in zip(lanes, outcomes):
+        assert finish(out.result).correct
+    # Tier-0 accuracy sanity on the live grid: every prediction lands
+    # within the declared dotp bound of its simulated twin.
+    bound = 0.05
+    for scenario, measured in zip(subset, simulated):
+        with analytic_engine():
+            predicted = predict_cycles(scenario)
+        assert abs(predicted - measured) / measured <= bound
+
+    analytic_pps = len(grid) / max(analytic_s, 1e-9)
+    fast_pps = len(subset) / max(fast_s, 1e-9)
+    batched_pps = len(lanes) / max(batched_s, 1e-9)
+    speedup = analytic_pps / fast_pps
+    _RESULTS["throughput"] = {
+        "grid_points": len(grid),
+        "analytic_s": round(analytic_s, 5),
+        "analytic_points_per_s": round(analytic_pps, 1),
+        "fast_points": len(subset),
+        "fast_s": round(fast_s, 4),
+        "fast_points_per_s": round(fast_pps, 2),
+        "batched_points": len(lanes),
+        "batched_s": round(batched_s, 4),
+        "batched_points_per_s": round(batched_pps, 2),
+        "speedup_vs_fast": round(speedup, 1),
+    }
+    print(f"\n56-point grid: analytic {analytic_pps:,.0f} pts/s, "
+          f"fast {fast_pps:.1f} pts/s, batched {batched_pps:.1f} pts/s "
+          f"-> {speedup:,.0f}x vs serial fast")
+    # The acceptance floor, with a few-hundred-x margin: a warm
+    # prediction is arithmetic, a fast-engine point is a simulation.
+    assert speedup >= 50.0

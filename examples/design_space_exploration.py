@@ -64,6 +64,36 @@ def batched_demo() -> None:
               f"serial fallbacks: {stats['batch_fallbacks']}")
 
 
+def analytic_demo() -> None:
+    """Tier-0 screen, tier-1 confirm: the two-stage exploration pattern.
+
+    The calibrated analytic engine ranks the whole grid for the cost of
+    one calibration fit, then only the short-listed points pay for real
+    simulation — the shape that makes million-point sweeps tractable.
+    """
+    from repro.api import Pipeline, Scenario
+
+    grid = [
+        Scenario(capacity_mib=cap, flow=flow, bandwidth=bw,
+                 matrix_dim=1280, workload="dotp")
+        for cap in (1, 2, 4, 8)
+        for flow in ("2D", "3D")
+        for bw in (4.0, 16.0, 64.0)
+    ]
+    tier0 = Pipeline(engine="analytic")
+    screened = sorted(grid, key=lambda s: tier0.run(s).edp)[:3]
+
+    tier1 = Pipeline()  # default fast simulator: bit-exact cycles
+    confirmed = min(screened, key=lambda s: tier1.run(s).edp)
+    best = tier1.run(confirmed)
+    print("analytic tier-0 screen -> tier-1 confirmation:")
+    print(f"  screened {len(grid)} points analytically, "
+          f"simulated only {len(screened)}")
+    print(f"  best: {confirmed.capacity_mib} MiB {confirmed.flow} @ "
+          f"{confirmed.bandwidth:g} B/cycle, "
+          f"edp {best.edp:.3e} (simulated)")
+
+
 def guided_search_demo() -> None:
     """The same co-exploration, guided: half the budget, same winners."""
     searcher = Searcher(
@@ -105,6 +135,9 @@ def main() -> None:
 
     print()
     batched_demo()
+
+    print()
+    analytic_demo()
 
     print()
     guided_search_demo()

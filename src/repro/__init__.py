@@ -29,7 +29,7 @@ from .core.config import (
 )
 from .core.metrics import GroupResult, KernelMetrics, NormalizedGroupResult, normalize
 
-__version__ = "2.7.0"
+__version__ = "2.8.0"
 
 #: Names re-exported lazily from the ``repro.api`` façade.
 _API_EXPORTS = (
@@ -38,13 +38,16 @@ _API_EXPORTS = (
     "Scenario",
     "available_flows",
     "available_objectives",
+    "available_predictors",
     "available_workloads",
     "get_flow",
     "get_objective",
+    "get_predictor",
     "get_workload",
     "paper_scenarios",
     "register_flow",
     "register_objective",
+    "register_predictor",
     "register_workload",
     "run",
 )
@@ -72,6 +75,15 @@ _SERVICE_EXPORTS = (
 _CLIENT_EXPORTS = (
     "ServiceClient",
     "ServiceError",
+)
+
+#: Names re-exported lazily from the ``repro.analytic`` tier-0 layer.
+_ANALYTIC_EXPORTS = (
+    "CalibrationRecord",
+    "analytic_engine",
+    "calibrate",
+    "ensure_calibrated",
+    "predict_cycles",
 )
 
 #: Names re-exported lazily from the ``repro.analysis`` lint layer.
@@ -121,6 +133,7 @@ __all__ = [
     "paper_configurations",
     "__version__",
     *_API_EXPORTS,
+    *_ANALYTIC_EXPORTS,
     *_ANALYSIS_EXPORTS,
     *_ENGINE_EXPORTS,
     *_OBS_EXPORTS,
@@ -133,6 +146,8 @@ __all__ = [
 def __getattr__(name: str):
     if name in _API_EXPORTS:
         from . import api as module
+    elif name in _ANALYTIC_EXPORTS:
+        from . import analytic as module
     elif name in _ANALYSIS_EXPORTS:
         from . import analysis as module
     elif name in _ENGINE_EXPORTS:
@@ -156,6 +171,7 @@ def __dir__():
     return sorted(
         set(globals())
         | set(_API_EXPORTS)
+        | set(_ANALYTIC_EXPORTS)
         | set(_ANALYSIS_EXPORTS)
         | set(_ENGINE_EXPORTS)
         | set(_OBS_EXPORTS)

@@ -160,7 +160,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_list(args: argparse.Namespace) -> int:
     from .analysis.framework import LINTS
-    from .api.registry import FLOWS, OBJECTIVES, WORKLOADS
+    from .api.registry import FLOWS, OBJECTIVES, PREDICTORS, WORKLOADS
     from .engine.backends import BACKENDS
     from .experiments.runner import EXPERIMENTS
     from .search.strategies import STRATEGIES
@@ -169,6 +169,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "flows": FLOWS,
         "workloads": WORKLOADS,
         "objectives": OBJECTIVES,
+        "predictors": PREDICTORS,
         "backends": BACKENDS,
         "strategies": STRATEGIES,
         "experiments": EXPERIMENTS,
@@ -500,6 +501,11 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print("  occupancy: "
               + (f"{occupancy:.1f} lanes/batch"
                  if occupancy is not None else "n/a"))
+        print(f"  analytic:  {stats['analytic_predictions']} predictions, "
+              f"{stats['analytic_calibrations']} calibrations, "
+              f"{stats['analytic_fallbacks']} fallbacks")
+        print(f"    fitted:  {stats['calibration_entries']} "
+              f"calibration records")
         return 0
     if args.action == "clear":
         removed = cache_clear(args.cache_dir)
@@ -533,9 +539,10 @@ def _cmd_trajectory(args: argparse.Namespace) -> int:
     from .obs import report as obs_report
 
     if args.action == "append":
-        if not args.sim and not args.service and not args.fleet:
+        if (not args.sim and not args.service and not args.fleet
+                and not args.analytic):
             print("repro trajectory append: need --sim, --service, "
-                  "and/or --fleet", file=sys.stderr)
+                  "--fleet, and/or --analytic", file=sys.stderr)
             return 2
         try:
             entry = obs_report.append_trajectory(
@@ -543,12 +550,14 @@ def _cmd_trajectory(args: argparse.Namespace) -> int:
                 sim=args.sim or None,
                 service=args.service or None,
                 fleet=args.fleet or None,
+                analytic=args.analytic or None,
                 label=args.label,
             )
         except (OSError, ValueError) as exc:
             print(f"repro trajectory append: {exc}", file=sys.stderr)
             return 1
-        parts = [k for k in ("sim", "service", "fleet") if entry.get(k)]
+        parts = [k for k in ("sim", "service", "fleet", "analytic")
+                 if entry.get(k)]
         print(f"appended entry {entry.get('label') or '(unlabelled)'} "
               f"({'+'.join(parts)}) to {args.file}")
         return 0
@@ -624,10 +633,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--cores", type=int, default=16)
     p_sim.add_argument("--scoreboard", action="store_true",
                        help="non-blocking-load core model")
-    p_sim.add_argument("--sim-engine", choices=("fast", "reference"),
+    p_sim.add_argument("--sim-engine",
+                       choices=("fast", "reference", "analytic"),
                        default=None, dest="sim_engine",
-                       help="cycle-simulator implementation (bit-identical; "
-                            "default: fast, or $REPRO_SIM_ENGINE)")
+                       help="cycle-simulator implementation (fast and "
+                            "reference are bit-identical; analytic falls "
+                            "back to fast for raw kernel runs; default: "
+                            "fast, or $REPRO_SIM_ENGINE)")
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_run = sub.add_parser(
@@ -649,23 +661,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="registered objective name")
     p_run.add_argument("--profile", action="store_true",
                        help="print per-stage (implement/cycles) wall times")
-    p_run.add_argument("--sim-engine", choices=("fast", "reference"),
+    p_run.add_argument("--sim-engine",
+                       choices=("fast", "reference", "analytic"),
                        default=None, dest="sim_engine",
-                       help="cycle-simulator implementation (bit-identical; "
-                            "default: fast, or $REPRO_SIM_ENGINE)")
+                       help="evaluation engine: fast/reference simulate "
+                            "(bit-identical); analytic serves calibrated "
+                            "tier-0 predictions (default: fast, or "
+                            "$REPRO_SIM_ENGINE)")
     p_run.set_defaults(func=_cmd_run)
 
     p_list = sub.add_parser("list", help="list registered plugins")
     p_list.add_argument("kind", nargs="?", default=None,
                         choices=("flows", "workloads", "objectives",
-                                 "backends", "strategies", "experiments",
-                                 "lints"),
+                                 "predictors", "backends", "strategies",
+                                 "experiments", "lints"),
                         help="plugin kind (default: all)")
     p_list.set_defaults(func=_cmd_list)
 
     p_chk = sub.add_parser(
         "check",
-        help="run the repo-aware static analyzers (REP001-REP008)",
+        help="run the repo-aware static analyzers (REP001-REP009)",
     )
     p_chk.add_argument("paths", nargs="*", default=["src"], metavar="PATH",
                        help="files or directories to analyze (default: src)")
@@ -714,10 +729,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="append-only JSONL log of every result")
     p_sw.add_argument("--top", type=int, default=3,
                       help="winners listed per objective")
-    p_sw.add_argument("--sim-engine", choices=("fast", "reference"),
+    p_sw.add_argument("--sim-engine",
+                      choices=("fast", "reference", "analytic"),
                       default=None, dest="sim_engine",
-                      help="cycle-simulator implementation for "
-                           "simulator-backed workloads (bit-identical)")
+                      help="evaluation engine for simulator-backed "
+                           "workloads (fast/reference bit-identical; "
+                           "analytic = calibrated tier-0 predictions)")
     p_sw.set_defaults(func=_cmd_sweep)
 
     p_se = sub.add_parser(
@@ -770,10 +787,12 @@ def build_parser() -> argparse.ArgumentParser:
                            "trajectory (cached candidates are free)")
     p_se.add_argument("--top", type=int, default=3,
                       help="winners listed per objective")
-    p_se.add_argument("--sim-engine", choices=("fast", "reference"),
+    p_se.add_argument("--sim-engine",
+                      choices=("fast", "reference", "analytic"),
                       default=None, dest="sim_engine",
-                      help="cycle-simulator implementation for "
-                           "simulator-backed workloads (bit-identical)")
+                      help="evaluation engine for simulator-backed "
+                           "workloads (fast/reference bit-identical; "
+                           "analytic = calibrated tier-0 predictions)")
     p_se.set_defaults(func=_cmd_search)
 
     p_cache = sub.add_parser(
@@ -853,6 +872,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="service BENCH artifact")
     p_ta.add_argument("--fleet", default=None, metavar="BENCH_fleet.json",
                       help="fleet (batched backend) BENCH artifact")
+    p_ta.add_argument("--analytic", default=None,
+                      metavar="BENCH_analytic.json",
+                      help="analytic-tier BENCH artifact")
     p_ta.add_argument("--label", default=None,
                       help="entry label (e.g. a short commit SHA)")
     p_ta.set_defaults(func=_cmd_trajectory)
@@ -890,9 +912,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--max-active", type=int, default=2,
                        dest="max_active",
                        help="jobs executing concurrently")
-    p_srv.add_argument("--sim-engine", choices=("fast", "reference"),
+    p_srv.add_argument("--sim-engine",
+                       choices=("fast", "reference", "analytic"),
                        default=None, dest="sim_engine",
-                       help="cycle-simulator implementation (bit-identical)")
+                       help="evaluation engine (fast/reference "
+                            "bit-identical; analytic = calibrated tier-0 "
+                            "predictions)")
     p_srv.set_defaults(func=_cmd_serve)
     return parser
 

@@ -25,7 +25,8 @@ from ..astutil import ImportMap, call_mode_arg, walk_shallow
 from ..findings import Finding
 from ..framework import BaseLint, LintContext, register_lint
 
-CACHE_FILES = {"results.jsonl", "stages.jsonl", "stats.json"}
+CACHE_FILES = {"results.jsonl", "stages.jsonl", "stats.json",
+               "calibrations.jsonl"}
 FILE_CONSTANTS = {"FILENAME", "STATS_FILENAME"}
 WRITE_MODES = set("wax+")
 
@@ -40,6 +41,7 @@ ALLOWED_WRITERS = {
         "cache_gc",
         "_gc_stage_file",
     },
+    "repro/analytic/store.py": {"CalibrationStore.put"},
 }
 
 

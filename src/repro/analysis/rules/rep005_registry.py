@@ -28,6 +28,7 @@ REGISTER_FUNCS = {
     "register_flow": "flow",
     "register_workload": "workload",
     "register_objective": "objective",
+    "register_predictor": "predictor",
     "register_strategy": "strategy",
     "register_backend": "backend",
     "register_lint": "lint",
@@ -39,6 +40,7 @@ REGISTRY_GLOBALS = {
     "FLOWS": "flow",
     "WORKLOADS": "workload",
     "OBJECTIVES": "objective",
+    "PREDICTORS": "predictor",
     "STRATEGIES": "strategy",
     "BACKENDS": "backend",
     "LINTS": "lint",

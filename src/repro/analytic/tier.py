@@ -1,0 +1,168 @@
+"""Serving tier-0 predictions: mode plumbing, counters, fallback.
+
+``Pipeline(engine="analytic")`` arms :func:`analytic_engine` for the
+dynamic extent of a run; ``set_default_sim_engine("analytic")`` (or
+``REPRO_SIM_ENGINE=analytic``) arms the whole process, workers
+included.  Either way the pipeline's cycles stage consults
+:func:`analytic_mode_active` and, when a calibrated predictor covers
+the scenario's workload, serves :func:`predict_cycles` instead of
+simulating — falling back to the workload plugin (the fast engine) when
+no predictor exists, the calibration cannot be fitted, or the fitted
+error bound is violated.
+
+Every outcome is counted twice: process-wide observability counters
+(``repro_analytic_*`` in ``/v1/metrics``) and per-cache-root deltas
+flushed batch-wise into the stats sidecar by
+:func:`flush_analytic_stats` (the same race-safe merge as the batch
+counters, never on the per-prediction hot path).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Optional
+
+from ..obs.metrics import counter
+from .calibrate import ensure_calibrated
+from .store import calibration_store_for
+
+#: True inside a ``Pipeline(engine="analytic")`` run.
+_FORCE_TIER: ContextVar[bool] = ContextVar("repro_analytic_tier", default=False)
+
+_PREDICTIONS = counter(
+    "repro_analytic_predictions_total",
+    "Cycle counts served from calibrated tier-0 predictors",
+)
+_CALIBRATIONS = counter(
+    "repro_analytic_calibrations_total",
+    "Tier-0 overhead-factor fits run against the fast engine",
+)
+_FALLBACKS = counter(
+    "repro_analytic_fallbacks_total",
+    "Analytic-tier requests that fell back to the fast engine",
+)
+
+#: Per-cache-root counter deltas awaiting a sidecar merge.
+_PENDING: dict[str, dict[str, int]] = {}
+_PENDING_LOCK = threading.Lock()
+_FLUSH_REGISTERED: set[str] = set()
+
+
+@contextmanager
+def analytic_engine():
+    """Force the analytic tier for the dynamic extent of a block."""
+    token = _FORCE_TIER.set(True)
+    try:
+        yield
+    finally:
+        _FORCE_TIER.reset(token)
+
+
+def analytic_forced() -> bool:
+    """Whether an :func:`analytic_engine` block is active."""
+    return _FORCE_TIER.get()
+
+
+def analytic_mode_active(workload: str) -> bool:
+    """Whether tier-0 should serve ``workload`` right now.
+
+    The mode check runs first so the default path never touches (and
+    never seeds) the predictor registry.
+    """
+    if not _FORCE_TIER.get():
+        from ..simulator.engine import default_sim_engine
+
+        if default_sim_engine() != "analytic":
+            return False
+    from ..api.registry import PREDICTORS
+
+    return workload in PREDICTORS
+
+
+def _count(root: Optional[str], field: str, obs_counter) -> None:
+    obs_counter.inc()
+    if root is None:
+        return
+    with _PENDING_LOCK:
+        pending = _PENDING.setdefault(
+            root,
+            {
+                "analytic_predictions": 0,
+                "analytic_calibrations": 0,
+                "analytic_fallbacks": 0,
+            },
+        )
+        pending[field] += 1
+        if root not in _FLUSH_REGISTERED:
+            _FLUSH_REGISTERED.add(root)
+            import atexit
+            from multiprocessing import util as mp_util
+
+            atexit.register(flush_analytic_stats, root)
+            mp_util.Finalize(
+                None, flush_analytic_stats, args=(root,), exitpriority=10
+            )
+
+
+def flush_analytic_stats(root: str | None = None) -> None:
+    """Merge pending analytic counter deltas into sidecar stats files.
+
+    Called by ``Engine.run_many`` after each batch (for its own cache
+    root) and at process exit; with ``root=None`` every pending root is
+    flushed.  Zero-delta roots never touch the filesystem.
+    """
+    from ..engine.cache import record_analytic_stats
+
+    with _PENDING_LOCK:
+        roots = [root] if root is not None else list(_PENDING)
+        deltas = [(r, _PENDING.pop(r)) for r in roots if r in _PENDING]
+    for target, delta in deltas:
+        record_analytic_stats(
+            target,
+            predictions=delta["analytic_predictions"],
+            calibrations=delta["analytic_calibrations"],
+            fallbacks=delta["analytic_fallbacks"],
+        )
+
+
+def predict_cycles(scenario, root: str | None = None) -> Optional[float]:
+    """One scenario's tier-0 cycle prediction, or ``None`` to fall back.
+
+    Looks up (fitting on miss) the calibration for the scenario's
+    (workload, arch-class); refuses calibrations whose achieved probe
+    error exceeds the predictor's declared bound.  ``root`` names the
+    cache directory whose calibration store and stats sidecar to use
+    (``None``: the process-wide in-memory store, obs counters only).
+
+    Returns:
+        Predicted cycles (``>= 1``), or ``None`` when the caller must
+        evaluate through the workload plugin instead.
+    """
+    from ..api.registry import PREDICTORS
+
+    workload = scenario.workload
+    if workload not in PREDICTORS:
+        _count(root, "analytic_fallbacks", _FALLBACKS)
+        return None
+    store = calibration_store_for(root)
+    try:
+        record, fitted = ensure_calibrated(workload, scenario, store)
+    except (ValueError, RuntimeError):
+        _count(root, "analytic_fallbacks", _FALLBACKS)
+        return None
+    if fitted:
+        _count(root, "analytic_calibrations", _CALIBRATIONS)
+    if not record.within_bound:
+        _count(root, "analytic_fallbacks", _FALLBACKS)
+        return None
+    terms = PREDICTORS.get(workload)(scenario)
+    prediction = (
+        terms.setup
+        + record.setup_cycles
+        + record.factor * terms.work
+        + record.contention_factor * terms.contention
+    )
+    _count(root, "analytic_predictions", _PREDICTIONS)
+    return max(float(prediction), 1.0)

@@ -47,15 +47,19 @@ _EXPORTS = {
     "OBJECTIVES": "registry",
     "Registry": "registry",
     "RegistryMapping": "registry",
+    "PREDICTORS": "registry",
     "WORKLOADS": "registry",
     "available_flows": "registry",
     "available_objectives": "registry",
+    "available_predictors": "registry",
     "available_workloads": "registry",
     "get_flow": "registry",
     "get_objective": "registry",
+    "get_predictor": "registry",
     "get_workload": "registry",
     "register_flow": "registry",
     "register_objective": "registry",
+    "register_predictor": "registry",
     "register_workload": "registry",
 }
 

@@ -187,11 +187,72 @@ class Pipeline:
             (e.g. a :class:`repro.obs.StageProfiler`).  Independent of
             the process-wide hooks in :mod:`repro.obs.profile`, which
             every pipeline always notifies.
+        engine: Optional evaluation-engine override for the cycles
+            stage: ``"fast"``/``"reference"`` select the simulation
+            engine for the dynamic extent of each run, ``"analytic"``
+            serves calibrated tier-0 predictions (falling back to the
+            fast engine per scenario when no predictor covers the
+            workload or its calibration misses the declared error
+            bound).  ``None`` defers to the process default
+            (:func:`repro.simulator.engine.default_sim_engine`).
     """
 
-    def __init__(self, stage_cache=None, profiler=None) -> None:
+    def __init__(self, stage_cache=None, profiler=None, engine=None) -> None:
+        if engine is not None:
+            from ..simulator.engine import SIM_ENGINES
+
+            if engine not in SIM_ENGINES:
+                raise ValueError(
+                    f"unknown evaluation engine {engine!r}; "
+                    f"pick from {SIM_ENGINES}"
+                )
         self.stage_cache = stage_cache
         self.profiler = profiler
+        self.engine = engine
+
+    @contextmanager
+    def _engine_scope(self):
+        """Apply this pipeline's engine override for one stage's extent."""
+        if self.engine is None:
+            yield
+        elif self.engine == "analytic":
+            from ..analytic.tier import analytic_engine
+
+            with analytic_engine():
+                yield
+        else:
+            from ..simulator.engine import set_default_sim_engine
+
+            previous = set_default_sim_engine(self.engine)
+            try:
+                yield
+            finally:
+                set_default_sim_engine(previous)
+
+    def _tier0_cycles(self, scenario: Scenario) -> Optional[float]:
+        """A tier-0 prediction, or ``None`` when this run must simulate.
+
+        The cheap mode checks run first so the default path neither
+        imports the analytic tier nor seeds the predictor registry.
+        """
+        if self.engine != "analytic":
+            if self.engine is not None:
+                return None
+            from ..simulator.engine import default_sim_engine
+
+            if default_sim_engine() != "analytic":
+                return None
+        from ..analytic.tier import analytic_mode_active, predict_cycles
+
+        if not analytic_mode_active(scenario.workload):
+            return None
+        cache = self.stage_cache
+        root = (
+            str(cache.root)
+            if cache is not None and getattr(cache, "root", None) is not None
+            else None
+        )
+        return predict_cycles(scenario, root=root)
 
     def implement(self, scenario: Scenario) -> GroupResult:
         """Physical stage only: implement the group with the scenario's flow."""
@@ -214,29 +275,39 @@ class Pipeline:
         return impl
 
     def cycles(self, scenario: Scenario) -> float:
-        """Kernel stage only: the scenario's workload cycle count."""
-        cache = self.stage_cache
-        overrides = _BATCH_CYCLES.get()
-        key = (
-            scenario.cycles_key
-            if cache is not None or overrides is not None
-            else None
-        )
-        if cache is not None:
-            cached = cache.get_cycles(key)
-            if cached is not None:
-                return cached
-        cycles = overrides.get(key) if overrides is not None else None
-        if cycles is None:
-            cycles = float(WORKLOADS.get(scenario.workload)(scenario))
-        if cycles <= 0:
-            raise ValueError(
-                f"workload {scenario.workload!r} returned non-positive "
-                f"cycles ({cycles})"
+        """Kernel stage only: the scenario's workload cycle count.
+
+        With ``engine="analytic"`` (or the process default set to
+        ``analytic``) the stage serves calibrated tier-0 predictions.
+        The scope wraps key computation too: analytic results carry an
+        ``evaluation_tier`` marker in their content addresses, so memos
+        never cross between predicted and simulated evaluations.
+        """
+        with self._engine_scope():
+            cache = self.stage_cache
+            overrides = _BATCH_CYCLES.get()
+            key = (
+                scenario.cycles_key
+                if cache is not None or overrides is not None
+                else None
             )
-        if cache is not None:
-            cache.put_cycles(key, cycles)
-        return cycles
+            if cache is not None:
+                cached = cache.get_cycles(key)
+                if cached is not None:
+                    return cached
+            cycles = overrides.get(key) if overrides is not None else None
+            if cycles is None:
+                cycles = self._tier0_cycles(scenario)
+            if cycles is None:
+                cycles = float(WORKLOADS.get(scenario.workload)(scenario))
+            if cycles <= 0:
+                raise ValueError(
+                    f"workload {scenario.workload!r} returned non-positive "
+                    f"cycles ({cycles})"
+                )
+            if cache is not None:
+                cache.put_cycles(key, cycles)
+            return cycles
 
     def run(self, scenario: Scenario) -> RunResult:
         """Evaluate one scenario end to end."""

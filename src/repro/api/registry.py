@@ -7,7 +7,10 @@ The co-exploration pipeline is assembled from three kinds of plugins:
   :class:`~repro.core.metrics.GroupResult` directly);
 * a **workload** turns a scenario into a kernel cycle count;
 * an **objective** is a ``(key_function, higher_is_better)`` pair that
-  ranks evaluated results.
+  ranks evaluated results;
+* a **predictor** turns a scenario into tier-0
+  :class:`~repro.analytic.models.AnalyticTerms` — the closed-form phase
+  decomposition behind ``engine="analytic"``.
 
 Each kind has a process-global :class:`Registry` seeded lazily from the
 built-in implementations (the 2D/Macro-3D flows, the kernel zoo, and the
@@ -50,6 +53,11 @@ class Registry:
         self._items: dict[str, object] = {}
         self._seed = seed
         self._seeded = seed is None
+        #: Monotonic registration epoch: bumped on every successful
+        #: :meth:`register`/:meth:`unregister`, so caches derived from
+        #: the registry's contents (e.g. the successive-halving screen
+        #: memo) can detect that a plugin joined or left mid-process.
+        self.generation = 0
 
     def _ensure_seeded(self) -> None:
         if not self._seeded:
@@ -72,6 +80,8 @@ class Registry:
         existing = self._items.get(name)
         if existing is not None and existing is not obj:
             raise ValueError(f"{self._kind} {name!r} is already registered")
+        if existing is not obj:
+            self.generation += 1
         self._items[name] = obj
         return obj
 
@@ -104,6 +114,7 @@ class Registry:
         if name not in self._items:
             raise ValueError(f"unknown {self._kind} {name!r}")
         del self._items[name]
+        self.generation += 1
 
     def names(self) -> tuple[str, ...]:
         """Registered names, registration order preserved."""
@@ -160,6 +171,12 @@ def _seed_workloads() -> None:
     from ..kernels import workloads  # noqa: F401
 
 
+def _seed_predictors() -> None:
+    # Importing the analytic models runs their @register_predictor
+    # decorators (one calibrated tier-0 predictor per built-in kernel).
+    from ..analytic import models  # noqa: F401
+
+
 def _seed_objectives() -> None:
     register_objective("performance", higher_is_better=True)(
         lambda p: p.performance
@@ -184,6 +201,9 @@ WORKLOADS = Registry("workload", seed=_seed_workloads)
 
 #: Objective registry: name -> ``(key_fn, higher_is_better)``.
 OBJECTIVES = Registry("objective", seed=_seed_objectives)
+
+#: Predictor registry: name -> ``fn(scenario) -> AnalyticTerms`` (tier-0).
+PREDICTORS = Registry("predictor", seed=_seed_predictors)
 
 
 def register_flow(name: str) -> Callable[[T], T]:
@@ -218,6 +238,51 @@ def register_objective(
     return wrap
 
 
+def register_predictor(
+    name: str,
+    *,
+    error_bound: float = 0.05,
+    calibration_dims: tuple[int, ...] = (),
+    probe_dims: tuple[int, ...] = (),
+) -> Callable[[T], T]:
+    """Decorator registering a tier-0 analytic cycle predictor.
+
+    The decorated function maps a :class:`~repro.api.scenario.Scenario`
+    to :class:`~repro.analytic.models.AnalyticTerms` — the closed-form
+    phase decomposition ``T = setup + inner_iters x cycles_per_iter``
+    whose overhead factor is auto-calibrated against the workload's
+    tier-1 evaluation (FastEngine for the simulated kernels).  It must
+    be pure tier-0: no simulator imports, no nondeterminism, and only
+    ``Scenario.cycles_dict`` fields (the REP009 contract).
+
+    Args:
+        name: Workload name the predictor covers (usually one already in
+            :data:`WORKLOADS`; a predictor without a workload is legal
+            but only reachable through calibration-free prediction).
+        error_bound: Declared relative-error budget vs the tier-1
+            measurement.  Calibrations whose achieved (probe) error
+            exceeds this are persisted for inspection but refused at
+            prediction time, falling back to the fast engine.
+        calibration_dims: ``matrix_dim`` values the fit runs at.
+        probe_dims: Held-out ``matrix_dim`` values the achieved error is
+            measured at (defaults to ``calibration_dims`` when empty).
+    """
+
+    def wrap(fn: T) -> T:
+        fn.predictor_name = name  # type: ignore[attr-defined]
+        fn.error_bound = float(error_bound)  # type: ignore[attr-defined]
+        fn.calibration_dims = tuple(  # type: ignore[attr-defined]
+            int(d) for d in calibration_dims
+        )
+        fn.probe_dims = tuple(  # type: ignore[attr-defined]
+            int(d) for d in probe_dims
+        )
+        PREDICTORS.register(name, fn)
+        return fn
+
+    return wrap
+
+
 def get_flow(name: str) -> Callable:
     """The registered flow callable for ``name``."""
     return FLOWS.get(name)  # type: ignore[return-value]
@@ -233,6 +298,11 @@ def get_objective(name: str) -> tuple[Callable, bool]:
     return OBJECTIVES.get(name)  # type: ignore[return-value]
 
 
+def get_predictor(name: str) -> Callable:
+    """The registered tier-0 predictor callable for ``name``."""
+    return PREDICTORS.get(name)  # type: ignore[return-value]
+
+
 def available_flows() -> tuple[str, ...]:
     """Names of every registered flow."""
     return FLOWS.names()
@@ -246,3 +316,8 @@ def available_workloads() -> tuple[str, ...]:
 def available_objectives() -> tuple[str, ...]:
     """Names of every registered objective."""
     return OBJECTIVES.names()
+
+
+def available_predictors() -> tuple[str, ...]:
+    """Names of every registered tier-0 predictor."""
+    return PREDICTORS.names()

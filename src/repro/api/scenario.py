@@ -283,9 +283,21 @@ class Scenario:
         The objective only ranks results — it never changes the metrics —
         so it stays out of cache keys: one evaluation serves every
         objective.
+
+        When the analytic tier is active *and* covers this workload, the
+        dict gains an ``evaluation_tier`` marker: tier-0 predictions are
+        approximations with a declared error bound, so they must never
+        share content addresses (record cache, stage memos, batch
+        overrides) with simulated results.  The mode check runs first,
+        so the default path is byte-identical to previous versions and
+        never seeds the predictor registry.
         """
         data = self.to_dict()
         del data["objective"]
+        from ..analytic.tier import analytic_mode_active
+
+        if analytic_mode_active(self.workload):
+            data["evaluation_tier"] = "analytic"
         return data
 
     def physical_dict(self) -> dict:

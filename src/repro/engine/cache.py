@@ -59,6 +59,14 @@ STAGE_COUNTER_KEYS = (
 #: batching behaviour next to the per-job stage counters.
 BATCH_COUNTER_KEYS = ("batches_formed", "batch_lanes", "batch_fallbacks")
 
+#: Analytic-tier counters (the ``analytic`` engine's tier-0 path),
+#: merged into the same sidecar: predictions served from calibrated
+#: closed forms, calibrations fitted, and fallbacks to the fast engine
+#: (no predictor, calibration failed, or achieved error out of bound).
+ANALYTIC_COUNTER_KEYS = (
+    "analytic_predictions", "analytic_calibrations", "analytic_fallbacks",
+)
+
 
 class LRUCache:
     """A bounded mapping evicting the least-recently-used entry.
@@ -444,6 +452,30 @@ def record_batch_stats(
     _merge_sidecar(Path(root) / STATS_FILENAME, delta)
 
 
+def record_analytic_stats(
+    root: str | Path,
+    predictions: int = 0,
+    calibrations: int = 0,
+    fallbacks: int = 0,
+) -> None:
+    """Fold one analytic-tier run's counters into the sidecar.
+
+    Called by :func:`repro.analytic.tier.flush_analytic_stats` after an
+    engine batch (never per prediction), under the same locked merge as
+    every other counter family; ``repro cache stats`` and the service's
+    cache endpoint surface the totals.  All-zero deltas are dropped
+    without touching the filesystem.
+    """
+    delta = {
+        "analytic_predictions": int(predictions),
+        "analytic_calibrations": int(calibrations),
+        "analytic_fallbacks": int(fallbacks),
+    }
+    if not any(delta.values()) or not Path(root).is_dir():
+        return
+    _merge_sidecar(Path(root) / STATS_FILENAME, delta)
+
+
 def _merge_sidecar(path: Path, delta: dict[str, int]) -> None:
     """Fold counter deltas into the sidecar via a locked atomic replace.
 
@@ -551,6 +583,12 @@ def cache_stats(root: str | Path) -> dict:
     stage_path = Path(root) / StageCache.FILENAME
     if cache is not None and stage_path.exists():
         stage_entries = len(StageCache(root))
+    calibration_entries = 0
+    from ..analytic.store import CalibrationStore
+
+    cal_path = Path(root) / CalibrationStore.FILENAME
+    if cache is not None and cal_path.exists():
+        calibration_entries = len(CalibrationStore(root))
     batches = counters.get("batches_formed", 0)
     return {
         "path": str(Path(root) / ResultCache.FILENAME),
@@ -569,6 +607,8 @@ def cache_stats(root: str | Path) -> dict:
         "batch_mean_occupancy": (
             counters.get("batch_lanes", 0) / batches if batches else None
         ),
+        **{name: counters.get(name, 0) for name in ANALYTIC_COUNTER_KEYS},
+        "calibration_entries": calibration_entries,
     }
 
 
@@ -590,6 +630,10 @@ def cache_clear(root: str | Path) -> int:
         (cache.root / STATS_FILENAME).unlink(missing_ok=True)
     with _FileLock(cache.root / StageCache.LOCKNAME):
         (cache.root / StageCache.FILENAME).unlink(missing_ok=True)
+    from ..analytic.store import CalibrationStore
+
+    with _FileLock(cache.root / CalibrationStore.LOCKNAME):
+        (cache.root / CalibrationStore.FILENAME).unlink(missing_ok=True)
     return removed
 
 

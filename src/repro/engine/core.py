@@ -20,6 +20,7 @@ engine's, so results are interchangeable across every layer.
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass
 from functools import partial
@@ -270,6 +271,12 @@ class Engine:
             self.cache.flush_stats()
             if self.stage_root is not None:
                 stage_cache_for(self.stage_root).flush_stats()
+                # Flush analytic-tier deltas without importing the tier
+                # on every (non-analytic) run: only a loaded module can
+                # have pending counters.
+                tier = sys.modules.get("repro.analytic.tier")
+                if tier is not None:
+                    tier.flush_analytic_stats(self.stage_root)
 
     def _emit(
         self,

@@ -144,6 +144,28 @@ def _service_summary(service: dict) -> dict:
     }
 
 
+def _analytic_summary(analytic: dict) -> dict:
+    workloads = analytic.get("workloads", {})
+    errors = {
+        name: float(row["achieved_error"])
+        for name, row in sorted(workloads.items())
+        if isinstance(row, dict) and "achieved_error" in row
+    }
+    within = all(
+        bool(row.get("within_bound", True))
+        for row in workloads.values()
+        if isinstance(row, dict)
+    )
+    throughput = analytic.get("throughput", {})
+    return {
+        "achieved_errors": errors,
+        "max_achieved_error": max(errors.values()) if errors else None,
+        "all_within_bound": within,
+        "analytic_points_per_s": throughput.get("analytic_points_per_s"),
+        "speedup_vs_fast": throughput.get("speedup_vs_fast"),
+    }
+
+
 def _fleet_summary(fleet: dict) -> dict:
     results = fleet.get("results", {})
     speedups = {
@@ -168,14 +190,15 @@ def append_trajectory(
     sim: Union[str, Path, dict, None] = None,
     service: Union[str, Path, dict, None] = None,
     fleet: Union[str, Path, dict, None] = None,
+    analytic: Union[str, Path, dict, None] = None,
     label: Optional[str] = None,
     recorded_unix: Optional[int] = None,
 ) -> dict:
     """Fold one run of the BENCH emitters into the trajectory file.
 
-    ``sim``/``service``/``fleet`` are artifact paths or already-loaded
-    documents; any may be absent (the entry records what ran).  Returns
-    the appended entry.
+    ``sim``/``service``/``fleet``/``analytic`` are artifact paths or
+    already-loaded documents; any may be absent (the entry records what
+    ran).  Returns the appended entry.
     """
     if sim is not None and not isinstance(sim, dict):
         sim = load_bench(sim)
@@ -183,7 +206,9 @@ def append_trajectory(
         service = load_bench(service)
     if fleet is not None and not isinstance(fleet, dict):
         fleet = load_bench(fleet)
-    if sim is None and service is None and fleet is None:
+    if analytic is not None and not isinstance(analytic, dict):
+        analytic = load_bench(analytic)
+    if sim is None and service is None and fleet is None and analytic is None:
         raise ValueError("append_trajectory needs at least one artifact")
     entry: dict = {
         "schema_version": SCHEMA_VERSION,
@@ -198,6 +223,8 @@ def append_trajectory(
         entry["service"] = _service_summary(service)
     if fleet is not None:
         entry["fleet"] = _fleet_summary(fleet)
+    if analytic is not None:
+        entry["analytic"] = _analytic_summary(analytic)
 
     path = Path(path)
     trajectory = load_trajectory(path)
@@ -223,11 +250,14 @@ def check_trajectory(trajectory: Union[str, Path, dict]) -> list:
     * warm cache hit rate dropped against the previous entry,
     * a fleet benchmark whose batched lanes diverged from the serial
       fast engine (``lanes_identical`` false — a correctness bug, not a
-      timing one).
+      timing one),
+    * an analytic benchmark whose calibration error escaped a declared
+      bound (``all_within_bound`` false — the tier-0 accuracy contract,
+      not a timing figure).
 
-    Timing figures (speedups, req/s) are deliberately *not* checked —
-    they are noise on shared runners; the trajectory chart makes drift
-    visible without blocking merges on it.
+    Timing figures (speedups, req/s, points/s) are deliberately *not*
+    checked — they are noise on shared runners; the trajectory chart
+    makes drift visible without blocking merges on it.
     """
     if not isinstance(trajectory, dict):
         trajectory = load_trajectory(trajectory)
@@ -240,6 +270,15 @@ def check_trajectory(trajectory: Union[str, Path, dict]) -> list:
         fleet_problems.append(
             "fleet benchmark reported non-identical lanes; the batched "
             "engine must match the fast engine bit-for-bit"
+        )
+    analytic_entries = [e for e in all_entries if "analytic" in e]
+    if analytic_entries and analytic_entries[-1]["analytic"].get(
+        "all_within_bound"
+    ) is False:
+        fleet_problems.append(
+            "analytic benchmark reported a calibration outside its "
+            "declared error bound; tier-0 predictions must honour the "
+            "per-predictor accuracy contract"
         )
     entries = [e for e in all_entries if "service" in e]
     if not entries:

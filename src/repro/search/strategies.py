@@ -260,13 +260,21 @@ class EvolutionaryStrategy(Strategy):
 
 @register_strategy("successive-halving")
 class SuccessiveHalvingStrategy(Strategy):
-    """Analytic screen first, real evaluation for the survivors.
+    """Tier-0 screen first, real evaluation for the survivors.
 
     Each generation draws an ``eta``-times larger pool, scores every
-    member with the cheap analytic-matmul phase model (in-process; no
-    simulator, no budget spent), and promotes only the Pareto-best
-    ``1/eta`` fraction to the driver's real — cached, budgeted, possibly
-    simulator-backed — evaluation.
+    member with the calibrated analytic tier (``engine="analytic"``,
+    in-process; no budget spent), and promotes only the Pareto-best
+    ``1/eta`` fraction to the driver's real — cached, budgeted,
+    simulator-backed — evaluation.  Every workload with a registered
+    predictor screens through its *own* calibrated closed form;
+    workloads without one screen through the analytic-matmul phase
+    model, the pre-tier-0 proxy.
+
+    The screen memo is keyed by the predictor registry's generation:
+    registering (or unregistering) a predictor mid-process invalidates
+    every screened ranking instead of silently serving scores from the
+    old proxy.
 
     Options:
         eta: Pool-to-survivor ratio (default 4).
@@ -278,19 +286,27 @@ class SuccessiveHalvingStrategy(Strategy):
         if self.eta < 2:
             raise ValueError("eta must be at least 2")
         self._proxy_memo: dict[tuple, Optional[tuple]] = {}
+        self._proxy_generation: Optional[int] = None
 
     def _proxy_costs(self, values: dict) -> Optional[tuple]:
-        """Analytic-matmul cost vector of an assignment (None = invalid)."""
+        """Tier-0 cost vector of an assignment (None = invalid)."""
+        from ..api.pipeline import Pipeline  # local: keeps import light
+        from ..api.registry import PREDICTORS
+
+        if PREDICTORS.generation != self._proxy_generation:
+            self._proxy_memo.clear()
+            self._proxy_generation = PREDICTORS.generation
         key = self.values_key(values)
         if key in self._proxy_memo:
             return self._proxy_memo[key]
-        from ..api.pipeline import Pipeline  # local: keeps import light
 
         costs: Optional[tuple] = None
         scenario = self.space.try_scenario(values)
         if scenario is not None:
+            if scenario.workload not in PREDICTORS:
+                scenario = scenario.replace(workload="matmul")
             try:
-                result = Pipeline().run(scenario.replace(workload="matmul"))
+                result = Pipeline(engine="analytic").run(scenario)
                 costs = tuple(
                     key_fn(result) * (-1.0 if higher else 1.0)
                     for _, key_fn, higher in self.objectives

@@ -21,8 +21,12 @@ from ..arch.cluster import MemPoolCluster
 from ..arch.snitch import CoreState
 
 #: Selectable simulation engines: the fast SoA path (with automatic
-#: fallback) and the reference cycle-by-cycle stepper.
-SIM_ENGINES = ("fast", "reference")
+#: fallback), the reference cycle-by-cycle stepper, and the calibrated
+#: tier-0 ``analytic`` mode.  Analytic is a *scenario-level* tier served
+#: by :mod:`repro.analytic` through the pipeline's cycles stage; a bare
+#: cluster carries no workload identity, so :func:`run_cluster` under
+#: ``analytic`` simulates on the fast path.
+SIM_ENGINES = ("fast", "reference", "analytic")
 
 #: Environment variable seeding the default engine choice.
 SIM_ENGINE_ENV = "REPRO_SIM_ENGINE"
@@ -143,10 +147,13 @@ def run_cluster(
         cluster: A cluster with a program loaded.
         max_cycles: Safety limit.
         engine: ``"fast"`` (SoA stepper with event fast-forward, falling
-            back to the reference for unsupported setups) or
-            ``"reference"`` (the cycle-by-cycle oracle).  ``None`` uses
-            :func:`default_sim_engine`.  Both produce bit-identical
-            results; the choice only affects wall-clock time.
+            back to the reference for unsupported setups),
+            ``"reference"`` (the cycle-by-cycle oracle), or
+            ``"analytic"`` (tier-0 prediction at the scenario level; a
+            bare cluster has no predictor, so this simulates on the fast
+            path).  ``None`` uses :func:`default_sim_engine`.  Fast and
+            reference produce bit-identical results; the choice only
+            affects wall-clock time.
 
     Raises:
         ValueError: On an unknown engine name.
@@ -156,7 +163,7 @@ def run_cluster(
         raise ValueError(
             f"unknown simulation engine {name!r}; pick from {SIM_ENGINES}"
         )
-    if name == "fast":
+    if name in ("fast", "analytic"):
         from .fast import FastEngine  # local: keeps the oracle import-light
 
         if FastEngine.supports(cluster):

@@ -1,0 +1,20 @@
+"""REP009 corpus clean twin: predictors from closed-form arithmetic only."""
+
+import math
+
+from repro.api.registry import register_predictor
+
+
+@register_predictor("tiny-dotp", error_bound=0.05,
+                    calibration_dims=(512, 1536, 4096))
+def predict_tiny_dotp(scenario):
+    # Pure tier-0: cycles-stage fields and constants, nothing else.
+    n = scenario.matrix_dim
+    cores = max(1, min(scenario.num_cores, n))
+    trips = math.ceil(n / cores)
+    return trips * 11.0
+
+
+def render_banner(scenario):
+    # Outside a predictor, physical-stage fields are fair game.
+    return f"{scenario.workload} via {scenario.flow}"

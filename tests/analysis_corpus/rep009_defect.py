@@ -1,0 +1,34 @@
+"""REP009 corpus defect: predictors that are not pure tier-0."""
+
+import time
+
+from repro.api.registry import register_predictor
+from repro.simulator.fast import FastEngine  # module-level simulator import
+
+
+@register_predictor("bad-dotp", error_bound=0.05, calibration_dims=(512,))
+def predict_bad_dotp(scenario):
+    # Simulating inside a predictor turns the instant tier into tier-1.
+    from repro.simulator.engine import run_cluster
+
+    cluster = scenario.build_cluster()
+    result = run_cluster(cluster)
+    return result.cycles
+
+
+@register_predictor("bad-axpy", error_bound=0.05, calibration_dims=(512,))
+def predict_bad_axpy(scenario):
+    # Wall-clock jitter makes calibration residuals unreproducible.
+    jitter = time.time() % 1.0
+    return scenario.matrix_dim * 12.0 + jitter
+
+
+@register_predictor("bad-conv", error_bound=0.05, calibration_dims=(18,))
+def predict_bad_conv(scenario):
+    # flow is a physical-stage field; cache_dict() is a wider view than
+    # cycles_dict() — both escape the calibration arch-class.
+    scale = 2.0 if scenario.flow == "3D" else 1.0
+    return len(scenario.cache_dict()) * scale
+
+
+_ = FastEngine
